@@ -1,0 +1,74 @@
+// E2 — Subsumption-based reuse beats exact-match-only reuse (paper §2,
+// §5.3.2: "the cached results must exactly match the query" in BERMUDA /
+// [SELL87], whereas BrAID's subsumption reuses a general cached view for
+// any narrower query).
+//
+// Workload: the session first evaluates the general view b1(X, Y) (a
+// producer view, cached by both systems), then issues N selection queries
+// b1(c, Y) with distinct constants c. An exact-match cache cannot reuse
+// the general result; subsumption answers every selection locally.
+//
+// Expectation: remote queries grow linearly with N for exact-match and
+// stay at 1 for BrAID; the crossover in total response appears as soon as
+// the cost of one remote round trip exceeds a local selection.
+
+#include "baselines/coupling_modes.h"
+#include "bench/bench_util.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "common/strings.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+struct RunResult {
+  size_t remote_queries;
+  size_t messages;
+  double response_ms;
+};
+
+RunResult Run(baselines::CouplingMode mode, size_t selections) {
+  workload::GenealogyParams params;
+  params.people = 500;
+  dbms::RemoteDbms remote(workload::MakeGenealogyDatabase(params));
+  cms::Cms cms(&remote, baselines::ConfigFor(mode, 8 << 20));
+
+  auto ask = [&cms](const std::string& text) {
+    auto q = caql::ParseCaql(text);
+    auto a = cms.Query(q.value());
+    if (!a.ok()) {
+      std::fprintf(stderr, "E2 query failed: %s\n",
+                   a.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  ask("all(X, Y) :- parent(X, Y)");  // prime the cache with the general view
+  for (size_t i = 0; i < selections; ++i) {
+    ask(StrCat("sel", i, "(Y) :- parent(", 100 + i, ", Y)"));
+  }
+  return RunResult{remote.stats().queries, remote.stats().messages,
+                   cms.metrics().response_ms};
+}
+
+}  // namespace
+}  // namespace braid
+
+int main() {
+  using braid::baselines::CouplingMode;
+  braid::benchutil::Table table(
+      "E2: subsumption vs exact-match reuse — 1 general fetch + N distinct "
+      "selections",
+      {"selections", "mode", "remote_queries", "messages", "response_ms"});
+  for (size_t n : {1, 5, 10, 25, 50}) {
+    for (CouplingMode mode :
+         {CouplingMode::kExactMatchCache, CouplingMode::kBraidNoAdvice}) {
+      auto r = braid::Run(mode, n);
+      table.AddRow(n, braid::baselines::CouplingModeName(mode),
+                   r.remote_queries, r.messages, r.response_ms);
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E8 — The optimum point on the interpreted-compiled range is
+// workload-dependent (paper §2: "it is simply not the case that more
+// fully compiled systems are always preferable. The optimum point on the
+// I-C range will differ with application domains and even from problem to
+// problem").
+//
+// Workload: the recursive AI query ancestor(c, Y)? over a genealogy of
+// 400 people. Sweep: strategy (interpreted = tuple-at-a-time DFS with
+// backtracking; compiled = set-at-a-time bottom-up with the CMS
+// fixed-point operator) × view-specifier max-conjunction size × solutions
+// wanted (all vs first).
+//
+// Expectation (the paper's crossover): compiled wins for all-solutions
+// (few large set-oriented requests); interpreted wins when a single
+// solution suffices (it stops after one binding, while compiled always
+// saturates). Larger conjunction sizes reduce the interpreter's CAQL
+// query count — moving along the I-C range.
+
+#include "bench/bench_util.h"
+#include "braid/braid_system.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+struct RunResult {
+  size_t caql_queries;
+  size_t remote_messages;
+  size_t tuples_shipped;
+  double response_ms;
+  size_t solutions;
+};
+
+RunResult Run(ie::StrategyKind strategy, size_t conj, size_t max_solutions,
+              bool advice, const char* query = "ancestor(390, Y)?") {
+  workload::GenealogyParams params;
+  params.people = 400;
+  BraidOptions options;
+  options.ie.strategy = strategy;
+  options.ie.max_conjunction_size = conj;
+  options.ie.max_solutions = max_solutions;
+  options.cms.enable_advice = advice;
+  options.cms.enable_prefetch = advice;
+  options.cms.enable_generalization = advice;
+  logic::KnowledgeBase kb;
+  (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+  BraidSystem braid(workload::MakeGenealogyDatabase(params), std::move(kb),
+                    options);
+  auto out = braid.Ask(query);
+  if (!out.ok()) {
+    std::fprintf(stderr, "E8 query failed: %s\n",
+                 out.status().ToString().c_str());
+    std::exit(1);
+  }
+  const size_t caql = strategy == ie::StrategyKind::kInterpreted
+                          ? out->interpreter_stats.caql_queries
+                          : out->compiled_stats.caql_queries;
+  return RunResult{caql, braid.remote().stats().messages,
+                   braid.remote().stats().tuples_shipped,
+                   braid.cms().metrics().response_ms,
+                   out->solutions.NumTuples()};
+}
+
+}  // namespace
+}  // namespace braid
+
+int main() {
+  braid::benchutil::Table table(
+      "E8: interpreted-compiled range — recursive ancestor(390, Y), "
+      "genealogy of 400 people",
+      {"strategy", "max_conj", "solutions_wanted", "caql_queries",
+       "remote_messages", "tuples_shipped", "response_ms", "solutions"});
+  struct Config {
+    braid::ie::StrategyKind strategy;
+    size_t conj;
+    size_t max_solutions;
+    bool advice;
+    const char* strategy_name;
+    const char* wanted;
+  };
+  const Config configs[] = {
+      {braid::ie::StrategyKind::kInterpreted, 1, SIZE_MAX, true,
+       "interpreted", "all"},
+      {braid::ie::StrategyKind::kInterpreted, 3, SIZE_MAX, true,
+       "interpreted", "all"},
+      {braid::ie::StrategyKind::kCompiled, 3, SIZE_MAX, true, "compiled",
+       "all"},
+      {braid::ie::StrategyKind::kInterpreted, 1, 1, true, "interpreted",
+       "first"},
+      {braid::ie::StrategyKind::kInterpreted, 3, 1, true, "interpreted",
+       "first"},
+      {braid::ie::StrategyKind::kCompiled, 3, 1, true, "compiled", "first"},
+  };
+  for (const Config& c : configs) {
+    auto r = braid::Run(c.strategy, c.conj, c.max_solutions, c.advice);
+    table.AddRow(c.strategy_name, c.conj, c.wanted, r.caql_queries,
+                 r.remote_messages, r.tuples_shipped, r.response_ms,
+                 r.solutions);
+  }
+  table.Print();
+
+  // Second axis: the view-specifier conjunction-size parameter, on the
+  // 3-atom chain greatgrand(X, A) & parent(A, B) & parent(B, Y), with
+  // advice off so generalization does not mask the query stream.
+  braid::benchutil::Table conj_table(
+      "E8b: conjunction-size parameter — greatgrand(390, Y) (3-atom "
+      "chain), advice off",
+      {"strategy", "max_conj", "caql_queries", "remote_messages",
+       "tuples_shipped", "response_ms"});
+  for (size_t conj : {1, 2, 3}) {
+    auto r = braid::Run(braid::ie::StrategyKind::kInterpreted, conj,
+                        SIZE_MAX, false, "greatgrand(390, Y)?");
+    conj_table.AddRow("interp/no-advice", conj, r.caql_queries,
+                      r.remote_messages, r.tuples_shipped, r.response_ms);
+  }
+  {
+    auto r = braid::Run(braid::ie::StrategyKind::kCompiled, 3, SIZE_MAX,
+                        false, "greatgrand(390, Y)?");
+    conj_table.AddRow("compiled/no-advice", 3, r.caql_queries,
+                      r.remote_messages, r.tuples_shipped, r.response_ms);
+  }
+  conj_table.Print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E9 — Cache-vs-DBMS execution split (paper §5.3.3: "which parts of a
+// CAQL query should be executed locally by the CMS and which parts ... on
+// the remote DBMS"; complicating factor (c): "the cost of communicating
+// with remote DBMS is significant").
+//
+// Workload: the fan-out join
+//   j(X, Y2) :- parent(X, Y) & person(Y, A, C) & person(Y2, B, C)
+// ("relatives of X's parent's townsfolk") with the person relation already
+// cached. BrAID evaluates both person parts locally and ships only the
+// parent subquery (590 tuples); loose coupling exports the whole join and
+// ships its multi-thousand-tuple result. Sweep the per-tuple transfer
+// cost (link bandwidth).
+//
+// Expectation: at cheap transfer the server-side join is competitive; as
+// transfer cost grows, the split plan's smaller shipment wins — the
+// crossover the paper's cost discussion predicts.
+
+#include "baselines/coupling_modes.h"
+#include "bench/bench_util.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+struct RunResult {
+  double response_ms;
+  size_t tuples_shipped;
+  size_t remote_queries;
+};
+
+RunResult Run(baselines::CouplingMode mode, double per_tuple_ms) {
+  workload::GenealogyParams params;
+  params.people = 600;
+  dbms::NetworkModel net;
+  net.msg_latency_ms = 5;
+  net.per_tuple_ms = per_tuple_ms;
+  dbms::RemoteDbms remote(workload::MakeGenealogyDatabase(params), net,
+                          dbms::DbmsCostModel{});
+  cms::Cms cms(&remote, baselines::ConfigFor(mode, 16 << 20));
+
+  auto ask = [&cms](const std::string& text) {
+    auto q = caql::ParseCaql(text);
+    auto a = cms.Query(q.value());
+    if (!a.ok()) {
+      std::fprintf(stderr, "E9 query failed: %s\n",
+                   a.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  // Prime: the person relation (the larger operand) is in the cache
+  // (ignored by loose coupling, which never caches).
+  ask("allp(X, A, C) :- person(X, A, C)");
+  remote.ResetStats();
+  cms.ResetMetrics();
+
+  ask("j(X, Y2) :- parent(X, Y) & person(Y, A, C) & person(Y2, B, C)");
+  return RunResult{cms.metrics().response_ms, remote.stats().tuples_shipped,
+                   remote.stats().queries};
+}
+
+}  // namespace
+}  // namespace braid
+
+int main() {
+  using braid::baselines::CouplingMode;
+  braid::benchutil::Table table(
+      "E9: cache/DBMS execution split — join with the larger operand "
+      "cached, sweep per-tuple transfer cost",
+      {"per_tuple_ms", "mode", "response_ms", "tuples_shipped",
+       "remote_queries"});
+  for (double per_tuple : {0.001, 0.01, 0.05, 0.25}) {
+    for (CouplingMode mode :
+         {CouplingMode::kLooseCoupling, CouplingMode::kBraidNoAdvice}) {
+      auto r = braid::Run(mode, per_tuple);
+      table.AddRow(per_tuple, braid::baselines::CouplingModeName(mode),
+                   r.response_ms, r.tuples_shipped, r.remote_queries);
+    }
+  }
+  table.Print();
+  return 0;
+}

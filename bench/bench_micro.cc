@@ -1,0 +1,147 @@
+// M1-M4 — google-benchmark micro-benchmarks for the substrate operations
+// the architecture leans on: unification, the subsumption test, hash
+// joins, canonical-key computation, and path-tracker advances.
+
+#include <benchmark/benchmark.h>
+
+#include "advice/path_tracker.h"
+#include "caql/caql_query.h"
+#include "cms/query_processor.h"
+#include "cms/subsumption.h"
+#include "common/rng.h"
+#include "logic/parser.h"
+#include "logic/unify.h"
+#include "relational/operators.h"
+
+namespace braid {
+namespace {
+
+void BM_UnifyAtoms(benchmark::State& state) {
+  logic::Atom a = logic::ParseQueryAtom("p(X, Y, Z, W)").value();
+  logic::Atom b = logic::ParseQueryAtom("p(1, B, C, 4)").value();
+  for (auto _ : state) {
+    auto mgu = logic::UnifyAtoms(a, b);
+    benchmark::DoNotOptimize(mgu);
+  }
+}
+BENCHMARK(BM_UnifyAtoms);
+
+void BM_MatchOneWay(benchmark::State& state) {
+  logic::Atom general = logic::ParseQueryAtom("b(X, Y, Z)").value();
+  logic::Atom specific = logic::ParseQueryAtom("b(1, Q, 3)").value();
+  for (auto _ : state) {
+    auto m = logic::MatchOneWay(general, specific);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchOneWay);
+
+void BM_Subsumption(benchmark::State& state) {
+  caql::CaqlQuery def =
+      caql::ParseCaql("e(X, Y, Z) :- b1(X, Y) & b2(Y, Z)").value();
+  caql::CaqlQuery query =
+      caql::ParseCaql("q(A, C) :- b1(A, 7) & b2(7, C)").value();
+  for (auto _ : state) {
+    auto m = cms::ComputeSubsumption(def, query);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_Subsumption);
+
+void BM_CanonicalKey(benchmark::State& state) {
+  caql::CaqlQuery q =
+      caql::ParseCaql("d(X, Y, Z) :- b1(X, W) & b2(W, Y) & b3(Y, Z) & Z > 3")
+          .value();
+  for (auto _ : state) {
+    std::string key = q.CanonicalKey();
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_CanonicalKey);
+
+void BM_HashJoin(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(42);
+  rel::Relation left("l", rel::Schema::FromNames({"k", "v"}));
+  rel::Relation right("r", rel::Schema::FromNames({"k", "w"}));
+  for (int64_t i = 0; i < rows; ++i) {
+    left.AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 4 + 1)),
+                          rel::Value::Int(i)});
+    right.AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 4 + 1)),
+                           rel::Value::Int(i)});
+  }
+  for (auto _ : state) {
+    rel::Relation out = rel::HashJoin(left, right, {rel::JoinKey{0, 0}});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashJoin)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AntiJoin(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(7);
+  rel::Relation input("in", rel::Schema::FromNames({"X", "Y"}));
+  rel::Relation anti("anti", rel::Schema::FromNames({"X"}));
+  for (int64_t i = 0; i < rows; ++i) {
+    input.AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 2 + 1)),
+                           rel::Value::Int(i)});
+    if (i % 3 == 0) {
+      anti.AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 2 + 1))});
+    }
+  }
+  for (auto _ : state) {
+    cms::LocalWork work;
+    rel::Relation out = cms::QueryProcessor::AntiJoin(input, anti, &work);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AntiJoin)->Arg(256)->Arg(2048);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  Rng rng(9);
+  rel::Relation edges("e", rel::Schema::FromNames({"s", "d"}));
+  for (int64_t i = 0; i < nodes * 3; ++i) {
+    int64_t a = rng.Uniform(0, nodes - 1);
+    int64_t b = rng.Uniform(0, nodes - 1);
+    if (a > b) std::swap(a, b);
+    if (a == b) continue;
+    edges.AppendUnchecked({rel::Value::Int(a), rel::Value::Int(b)});
+  }
+  for (auto _ : state) {
+    cms::LocalWork work;
+    rel::Relation tc =
+        cms::QueryProcessor::TransitiveClosure(edges, 0, 1, &work);
+    benchmark::DoNotOptimize(tc);
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(64)->Arg(256);
+
+void BM_PathTrackerAdvance(benchmark::State& state) {
+  using advice::PathExpr;
+  using advice::RepBound;
+  auto d1 = PathExpr::Pattern("d1", {});
+  auto d2 = PathExpr::Pattern("d2", {});
+  auto d3 = PathExpr::Pattern("d3", {});
+  auto inner = PathExpr::Sequence({d2, d3}, RepBound::Fixed(0),
+                                  RepBound::Cardinality("Y"));
+  auto whole =
+      PathExpr::Sequence({d1, inner}, RepBound::Fixed(1), RepBound::Fixed(1));
+  for (auto _ : state) {
+    advice::PathTracker tracker(whole);
+    tracker.Advance("d1");
+    for (int i = 0; i < 8; ++i) {
+      tracker.Advance("d2");
+      tracker.Advance("d3");
+    }
+    benchmark::DoNotOptimize(tracker.mispredictions());
+  }
+}
+BENCHMARK(BM_PathTrackerAdvance);
+
+}  // namespace
+}  // namespace braid
+
+BENCHMARK_MAIN();

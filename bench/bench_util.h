@@ -1,0 +1,76 @@
+#ifndef BRAID_BENCH_BENCH_UTIL_H_
+#define BRAID_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace braid::benchutil {
+
+/// Fixed-width console table used by the experiment harnesses so every
+/// bench prints the same style of rows the EXPERIMENTS.md index refers to.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  template <typename... Cells>
+  void AddRow(const Cells&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::cout << "\n== " << title_ << "\n";
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = columns_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&widths](const std::vector<std::string>& cells) {
+      std::cout << "  ";
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::cout << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+                  << cells[i];
+      }
+      std::cout << "\n";
+    };
+    print_row(columns_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) rule.push_back(std::string(w, '-'));
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+    std::cout.flush();
+  }
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  }
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace braid::benchutil
+
+#endif  // BRAID_BENCH_BENCH_UTIL_H_

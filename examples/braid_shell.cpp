@@ -1,0 +1,237 @@
+// braid_shell: an interactive REPL over the whole system — load a synthetic
+// workload (database + knowledge base), ask AI queries, switch inference
+// strategies, and inspect the advice, cache, and communication statistics
+// as a session unfolds.
+//
+//   $ ./braid_shell
+//   braid> :workload genealogy 300
+//   braid> ?- ancestor(250, Y).
+//   braid> :cache
+//   braid> :mode compiled
+//   braid> ?- ancestor(250, Y).
+//   braid> :stats
+//
+// Type :help inside the shell for the full command list.
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "braid/braid_system.h"
+#include "workload/generators.h"
+#include "workload/loader.h"
+
+namespace {
+
+using namespace braid;
+
+const char* kHelp = R"(commands:
+  ?- <atom>.                 ask an AI query, e.g. ?- ancestor(250, Y).
+  :workload <name> [size]    load a workload: genealogy | supplier | graph | bom
+  :load <dir> <kbfile>       load CSV tables from <dir> and a .braid program
+  :mode <interpreted|compiled>
+  :solutions <N|all>         cap solutions (1 = Prolog-style first answer)
+  :analyze <atom>            show the pre-analysis (graph, views, path)
+  :kb                        print the knowledge base
+  :cache                     print the cache contents
+  :model                     print the cache model as a relation
+  :stats                     print CMS and remote-DBMS statistics
+  :reset-stats               zero the counters
+  :help                      this text
+  :quit                      exit
+)";
+
+std::unique_ptr<BraidSystem> LoadWorkload(const std::string& name,
+                                          size_t size) {
+  logic::KnowledgeBase kb;
+  if (name == "genealogy") {
+    workload::GenealogyParams params;
+    if (size > 0) params.people = size;
+    (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+    return std::make_unique<BraidSystem>(
+        workload::MakeGenealogyDatabase(params), std::move(kb));
+  }
+  if (name == "supplier") {
+    workload::SupplierParams params;
+    if (size > 0) {
+      params.suppliers = size / 5 + 1;
+      params.parts = size;
+      params.supplies = size * 5;
+    }
+    (void)logic::ParseProgram(workload::SupplierKb(), &kb);
+    return std::make_unique<BraidSystem>(
+        workload::MakeSupplierDatabase(params), std::move(kb));
+  }
+  if (name == "bom") {
+    workload::BomParams params;
+    if (size > 0) {
+      params.items = size;
+      params.leaves = size * 3 / 5;
+    }
+    (void)logic::ParseProgram(workload::BomKb(), &kb);
+    return std::make_unique<BraidSystem>(workload::MakeBomDatabase(params),
+                                         std::move(kb));
+  }
+  if (name == "graph") {
+    workload::GraphParams params;
+    if (size > 0) {
+      params.nodes = size;
+      params.edges = size * 3;
+    }
+    (void)logic::ParseProgram(workload::GraphKb(), &kb);
+    return std::make_unique<BraidSystem>(workload::MakeGraphDatabase(params),
+                                         std::move(kb));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<BraidSystem> braid = LoadWorkload("genealogy", 300);
+  std::cout << "BrAID shell — genealogy workload (300 people) loaded.\n"
+            << "Type :help for commands.\n";
+
+  std::string line;
+  while (std::cout << "braid> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string word;
+    in >> word;
+    if (word.empty()) continue;
+
+    if (word == ":quit" || word == ":q" || word == ":exit") break;
+    if (word == ":help") {
+      std::cout << kHelp;
+      continue;
+    }
+    if (word == ":workload") {
+      std::string name;
+      size_t size = 0;
+      in >> name >> size;
+      auto loaded = LoadWorkload(name, size);
+      if (loaded == nullptr) {
+        std::cout << "unknown workload '" << name
+                  << "' (genealogy | supplier | graph | bom)\n";
+        continue;
+      }
+      braid = std::move(loaded);
+      std::cout << "loaded " << name << " ("
+                << braid->remote().database().TotalTuples()
+                << " remote tuples)\n";
+      continue;
+    }
+    if (word == ":load") {
+      std::string dir, kbfile;
+      in >> dir >> kbfile;
+      auto db = workload::LoadDatabaseFromDir(dir);
+      if (!db.ok()) {
+        std::cout << "data load failed: " << db.status() << "\n";
+        continue;
+      }
+      auto kb = workload::LoadKnowledgeBase(kbfile);
+      if (!kb.ok()) {
+        std::cout << "kb load failed: " << kb.status() << "\n";
+        continue;
+      }
+      braid = std::make_unique<BraidSystem>(std::move(db).value(),
+                                            std::move(kb).value());
+      std::cout << "loaded " << braid->remote().database().TotalTuples()
+                << " tuples and "
+                << braid->kb().rules().size() << " rules\n";
+      continue;
+    }
+    if (word == ":mode") {
+      std::string mode;
+      in >> mode;
+      ie::IeConfig config = braid->ie().config();
+      if (mode == "interpreted") {
+        config.strategy = ie::StrategyKind::kInterpreted;
+      } else if (mode == "compiled") {
+        config.strategy = ie::StrategyKind::kCompiled;
+      } else {
+        std::cout << "mode is 'interpreted' or 'compiled'\n";
+        continue;
+      }
+      braid->ie().set_config(config);
+      std::cout << "strategy = " << mode << "\n";
+      continue;
+    }
+    if (word == ":solutions") {
+      std::string n;
+      in >> n;
+      ie::IeConfig config = braid->ie().config();
+      config.max_solutions =
+          (n == "all" || n.empty()) ? SIZE_MAX
+                                    : static_cast<size_t>(std::stoull(n));
+      braid->ie().set_config(config);
+      std::cout << "max solutions = " << n << "\n";
+      continue;
+    }
+    if (word == ":kb") {
+      std::cout << braid->kb().ToString();
+      continue;
+    }
+    if (word == ":cache") {
+      std::cout << braid->cms().cache().model().ToString() << "\n";
+      continue;
+    }
+    if (word == ":model") {
+      std::cout << braid->cms().cache().model().AsRelation().ToString(30)
+                << "\n";
+      continue;
+    }
+    if (word == ":stats") {
+      std::cout << "CMS:    " << braid->cms().metrics().ToString() << "\n"
+                << "remote: " << braid->remote().stats().ToString() << "\n"
+                << "cache:  " << braid->cms().cache().model().size()
+                << " elements, " << braid->cms().cache().model().TotalBytes()
+                << " / " << braid->cms().cache().budget_bytes()
+                << " bytes, evictions="
+                << braid->cms().cache().stats().evictions << "\n";
+      continue;
+    }
+    if (word == ":reset-stats") {
+      braid->cms().ResetMetrics();
+      braid->remote().ResetStats();
+      std::cout << "counters zeroed\n";
+      continue;
+    }
+    if (word == ":analyze") {
+      std::string rest;
+      std::getline(in, rest);
+      auto atom = logic::ParseQueryAtom(rest);
+      if (!atom.ok()) {
+        std::cout << "parse error: " << atom.status() << "\n";
+        continue;
+      }
+      auto pre = braid->ie().Analyze(atom.value());
+      if (!pre.ok()) {
+        std::cout << "analysis failed: " << pre.status() << "\n";
+        continue;
+      }
+      std::cout << pre->graph.ToString() << "view specifications:\n";
+      for (const auto& v : pre->advice.view_specs) {
+        std::cout << "  " << v.ToString() << "\n";
+      }
+      if (pre->advice.path_expression != nullptr) {
+        std::cout << "path: " << pre->advice.path_expression->ToString()
+                  << "\n";
+      }
+      continue;
+    }
+    if (word == "?-") {
+      std::string rest;
+      std::getline(in, rest);
+      auto outcome = braid->Ask(rest);
+      if (!outcome.ok()) {
+        std::cout << "error: " << outcome.status() << "\n";
+        continue;
+      }
+      std::cout << outcome->solutions.ToString(20) << "\n";
+      continue;
+    }
+    std::cout << "unrecognized input (try :help)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "advice/advice.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace braid::advice {
+
+std::string AdviceSet::ToString() const {
+  std::ostringstream os;
+  if (!base_relations.empty()) {
+    os << "base relations: " << StrJoin(base_relations, ", ") << "\n";
+  }
+  for (const ViewSpec& v : view_specs) {
+    os << v.ToString() << "\n";
+  }
+  if (path_expression != nullptr) {
+    os << "path: " << path_expression->ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace braid::advice

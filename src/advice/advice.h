@@ -1,0 +1,39 @@
+#ifndef BRAID_ADVICE_ADVICE_H_
+#define BRAID_ADVICE_ADVICE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advice/path_expr.h"
+#include "advice/view_spec.h"
+
+namespace braid::advice {
+
+/// The advice the IE transmits to the CMS at the start of a session
+/// (paper §3: "At the beginning of each session, the IE submits a set of
+/// advice. This is followed by a sequence of CAQL queries.").
+///
+/// `base_relations` is the simplest form of advice the paper describes —
+/// the unordered list of base relations relevant to the current problem.
+/// View specifications and the path expression are the two richer forms.
+struct AdviceSet {
+  std::vector<std::string> base_relations;
+  std::vector<ViewSpec> view_specs;
+  PathExprPtr path_expression;  // may be null
+
+  /// The view spec with the given id, or nullptr.
+  const ViewSpec* FindView(const std::string& id) const {
+    for (const ViewSpec& v : view_specs) {
+      if (v.id == id) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Multi-line rendering of all advice components.
+  std::string ToString() const;
+};
+
+}  // namespace braid::advice
+
+#endif  // BRAID_ADVICE_ADVICE_H_

@@ -1,0 +1,88 @@
+#include "advice/path_expr.h"
+
+#include <sstream>
+
+namespace braid::advice {
+
+PathExprPtr PathExpr::Pattern(std::string view_id,
+                              std::vector<AnnotatedVar> args) {
+  auto e = std::shared_ptr<PathExpr>(new PathExpr(Kind::kQueryPattern));
+  e->view_id_ = std::move(view_id);
+  e->args_ = std::move(args);
+  return e;
+}
+
+PathExprPtr PathExpr::Sequence(std::vector<PathExprPtr> elements, RepBound lo,
+                               RepBound hi) {
+  auto e = std::shared_ptr<PathExpr>(new PathExpr(Kind::kSequence));
+  e->elements_ = std::move(elements);
+  e->lo_ = std::move(lo);
+  e->hi_ = std::move(hi);
+  return e;
+}
+
+PathExprPtr PathExpr::Alternation(std::vector<PathExprPtr> elements,
+                                  size_t selection) {
+  auto e = std::shared_ptr<PathExpr>(new PathExpr(Kind::kAlternation));
+  e->elements_ = std::move(elements);
+  e->selection_ = selection;
+  return e;
+}
+
+namespace {
+
+void Collect(const PathExpr& expr, std::vector<std::string>* out) {
+  if (expr.kind() == PathExpr::Kind::kQueryPattern) {
+    for (const std::string& v : *out) {
+      if (v == expr.view_id()) return;
+    }
+    out->push_back(expr.view_id());
+    return;
+  }
+  for (const auto& child : expr.elements()) Collect(*child, out);
+}
+
+}  // namespace
+
+std::vector<std::string> PathExpr::MentionedViews() const {
+  std::vector<std::string> out;
+  Collect(*this, &out);
+  return out;
+}
+
+std::string PathExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kQueryPattern: {
+      os << view_id_ << "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args_[i].name << BindingSuffix(args_[i].binding);
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kSequence: {
+      os << "(";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << elements_[i]->ToString();
+      }
+      os << ")<" << lo_.ToString() << "," << hi_.ToString() << ">";
+      break;
+    }
+    case Kind::kAlternation: {
+      os << "[";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << elements_[i]->ToString();
+      }
+      os << "]";
+      if (selection_ > 0) os << "^" << selection_;
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace braid::advice

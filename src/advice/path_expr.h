@@ -1,0 +1,86 @@
+#ifndef BRAID_ADVICE_PATH_EXPR_H_
+#define BRAID_ADVICE_PATH_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advice/view_spec.h"
+
+namespace braid::advice {
+
+/// Upper/lower bound of a sequence repetition count. The upper bound may
+/// be *symbolic* — "|Y|", the cardinality of the bindings produced for a
+/// variable by an earlier query — which is unknown until runtime (paper
+/// §4.2.2, Example 1).
+struct RepBound {
+  bool symbolic = false;
+  size_t count = 1;            // used when !symbolic
+  std::string cardinality_of;  // variable name, used when symbolic
+
+  static RepBound Fixed(size_t n) { return RepBound{false, n, ""}; }
+  static RepBound Cardinality(std::string var) {
+    return RepBound{true, 0, std::move(var)};
+  }
+
+  std::string ToString() const {
+    return symbolic ? "|" + cardinality_of + "|" : std::to_string(count);
+  }
+};
+
+/// A path expression: the IE's prediction of the order, repetition, and
+/// alternation of the CAQL queries it will emit during a session (paper
+/// §4.2.2). Nodes are query patterns, sequences "(...)<lo,hi>", or
+/// alternations "[...]^s" with an optional selection term s bounding how
+/// many members may be selected per occurrence (s == 0 means unbounded).
+class PathExpr {
+ public:
+  enum class Kind { kQueryPattern, kSequence, kAlternation };
+
+  /// Leaf: "d2(X^, Y?)" — a view id plus its argument annotations.
+  static std::shared_ptr<PathExpr> Pattern(std::string view_id,
+                                           std::vector<AnnotatedVar> args);
+  /// "(e1, e2, ...)<lo,hi>"
+  static std::shared_ptr<PathExpr> Sequence(
+      std::vector<std::shared_ptr<PathExpr>> elements, RepBound lo,
+      RepBound hi);
+  /// "[e1, e2, ...]^selection"
+  static std::shared_ptr<PathExpr> Alternation(
+      std::vector<std::shared_ptr<PathExpr>> elements, size_t selection = 0);
+
+  Kind kind() const { return kind_; }
+  const std::string& view_id() const { return view_id_; }
+  const std::vector<AnnotatedVar>& args() const { return args_; }
+  const std::vector<std::shared_ptr<PathExpr>>& elements() const {
+    return elements_;
+  }
+  const RepBound& lo() const { return lo_; }
+  const RepBound& hi() const { return hi_; }
+  size_t selection() const { return selection_; }
+
+  /// All view ids mentioned anywhere in the expression, deduplicated in
+  /// first-occurrence order.
+  std::vector<std::string> MentionedViews() const;
+
+  /// Paper notation, e.g. "(d1(Y^), [d2(X^, Y?), d3(X^, Y?)]<0,|Y|>)<1,1>".
+  std::string ToString() const;
+
+ private:
+  explicit PathExpr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  // Pattern:
+  std::string view_id_;
+  std::vector<AnnotatedVar> args_;
+  // Sequence / alternation:
+  std::vector<std::shared_ptr<PathExpr>> elements_;
+  RepBound lo_ = RepBound::Fixed(1);
+  RepBound hi_ = RepBound::Fixed(1);
+  size_t selection_ = 0;
+};
+
+using PathExprPtr = std::shared_ptr<PathExpr>;
+
+}  // namespace braid::advice
+
+#endif  // BRAID_ADVICE_PATH_EXPR_H_

@@ -1,0 +1,175 @@
+#include "advice/path_tracker.h"
+
+#include <deque>
+#include <limits>
+
+namespace braid::advice {
+
+PathTracker::PathTracker(PathExprPtr expr) {
+  Fragment f = Build(*expr);
+  accept_state_ = f.accept;
+  current_ = Closure({f.start});
+}
+
+int PathTracker::NewState() {
+  eps_.emplace_back();
+  sym_.emplace_back();
+  return static_cast<int>(eps_.size()) - 1;
+}
+
+int PathTracker::SymbolId(const std::string& view_id) {
+  auto [it, inserted] =
+      symbol_ids_.emplace(view_id, static_cast<int>(symbol_names_.size()));
+  if (inserted) symbol_names_.push_back(view_id);
+  return it->second;
+}
+
+PathTracker::Fragment PathTracker::Build(const PathExpr& expr) {
+  switch (expr.kind()) {
+    case PathExpr::Kind::kQueryPattern: {
+      int s = NewState();
+      int a = NewState();
+      AddSym(s, SymbolId(expr.view_id()), a);
+      return {s, a};
+    }
+    case PathExpr::Kind::kSequence: {
+      int s = NewState();
+      int a = NewState();
+      // Chain the members. Each junction also gets an early-exit epsilon:
+      // the IE may abandon the rest of a sequence when a subgoal fails
+      // (the paper's tracking example predicts d1 directly after d2,
+      // without requiring d3).
+      int prev = s;
+      for (const auto& child : expr.elements()) {
+        Fragment cf = Build(*child);
+        AddEps(prev, cf.start);
+        if (prev != s) AddEps(prev, a);
+        prev = cf.accept;
+      }
+      AddEps(prev, a);
+      const bool lo_zero = !expr.lo().symbolic && expr.lo().count == 0;
+      if (lo_zero) AddEps(s, a);
+      const bool repeats =
+          expr.hi().symbolic || expr.hi().count > 1 || expr.lo().symbolic ||
+          expr.lo().count > 1;
+      if (repeats) AddEps(prev, s);  // loop back for further iterations
+      return {s, a};
+    }
+    case PathExpr::Kind::kAlternation: {
+      int s = NewState();
+      int a = NewState();
+      for (const auto& child : expr.elements()) {
+        Fragment cf = Build(*child);
+        AddEps(s, cf.start);
+        AddEps(cf.accept, a);
+      }
+      // Members may be skipped entirely.
+      AddEps(s, a);
+      // A selection term of exactly 1 forbids picking twice in one
+      // occurrence; anything else may select multiple members.
+      if (expr.selection() != 1) AddEps(a, s);
+      return {s, a};
+    }
+  }
+  int s = NewState();
+  return {s, s};
+}
+
+std::set<int> PathTracker::Closure(const std::set<int>& states) const {
+  std::set<int> closed = states;
+  std::deque<int> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    int st = frontier.front();
+    frontier.pop_front();
+    for (int next : eps_[st]) {
+      if (closed.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return closed;
+}
+
+bool PathTracker::Advance(const std::string& view_id) {
+  ++advances_;
+  auto it = symbol_ids_.find(view_id);
+  if (it == symbol_ids_.end()) {
+    ++mispredictions_;
+    return false;
+  }
+  const int symbol = it->second;
+  std::set<int> next;
+  for (int st : current_) {
+    for (const auto& [sym, to] : sym_[st]) {
+      if (sym == symbol) next.insert(to);
+    }
+  }
+  if (next.empty()) {
+    ++mispredictions_;
+    return false;  // Hold position: the query was outside the prediction.
+  }
+  current_ = Closure(next);
+  return true;
+}
+
+std::set<std::string> PathTracker::PredictNext() const {
+  std::set<std::string> out;
+  for (int st : current_) {
+    for (const auto& [sym, to] : sym_[st]) {
+      (void)to;
+      out.insert(symbol_names_[sym]);
+    }
+  }
+  return out;
+}
+
+std::optional<size_t> PathTracker::MinDistanceTo(
+    const std::string& view_id) const {
+  auto it = symbol_ids_.find(view_id);
+  if (it == symbol_ids_.end()) return std::nullopt;
+  const int target = it->second;
+  // BFS over states where symbol transitions cost 1; current_ is already
+  // epsilon-closed and every Advance re-closes, so only symbol edges need
+  // closure expansion here.
+  std::map<int, size_t> dist;
+  std::deque<int> frontier;
+  for (int st : current_) {
+    dist[st] = 0;
+    frontier.push_back(st);
+  }
+  size_t best = std::numeric_limits<size_t>::max();
+  while (!frontier.empty()) {
+    int st = frontier.front();
+    frontier.pop_front();
+    const size_t d = dist[st];
+    if (d >= best) continue;
+    for (const auto& [sym, to] : sym_[st]) {
+      if (sym == target && d < best) best = d;
+      std::set<int> closed = Closure({to});
+      for (int nxt : closed) {
+        auto [dit, inserted] = dist.emplace(nxt, d + 1);
+        if (inserted) {
+          frontier.push_back(nxt);
+        } else if (dit->second > d + 1) {
+          dit->second = d + 1;
+          frontier.push_back(nxt);
+        }
+      }
+    }
+  }
+  if (best == std::numeric_limits<size_t>::max()) return std::nullopt;
+  return best;
+}
+
+std::set<std::string> PathTracker::PossibleWithin(size_t horizon) const {
+  std::set<std::string> out;
+  for (const std::string& name : symbol_names_) {
+    auto d = MinDistanceTo(name);
+    if (d.has_value() && *d < horizon) out.insert(name);
+  }
+  return out;
+}
+
+bool PathTracker::MayBeFinished() const {
+  return current_.count(accept_state_) > 0;
+}
+
+}  // namespace braid::advice

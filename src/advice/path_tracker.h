@@ -1,0 +1,83 @@
+#ifndef BRAID_ADVICE_PATH_TRACKER_H_
+#define BRAID_ADVICE_PATH_TRACKER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advice/path_expr.h"
+
+namespace braid::advice {
+
+/// Path-expression tracking (paper §4.2.2): keeps an association between
+/// the CAQL queries arriving from the IE and the positions in the session's
+/// path expression, so the CMS can predict which view ids may be requested
+/// next — the basis of its prefetching and replacement decisions.
+///
+/// The expression is compiled into an NFA over view-id symbols:
+///  * a query pattern is a single symbol transition;
+///  * a sequence repeats: a lower bound of 0 adds a bypass, an upper bound
+///    greater than one (or symbolic, e.g. |Y|) adds a loop — bounded counts
+///    above one are approximated by an unbounded loop, which can only make
+///    predictions more permissive, never unsound for replacement;
+///  * an alternation branches over its members and may be skipped entirely
+///    ("some members may never appear at all"); a selection term of 1 means
+///    at most one member per occurrence (no loop), any other value loops.
+class PathTracker {
+ public:
+  explicit PathTracker(PathExprPtr expr);
+
+  /// Consumes the next observed query's view id. Returns true if the query
+  /// was predicted by the expression from the current position; an
+  /// unpredicted id is counted and ignored (the tracker holds position).
+  bool Advance(const std::string& view_id);
+
+  /// View ids that could be the very next query.
+  std::set<std::string> PredictNext() const;
+
+  /// Minimum number of intervening queries before `view_id` could appear
+  /// (0 = it could be next), or nullopt if it can no longer appear.
+  std::optional<size_t> MinDistanceTo(const std::string& view_id) const;
+
+  /// View ids that could appear within the next `horizon` queries.
+  std::set<std::string> PossibleWithin(size_t horizon) const;
+
+  /// True if the session could be complete at the current position.
+  bool MayBeFinished() const;
+
+  size_t mispredictions() const { return mispredictions_; }
+  size_t advances() const { return advances_; }
+
+ private:
+  struct Fragment {
+    int start;
+    int accept;
+  };
+
+  int NewState();
+  void AddEps(int from, int to) { eps_[from].push_back(to); }
+  void AddSym(int from, int symbol, int to) {
+    sym_[from].push_back({symbol, to});
+  }
+  int SymbolId(const std::string& view_id);
+  Fragment Build(const PathExpr& expr);
+
+  /// Epsilon closure of a state set.
+  std::set<int> Closure(const std::set<int>& states) const;
+
+  std::vector<std::vector<int>> eps_;
+  std::vector<std::vector<std::pair<int, int>>> sym_;
+  std::map<std::string, int> symbol_ids_;
+  std::vector<std::string> symbol_names_;
+  int accept_state_ = -1;
+
+  std::set<int> current_;
+  size_t mispredictions_ = 0;
+  size_t advances_ = 0;
+};
+
+}  // namespace braid::advice
+
+#endif  // BRAID_ADVICE_PATH_TRACKER_H_

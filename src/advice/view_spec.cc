@@ -1,0 +1,77 @@
+#include "advice/view_spec.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "logic/substitution.h"
+
+namespace braid::advice {
+
+const char* BindingSuffix(Binding b) {
+  switch (b) {
+    case Binding::kNone:
+      return "";
+    case Binding::kProducer:
+      return "^";
+    case Binding::kConsumer:
+      return "?";
+  }
+  return "";
+}
+
+caql::CaqlQuery ViewSpec::AsCaql() const {
+  caql::CaqlQuery q;
+  q.name = id;
+  q.head_args.reserve(head.size());
+  for (const AnnotatedVar& v : head) {
+    q.head_args.push_back(logic::Term::Var(v.name));
+  }
+  q.body = body;
+  return q;
+}
+
+caql::CaqlQuery ViewSpec::Instantiate(
+    const std::vector<logic::Term>& args) const {
+  caql::CaqlQuery def = AsCaql();
+  logic::Substitution subst;
+  const size_t n = std::min(args.size(), head.size());
+  for (size_t i = 0; i < n; ++i) {
+    subst.Bind(head[i].name, args[i]);
+  }
+  return def.Substitute(subst);
+}
+
+std::vector<std::string> ViewSpec::ConsumerVariables() const {
+  std::vector<std::string> out;
+  for (const AnnotatedVar& v : head) {
+    if (v.binding == Binding::kConsumer) out.push_back(v.name);
+  }
+  return out;
+}
+
+bool ViewSpec::AllProducers() const {
+  for (const AnnotatedVar& v : head) {
+    if (v.binding == Binding::kConsumer) return false;
+  }
+  return true;
+}
+
+std::string ViewSpec::ToString() const {
+  std::ostringstream os;
+  os << id << "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << head[i].name << BindingSuffix(head[i].binding);
+  }
+  os << ") =def ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) os << " & ";
+    os << body[i].ToString();
+  }
+  if (!source_rules.empty()) {
+    os << "  (" << StrJoin(source_rules, ",") << ")";
+  }
+  return os.str();
+}
+
+}  // namespace braid::advice

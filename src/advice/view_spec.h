@@ -1,0 +1,68 @@
+#ifndef BRAID_ADVICE_VIEW_SPEC_H_
+#define BRAID_ADVICE_VIEW_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "caql/caql_query.h"
+#include "logic/atom.h"
+
+namespace braid::advice {
+
+/// Producer/consumer binding annotation on a view-specification argument
+/// (paper §4.2.1). A producer ("^", free) argument will be produced as a
+/// binding by executing the corresponding CAQL query; a consumer ("?",
+/// bound) argument will arrive as a constant in the query instance.
+/// Consumer attributes are prime candidates for indexing; all-producer
+/// views are candidates for lazy, unindexed evaluation.
+enum class Binding {
+  kNone,      // unannotated (e.g. variables internal to the body)
+  kProducer,  // "^" — free variable, produced by the query
+  kConsumer,  // "?" — bound variable, supplied as a constant
+};
+
+const char* BindingSuffix(Binding b);
+
+/// One head argument of a view specification.
+struct AnnotatedVar {
+  std::string name;
+  Binding binding = Binding::kNone;
+
+  bool operator==(const AnnotatedVar& other) const {
+    return name == other.name && binding == other.binding;
+  }
+};
+
+/// A view specification: the first kind of advice the IE sends the CMS.
+///
+///   d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?)   (R2)
+///
+/// Every CAQL query the IE later emits is an instance of one of its view
+/// specifications with constants substituted for consumer variables
+/// (paper: "any given CAQL query will necessarily be a single view
+/// specification with zero or more query constants and/or variables").
+struct ViewSpec {
+  std::string id;                        // "d1", "d2", ...
+  std::vector<AnnotatedVar> head;        // minimum argument set
+  std::vector<logic::Atom> body;         // base relations + built-ins
+  std::vector<std::string> source_rules; // rule ids, for human consumption
+
+  /// The view definition as a CAQL query (head variables unannotated).
+  caql::CaqlQuery AsCaql() const;
+
+  /// Builds the CAQL query instance for this view with the given argument
+  /// terms substituted positionally for the head variables.
+  caql::CaqlQuery Instantiate(const std::vector<logic::Term>& args) const;
+
+  /// Head variable names that carry a consumer ("?") annotation.
+  std::vector<std::string> ConsumerVariables() const;
+  /// True if every annotated head variable is a producer.
+  bool AllProducers() const;
+
+  /// Renders "d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?)  (R2)".
+  std::string ToString() const;
+};
+
+}  // namespace braid::advice
+
+#endif  // BRAID_ADVICE_VIEW_SPEC_H_

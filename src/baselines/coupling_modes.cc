@@ -1,0 +1,68 @@
+#include "baselines/coupling_modes.h"
+
+namespace braid::baselines {
+
+const char* CouplingModeName(CouplingMode mode) {
+  switch (mode) {
+    case CouplingMode::kLooseCoupling:
+      return "loose-coupling";
+    case CouplingMode::kExactMatchCache:
+      return "exact-match";
+    case CouplingMode::kSingleRelationCache:
+      return "single-relation";
+    case CouplingMode::kBraidNoAdvice:
+      return "braid-no-advice";
+    case CouplingMode::kBraid:
+      return "braid";
+  }
+  return "?";
+}
+
+cms::CmsConfig ConfigFor(CouplingMode mode, size_t cache_budget_bytes) {
+  cms::CmsConfig config;
+  config.cache_budget_bytes = cache_budget_bytes;
+  switch (mode) {
+    case CouplingMode::kLooseCoupling:
+      config.enable_caching = false;
+      config.enable_subsumption = false;
+      config.enable_advice = false;
+      config.enable_prefetch = false;
+      config.enable_generalization = false;
+      config.enable_indexing = false;
+      config.enable_lazy = false;
+      break;
+    case CouplingMode::kExactMatchCache:
+      config.enable_caching = true;
+      config.enable_subsumption = false;
+      config.enable_advice = false;
+      config.enable_prefetch = false;
+      config.enable_generalization = false;
+      config.enable_indexing = false;
+      config.enable_lazy = false;
+      break;
+    case CouplingMode::kSingleRelationCache:
+      config.enable_caching = true;
+      config.enable_subsumption = true;  // re-selecting from cached relations
+      config.single_relation_only = true;
+      config.enable_advice = false;
+      config.enable_prefetch = false;
+      config.enable_generalization = false;
+      config.enable_indexing = false;
+      config.enable_lazy = false;
+      break;
+    case CouplingMode::kBraidNoAdvice:
+      config.enable_caching = true;
+      config.enable_subsumption = true;
+      config.enable_advice = false;
+      config.enable_prefetch = false;
+      config.enable_generalization = false;
+      config.enable_indexing = false;
+      config.enable_lazy = true;  // lazy needs advice hints; effectively off
+      break;
+    case CouplingMode::kBraid:
+      break;  // defaults = full system
+  }
+  return config;
+}
+
+}  // namespace braid::baselines

@@ -1,0 +1,39 @@
+#ifndef BRAID_BASELINES_COUPLING_MODES_H_
+#define BRAID_BASELINES_COUPLING_MODES_H_
+
+#include <string>
+
+#include "cms/cms.h"
+
+namespace braid::baselines {
+
+/// The AI/DB coupling approaches of the paper's §1 taxonomy (Figure 1) and
+/// prior caching designs it compares against, each realized as a CMS
+/// policy configuration so experiments are controlled ablations:
+///
+///  * kLooseCoupling — a thin interface, no caching at all (KEE-Connection
+///    / EDUCE class): every CAQL query becomes a remote request.
+///  * kExactMatchCache — result caching with reuse only on an exact match
+///    of a later query (BERMUDA [IOAN88] / [SELL87] class).
+///  * kSingleRelationCache — only whole base-relation extensions are
+///    cached; queries re-select from them locally (the [CERI86] class).
+///  * kBraidNoAdvice — full BrAID CMS (subsumption, lazy evaluation) but
+///    without advice: no prefetching, generalization, advised indexing, or
+///    advised replacement.
+///  * kBraid — the full system.
+enum class CouplingMode {
+  kLooseCoupling,
+  kExactMatchCache,
+  kSingleRelationCache,
+  kBraidNoAdvice,
+  kBraid,
+};
+
+const char* CouplingModeName(CouplingMode mode);
+
+/// The CMS configuration realizing `mode` with the given cache budget.
+cms::CmsConfig ConfigFor(CouplingMode mode, size_t cache_budget_bytes);
+
+}  // namespace braid::baselines
+
+#endif  // BRAID_BASELINES_COUPLING_MODES_H_

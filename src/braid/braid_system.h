@@ -1,0 +1,69 @@
+#ifndef BRAID_BRAID_BRAID_SYSTEM_H_
+#define BRAID_BRAID_BRAID_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "cms/cms.h"
+#include "common/status.h"
+#include "dbms/remote_dbms.h"
+#include "ie/inference_engine.h"
+#include "logic/knowledge_base.h"
+#include "logic/parser.h"
+
+namespace braid {
+
+/// Wiring options for a BrAID instance.
+struct BraidOptions {
+  cms::CmsConfig cms;
+  dbms::NetworkModel network;
+  dbms::DbmsCostModel dbms_costs;
+  ie::IeConfig ie;
+};
+
+/// The three-component BrAID system of Figure 3: an inference engine and a
+/// Cache Management System on the "workstation", and a remote DBMS treated
+/// as an independent component. Queries flow top-down only: the IE asks
+/// the CMS, the CMS asks the DBMS; the DBMS never calls back.
+///
+/// Typical use:
+///
+///   logic::KnowledgeBase kb;
+///   ParseProgram(program_text, &kb);
+///   BraidSystem braid(std::move(database), std::move(kb));
+///   auto outcome = braid.Ask("ancestor(42, Y)?");
+class BraidSystem {
+ public:
+  BraidSystem(dbms::Database database, logic::KnowledgeBase kb,
+              BraidOptions options = {})
+      : kb_(std::move(kb)),
+        remote_(std::make_unique<dbms::RemoteDbms>(
+            std::move(database), options.network, options.dbms_costs)),
+        cms_(std::make_unique<cms::Cms>(remote_.get(), options.cms)),
+        ie_(std::make_unique<ie::InferenceEngine>(&kb_, cms_.get(),
+                                                  options.ie)) {}
+
+  /// Answers an AI query given as text, e.g. "ancestor(42, Y)?".
+  Result<ie::AskOutcome> Ask(const std::string& query_text) {
+    return ie_->Ask(query_text);
+  }
+  Result<ie::AskOutcome> Ask(const logic::Atom& query) {
+    return ie_->Ask(query);
+  }
+
+  const logic::KnowledgeBase& kb() const { return kb_; }
+  logic::KnowledgeBase& kb() { return kb_; }
+  dbms::RemoteDbms& remote() { return *remote_; }
+  cms::Cms& cms() { return *cms_; }
+  ie::InferenceEngine& ie() { return *ie_; }
+
+ private:
+  logic::KnowledgeBase kb_;
+  std::unique_ptr<dbms::RemoteDbms> remote_;
+  std::unique_ptr<cms::Cms> cms_;
+  std::unique_ptr<ie::InferenceEngine> ie_;
+};
+
+}  // namespace braid
+
+#endif  // BRAID_BRAID_BRAID_SYSTEM_H_

@@ -1,0 +1,223 @@
+#include "caql/caql_query.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "logic/parser.h"
+
+namespace braid::caql {
+
+bool IsEvaluablePredicate(const std::string& name, size_t arity) {
+  if (arity == 3) {
+    return name == "plus" || name == "minus" || name == "times" ||
+           name == "div";
+  }
+  if (arity == 2) return name == "abs";
+  return false;
+}
+
+namespace {
+
+enum class AtomClass { kRelation, kComparison, kEvaluable, kNegated };
+
+AtomClass Classify(const logic::Atom& atom) {
+  if (atom.negated) return AtomClass::kNegated;
+  if (atom.IsComparison()) return AtomClass::kComparison;
+  if (IsEvaluablePredicate(atom.predicate, atom.arity())) {
+    return AtomClass::kEvaluable;
+  }
+  return AtomClass::kRelation;
+}
+
+}  // namespace
+
+std::vector<logic::Atom> CaqlQuery::RelationAtoms() const {
+  std::vector<logic::Atom> out;
+  for (const auto& a : body) {
+    if (Classify(a) == AtomClass::kRelation) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<logic::Atom> CaqlQuery::ComparisonAtoms() const {
+  std::vector<logic::Atom> out;
+  for (const auto& a : body) {
+    if (Classify(a) == AtomClass::kComparison) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<logic::Atom> CaqlQuery::EvaluableAtoms() const {
+  std::vector<logic::Atom> out;
+  for (const auto& a : body) {
+    if (Classify(a) == AtomClass::kEvaluable) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<logic::Atom> CaqlQuery::NegatedAtoms() const {
+  std::vector<logic::Atom> out;
+  for (const auto& a : body) {
+    if (Classify(a) == AtomClass::kNegated) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::string> CaqlQuery::AllVariables() const {
+  std::vector<std::string> vars;
+  auto add = [&vars](const logic::Term& t) {
+    if (!t.is_variable()) return;
+    for (const std::string& v : vars) {
+      if (v == t.var_name()) return;
+    }
+    vars.push_back(t.var_name());
+  };
+  for (const logic::Term& t : head_args) add(t);
+  for (const logic::Atom& a : body) {
+    for (const logic::Term& t : a.args) add(t);
+  }
+  return vars;
+}
+
+std::vector<std::string> CaqlQuery::HeadVariables() const {
+  std::vector<std::string> vars;
+  for (const logic::Term& t : head_args) {
+    if (!t.is_variable()) continue;
+    bool seen = false;
+    for (const std::string& v : vars) {
+      if (v == t.var_name()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) vars.push_back(t.var_name());
+  }
+  return vars;
+}
+
+CaqlQuery CaqlQuery::Substitute(const logic::Substitution& subst) const {
+  CaqlQuery out = *this;
+  for (logic::Term& t : out.head_args) t = subst.Apply(t);
+  for (logic::Atom& a : out.body) a = subst.Apply(a);
+  return out;
+}
+
+std::string CaqlQuery::CanonicalKey() const {
+  std::map<std::string, std::string> renaming;
+  auto canon = [&renaming](const logic::Term& t) -> std::string {
+    if (!t.is_variable()) return t.ToString();
+    auto [it, inserted] =
+        renaming.emplace(t.var_name(), StrCat("V", renaming.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::ostringstream os;
+  os << name << (distinct ? "!(" : "(");
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << canon(head_args[i]);
+  }
+  os << "):-";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) os << "&";
+    if (body[i].negated) os << "!";
+    os << body[i].predicate << "(";
+    for (size_t j = 0; j < body[i].args.size(); ++j) {
+      if (j > 0) os << ",";
+      os << canon(body[i].args[j]);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string CaqlQuery::ToString() const {
+  std::ostringstream os;
+  os << (name.empty() ? "q" : name) << (distinct ? " setof" : "") << "(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << head_args[i].ToString();
+  }
+  os << ")";
+  if (!body.empty()) {
+    os << " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) os << " & ";
+      os << body[i].ToString();
+    }
+  }
+  return os.str();
+}
+
+Status CaqlQuery::Validate() const {
+  std::set<std::string> body_vars;
+  logic::CollectVariables(body, &body_vars);
+  for (const logic::Term& t : head_args) {
+    if (t.is_variable() && body_vars.count(t.var_name()) == 0) {
+      return Status::InvalidArgument(
+          StrCat("head variable ", t.var_name(), " of ", name,
+                 " does not occur in the body"));
+    }
+  }
+  bool has_relation = false;
+  std::set<std::string> positive_vars;
+  for (const logic::Atom& a : body) {
+    if (Classify(a) == AtomClass::kRelation) {
+      for (const std::string& v : a.Variables()) positive_vars.insert(v);
+    }
+  }
+  for (const logic::Atom& a : body) {
+    switch (Classify(a)) {
+      case AtomClass::kRelation:
+        has_relation = true;
+        if (a.arity() == 0) {
+          return Status::InvalidArgument(
+              StrCat("zero-arity relation atom ", a.predicate));
+        }
+        break;
+      case AtomClass::kNegated:
+        // Safety: every variable of a negated literal must be bound by a
+        // positive relation atom.
+        for (const std::string& v : a.Variables()) {
+          if (positive_vars.count(v) == 0) {
+            return Status::InvalidArgument(
+                StrCat("unsafe negation: variable ", v, " of ",
+                       a.ToString(), " occurs in no positive atom"));
+          }
+        }
+        break;
+      case AtomClass::kComparison:
+      case AtomClass::kEvaluable:
+        break;
+    }
+  }
+  if (!has_relation && !body.empty()) {
+    // Pure comparison/evaluable bodies are only legal when fully ground.
+    for (const logic::Atom& a : body) {
+      if (!a.IsGround()) {
+        return Status::InvalidArgument(
+            StrCat("query ", name,
+                   " has no relation atom but non-ground built-ins"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CaqlQuery> ParseCaql(std::string_view text) {
+  std::string padded(text);
+  // The rule parser requires a terminating '.'.
+  std::string_view trimmed = StrTrim(padded);
+  std::string source(trimmed);
+  if (source.empty() || source.back() != '.') source += '.';
+  BRAID_ASSIGN_OR_RETURN(logic::Rule rule, logic::ParseRuleText(source));
+  CaqlQuery q;
+  q.name = rule.head.predicate;
+  q.head_args = rule.head.args;
+  q.body = rule.body;
+  BRAID_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+}  // namespace braid::caql

@@ -1,0 +1,105 @@
+#include "cms/advice_manager.h"
+
+#include "logic/unify.h"
+
+namespace braid::cms {
+
+void AdviceManager::BeginSession(advice::AdviceSet advice) {
+  advice_ = std::move(advice);
+  has_advice_ = true;
+  queries_seen_ = 0;
+  tracker_.reset();
+  if (advice_.path_expression != nullptr) {
+    tracker_ = std::make_unique<advice::PathTracker>(advice_.path_expression);
+  }
+}
+
+void AdviceManager::OnQuery(const std::string& view_id) {
+  ++queries_seen_;
+  if (tracker_ != nullptr && !view_id.empty()) {
+    tracker_->Advance(view_id);
+  }
+}
+
+std::set<std::string> AdviceManager::PrefetchCandidates() const {
+  if (tracker_ == nullptr) return {};
+  return tracker_->PredictNext();
+}
+
+bool AdviceManager::ShouldCacheResult(const std::string& view_id) const {
+  if (tracker_ == nullptr || view_id.empty()) return true;
+  // Cache unless the tracker proves the view cannot appear again.
+  return tracker_->MinDistanceTo(view_id).has_value();
+}
+
+std::vector<std::string> AdviceManager::IndexHints(
+    const std::string& view_id) const {
+  const advice::ViewSpec* view = FindView(view_id);
+  if (view == nullptr) return {};
+  return view->ConsumerVariables();
+}
+
+bool AdviceManager::LazyHint(const std::string& view_id) const {
+  const advice::ViewSpec* view = FindView(view_id);
+  if (view == nullptr) return false;
+  return view->AllProducers();
+}
+
+std::optional<size_t> AdviceManager::PredictedDistance(
+    const std::string& view_id) const {
+  if (tracker_ == nullptr || view_id.empty()) return std::nullopt;
+  return tracker_->MinDistanceTo(view_id);
+}
+
+bool AdviceManager::ShouldGeneralize(const std::string& view_id,
+                                     const caql::CaqlQuery& instance) const {
+  if (!has_advice_) return false;
+  // Trigger 1: the view may recur — the general form will answer the later
+  // instances with different constants.
+  if (tracker_ != nullptr && !view_id.empty() &&
+      tracker_->MinDistanceTo(view_id).has_value()) {
+    return true;
+  }
+  // Trigger 2: another view specification contains a more general
+  // occurrence of one of the instance's constant-bearing atoms (the
+  // paper's b1(X,Y)-in-d3 subsumes b1(c1,Y) example).
+  for (const logic::Atom& q_atom : instance.RelationAtoms()) {
+    if (q_atom.IsGround() || q_atom.Variables().size() == q_atom.arity()) {
+      // Only atoms mixing constants and variables benefit.
+      if (q_atom.Variables().size() == q_atom.arity()) continue;
+    }
+    for (const advice::ViewSpec& other : advice_.view_specs) {
+      if (other.id == view_id) continue;
+      for (const logic::Atom& o_atom : other.body) {
+        if (o_atom.predicate != q_atom.predicate ||
+            o_atom.arity() != q_atom.arity()) {
+          continue;
+        }
+        auto match = logic::MatchOneWay(o_atom, q_atom);
+        if (!match.has_value()) continue;
+        // Strictly more general: some constant of q_atom maps to a
+        // variable of o_atom.
+        for (size_t i = 0; i < q_atom.arity(); ++i) {
+          if (q_atom.args[i].is_constant() && o_atom.args[i].is_variable()) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool AdviceManager::SessionRelevant(const std::string& predicate) const {
+  if (!has_advice_) return false;
+  for (const std::string& b : advice_.base_relations) {
+    if (b == predicate) return true;
+  }
+  return false;
+}
+
+size_t AdviceManager::tracker_mispredictions() const {
+  return tracker_ == nullptr ? 0 : tracker_->mispredictions();
+}
+
+}  // namespace braid::cms

@@ -1,0 +1,88 @@
+#ifndef BRAID_CMS_ADVICE_MANAGER_H_
+#define BRAID_CMS_ADVICE_MANAGER_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advice/advice.h"
+#include "advice/path_tracker.h"
+#include "caql/caql_query.h"
+
+namespace braid::cms {
+
+/// The Advice Manager (paper Fig. 5): holds the advice received from the IE
+/// at session start, tracks the session's position in the path expression,
+/// and answers the planning questions of §4.2 — prefetching, result
+/// caching, replacement priority, attribute indexing, lazy-vs-eager, and
+/// query generalization. All answers degrade gracefully when a piece of
+/// advice is absent (the CMS functions without advice; paper §3).
+class AdviceManager {
+ public:
+  AdviceManager() = default;
+
+  /// Installs the advice for a new session, resetting the tracker.
+  void BeginSession(advice::AdviceSet advice);
+
+  bool has_advice() const { return has_advice_; }
+  const advice::AdviceSet& advice() const { return advice_; }
+
+  /// Records the arrival of an IE query against `view_id`, advancing the
+  /// path tracker.
+  void OnQuery(const std::string& view_id);
+
+  /// View ids that may be requested next (prefetch candidates), given the
+  /// current tracker position. Empty without a path expression.
+  std::set<std::string> PrefetchCandidates() const;
+
+  /// Whether the result of a query against `view_id` is worth caching:
+  /// true unless the path expression proves the view cannot recur ("It may
+  /// also choose not to cache the relation if there are no other predicted
+  /// requests for it", §4.2.1).
+  bool ShouldCacheResult(const std::string& view_id) const;
+
+  /// Head variables of the view annotated as consumers — the "prime
+  /// candidates for indexing" (§4.2.1).
+  std::vector<std::string> IndexHints(const std::string& view_id) const;
+
+  /// True when the §5.3.3 guideline selects lazy evaluation: every
+  /// annotated head variable is a producer.
+  bool LazyHint(const std::string& view_id) const;
+
+  /// Minimum predicted distance (in queries) until `view_id` may be
+  /// requested again; nullopt when unknown or impossible. Drives
+  /// replacement decisions.
+  std::optional<size_t> PredictedDistance(const std::string& view_id) const;
+
+  /// The simplest form of advice (§4.2): is `predicate` in the session's
+  /// relevant-base-relation list? "Even this simplest form of advice will
+  /// provide the CMS with significant knowledge about an AI query" — the
+  /// cache manager uses it to prefer evicting session-irrelevant elements.
+  bool SessionRelevant(const std::string& predicate) const;
+
+  /// Whether a constant-bound instance of `view_id` should be generalized
+  /// before remote execution (§5.3.1): the view may recur (so the general
+  /// form will be reused with other constants), or another view spec
+  /// contains a more general occurrence of one of its atoms.
+  bool ShouldGeneralize(const std::string& view_id,
+                        const caql::CaqlQuery& instance) const;
+
+  const advice::ViewSpec* FindView(const std::string& id) const {
+    return advice_.FindView(id);
+  }
+
+  size_t queries_seen() const { return queries_seen_; }
+  size_t tracker_mispredictions() const;
+
+ private:
+  advice::AdviceSet advice_;
+  bool has_advice_ = false;
+  std::unique_ptr<advice::PathTracker> tracker_;
+  size_t queries_seen_ = 0;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_ADVICE_MANAGER_H_

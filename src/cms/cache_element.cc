@@ -1,0 +1,58 @@
+#include "cms/cache_element.h"
+
+#include <sstream>
+
+#include "relational/operators.h"
+
+namespace braid::cms {
+
+std::shared_ptr<const rel::HashIndex> CacheElement::index(size_t column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const rel::HashIndex> CacheElement::EnsureIndex(size_t column) {
+  auto it = indexes_.find(column);
+  if (it != indexes_.end()) return it->second;
+  if (extension_ == nullptr) return nullptr;
+  auto index = std::make_shared<rel::HashIndex>(*extension_, column);
+  indexes_.emplace(column, index);
+  return index;
+}
+
+std::shared_ptr<const rel::Relation> CacheElement::EnsureSorted(
+    const std::vector<size_t>& columns) {
+  auto it = sorted_.find(columns);
+  if (it != sorted_.end()) return it->second;
+  if (extension_ == nullptr) return nullptr;
+  auto rep =
+      std::make_shared<rel::Relation>(rel::Sort(*extension_, columns));
+  sorted_.emplace(columns, rep);
+  return rep;
+}
+
+std::shared_ptr<const rel::Relation> CacheElement::sorted(
+    const std::vector<size_t>& columns) const {
+  auto it = sorted_.find(columns);
+  return it == sorted_.end() ? nullptr : it->second;
+}
+
+size_t CacheElement::ByteSize() const {
+  size_t total = 128;  // definition + bookkeeping
+  if (extension_ != nullptr) total += extension_->ByteSize();
+  for (const auto& [col, idx] : indexes_) total += idx->ByteSize();
+  for (const auto& [cols, rep] : sorted_) total += rep->ByteSize();
+  return total;
+}
+
+std::string CacheElement::ToString() const {
+  std::ostringstream os;
+  os << id_ << ": " << definition_.ToString() << " ["
+     << (is_materialized()
+             ? std::to_string(extension_->NumTuples()) + " tuples"
+             : "generator")
+     << ", " << ByteSize() << " bytes, hits=" << stats_.hits << "]";
+  return os.str();
+}
+
+}  // namespace braid::cms

@@ -1,0 +1,103 @@
+#ifndef BRAID_CMS_CACHE_ELEMENT_H_
+#define BRAID_CMS_CACHE_ELEMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "caql/caql_query.h"
+#include "relational/index.h"
+#include "relational/relation.h"
+
+namespace braid::cms {
+
+/// Usage metadata kept per cache element: the "historical meta-data to
+/// support cache replacement and accumulate performance measurement
+/// statistics" of §5.4. Sequence numbers come from the CMS's logical
+/// clock (one tick per IE query).
+struct CacheElementStats {
+  uint64_t created_seq = 0;
+  uint64_t last_used_seq = 0;
+  size_t hits = 0;
+  double cost_to_recompute_ms = 0;  // estimated remote cost saved per hit
+};
+
+/// A cache element: a relation defined by a CAQL expression (paper §5).
+/// Materialized elements hold an extension (shared, immutable — streams and
+/// generators may reference it after eviction); generator-form elements
+/// hold only the definition and are evaluated lazily from other cached
+/// data by the Query Processor.
+///
+/// Elements may carry hash indexes over extension columns ("attribute
+/// indexing", built when advice marks the column's variable as a consumer).
+class CacheElement {
+ public:
+  /// Materialized element.
+  CacheElement(std::string id, caql::CaqlQuery definition,
+               std::shared_ptr<const rel::Relation> extension)
+      : id_(std::move(id)),
+        definition_(std::move(definition)),
+        extension_(std::move(extension)) {}
+
+  /// Generator-form element (definition only).
+  CacheElement(std::string id, caql::CaqlQuery definition)
+      : id_(std::move(id)), definition_(std::move(definition)) {}
+
+  const std::string& id() const { return id_; }
+  const caql::CaqlQuery& definition() const { return definition_; }
+
+  bool is_materialized() const { return extension_ != nullptr; }
+  const std::shared_ptr<const rel::Relation>& extension() const {
+    return extension_;
+  }
+
+  /// View-spec id this element originated from (for advice lookups); empty
+  /// when the element was not created from a view specification.
+  const std::string& origin_view() const { return origin_view_; }
+  void set_origin_view(std::string view) { origin_view_ = std::move(view); }
+
+  /// The index on `column`, or nullptr.
+  std::shared_ptr<const rel::HashIndex> index(size_t column) const;
+
+  /// Builds (or returns the existing) hash index on `column`. Requires a
+  /// materialized extension.
+  std::shared_ptr<const rel::HashIndex> EnsureIndex(size_t column);
+
+  /// Co-existing alternative representation (paper §5.2): the extension
+  /// sorted by `columns`, built on first request and shared by every
+  /// later use that needs the same ordering. Returns nullptr for
+  /// generator-form elements.
+  std::shared_ptr<const rel::Relation> EnsureSorted(
+      const std::vector<size_t>& columns);
+
+  /// The sorted representation for `columns` if already built.
+  std::shared_ptr<const rel::Relation> sorted(
+      const std::vector<size_t>& columns) const;
+
+  /// Number of alternative (sorted) representations currently held.
+  size_t NumSortedRepresentations() const { return sorted_.size(); }
+
+  /// Bytes consumed by the extension plus indexes (a small constant for
+  /// generator-form elements).
+  size_t ByteSize() const;
+
+  CacheElementStats& stats() { return stats_; }
+  const CacheElementStats& stats() const { return stats_; }
+
+  std::string ToString() const;
+
+ private:
+  std::string id_;
+  caql::CaqlQuery definition_;
+  std::shared_ptr<const rel::Relation> extension_;  // null => generator form
+  std::string origin_view_;
+  std::map<size_t, std::shared_ptr<const rel::HashIndex>> indexes_;
+  std::map<std::vector<size_t>, std::shared_ptr<const rel::Relation>> sorted_;
+  CacheElementStats stats_;
+};
+
+using CacheElementPtr = std::shared_ptr<CacheElement>;
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_CACHE_ELEMENT_H_

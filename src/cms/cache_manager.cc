@@ -1,0 +1,60 @@
+#include "cms/cache_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace braid::cms {
+
+bool CacheManager::Insert(CacheElementPtr element) {
+  const size_t size = element->ByteSize();
+  if (size > budget_bytes_) {
+    ++stats_.rejected_too_large;
+    return false;
+  }
+  element->stats().created_seq = clock_;
+  element->stats().last_used_seq = clock_;
+  const size_t current = model_.TotalBytes();
+  if (current + size > budget_bytes_) {
+    MakeRoom(current + size - budget_bytes_, element->id());
+  }
+  model_.Register(std::move(element));
+  ++stats_.insertions;
+  return true;
+}
+
+void CacheManager::Touch(const std::string& id) {
+  CacheElementPtr e = model_.Find(id);
+  if (e == nullptr) return;
+  e->stats().last_used_seq = clock_;
+  ++e->stats().hits;
+}
+
+void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
+  while (needed > 0) {
+    // Victim selection: elements not predicted within the horizon first,
+    // then by farthest predicted distance, then least recently used.
+    CacheElementPtr victim;
+    // Rank: (protected, distance, last_used). Larger rank = better victim.
+    auto rank = [this](const CacheElement& e) {
+      std::optional<size_t> dist;
+      if (advisor_) dist = advisor_(e);
+      const bool is_protected = dist.has_value() && *dist < horizon_;
+      const size_t d =
+          dist.has_value() ? *dist : std::numeric_limits<size_t>::max();
+      return std::make_tuple(is_protected ? 0 : 1, d,
+                             std::numeric_limits<uint64_t>::max() -
+                                 e.stats().last_used_seq);
+    };
+    for (const auto& [id, e] : model_.elements()) {
+      if (id == exclude) continue;
+      if (victim == nullptr || rank(*e) > rank(*victim)) victim = e;
+    }
+    if (victim == nullptr) return;  // Nothing evictable.
+    const size_t freed = victim->ByteSize();
+    model_.Remove(victim->id());
+    ++stats_.evictions;
+    needed = freed >= needed ? 0 : needed - freed;
+  }
+}
+
+}  // namespace braid::cms

@@ -1,0 +1,72 @@
+#ifndef BRAID_CMS_CACHE_MANAGER_H_
+#define BRAID_CMS_CACHE_MANAGER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cms/cache_model.h"
+
+namespace braid::cms {
+
+/// Counters published by the cache manager.
+struct CacheManagerStats {
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t rejected_too_large = 0;
+};
+
+/// Returns the advice-predicted minimum distance (in queries) until the
+/// element may be needed again, or nullopt when there is no prediction.
+/// Provided by the Advice Manager; plain LRU is used when absent.
+using ReplacementAdvisor =
+    std::function<std::optional<size_t>(const CacheElement&)>;
+
+/// Owns the cache within a byte budget and implements replacement: LRU
+/// order "which may be modified due to advice" (paper §5.4). When advice
+/// predicts an element will be needed within the replacement horizon it is
+/// protected; among the rest, the victim is the element predicted farthest
+/// in the future, breaking ties by least recent use.
+class CacheManager {
+ public:
+  CacheManager(size_t budget_bytes, size_t replacement_horizon)
+      : budget_bytes_(budget_bytes), horizon_(replacement_horizon) {}
+
+  CacheModel& model() { return model_; }
+  const CacheModel& model() const { return model_; }
+
+  void set_replacement_advisor(ReplacementAdvisor advisor) {
+    advisor_ = std::move(advisor);
+  }
+
+  /// Advances the logical clock (call once per IE query).
+  void Tick() { ++clock_; }
+  uint64_t clock() const { return clock_; }
+
+  /// Inserts `element`, evicting as needed. Returns false if the element
+  /// alone exceeds the budget (it is not cached).
+  bool Insert(CacheElementPtr element);
+
+  /// Marks a use of the element for LRU purposes.
+  void Touch(const std::string& id);
+
+  size_t budget_bytes() const { return budget_bytes_; }
+  const CacheManagerStats& stats() const { return stats_; }
+
+ private:
+  /// Evicts elements until at least `needed` bytes are free (or nothing
+  /// evictable remains). `exclude` is never evicted.
+  void MakeRoom(size_t needed, const std::string& exclude);
+
+  CacheModel model_;
+  size_t budget_bytes_;
+  size_t horizon_;
+  uint64_t clock_ = 0;
+  ReplacementAdvisor advisor_;
+  CacheManagerStats stats_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_CACHE_MANAGER_H_

@@ -1,0 +1,106 @@
+#include "cms/cache_model.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace braid::cms {
+
+std::string CacheModel::NextId() { return StrCat("E", next_id_++); }
+
+void CacheModel::Register(CacheElementPtr element) {
+  const std::string& id = element->id();
+  Remove(id);
+  for (const logic::Atom& a : element->definition().RelationAtoms()) {
+    by_predicate_[a.predicate].insert(id);
+  }
+  by_canonical_key_[element->definition().CanonicalKey()] = id;
+  elements_[id] = std::move(element);
+}
+
+void CacheModel::Remove(const std::string& id) {
+  auto it = elements_.find(id);
+  if (it == elements_.end()) return;
+  for (const logic::Atom& a : it->second->definition().RelationAtoms()) {
+    auto pit = by_predicate_.find(a.predicate);
+    if (pit != by_predicate_.end()) {
+      pit->second.erase(id);
+      if (pit->second.empty()) by_predicate_.erase(pit);
+    }
+  }
+  const std::string key = it->second->definition().CanonicalKey();
+  auto kit = by_canonical_key_.find(key);
+  if (kit != by_canonical_key_.end() && kit->second == id) {
+    by_canonical_key_.erase(kit);
+  }
+  elements_.erase(it);
+}
+
+CacheElementPtr CacheModel::Find(const std::string& id) const {
+  auto it = elements_.find(id);
+  return it == elements_.end() ? nullptr : it->second;
+}
+
+std::vector<CacheElementPtr> CacheModel::ByPredicate(
+    const std::string& predicate) const {
+  std::vector<CacheElementPtr> out;
+  auto it = by_predicate_.find(predicate);
+  if (it == by_predicate_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& id : it->second) {
+    auto eit = elements_.find(id);
+    if (eit != elements_.end()) out.push_back(eit->second);
+  }
+  return out;
+}
+
+CacheElementPtr CacheModel::ByCanonicalKey(const std::string& key) const {
+  auto it = by_canonical_key_.find(key);
+  return it == by_canonical_key_.end() ? nullptr : Find(it->second);
+}
+
+bool CacheModel::HasMaterializedFor(const std::string& predicate) const {
+  auto it = by_predicate_.find(predicate);
+  if (it == by_predicate_.end()) return false;
+  for (const std::string& id : it->second) {
+    auto eit = elements_.find(id);
+    if (eit != elements_.end() && eit->second->is_materialized()) return true;
+  }
+  return false;
+}
+
+rel::Relation CacheModel::AsRelation() const {
+  rel::Relation out("cache_model",
+                    rel::Schema::FromNames(
+                        {"e_id", "e_def", "form", "tuples", "bytes", "hits"}));
+  for (const auto& [id, e] : elements_) {
+    out.AppendUnchecked(
+        {rel::Value::String(id),
+         rel::Value::String(e->definition().ToString()),
+         rel::Value::String(e->is_materialized() ? "extension" : "generator"),
+         rel::Value::Int(e->is_materialized()
+                             ? static_cast<int64_t>(e->extension()->NumTuples())
+                             : 0),
+         rel::Value::Int(static_cast<int64_t>(e->ByteSize())),
+         rel::Value::Int(static_cast<int64_t>(e->stats().hits))});
+  }
+  return out;
+}
+
+size_t CacheModel::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [id, e] : elements_) total += e->ByteSize();
+  return total;
+}
+
+std::string CacheModel::ToString() const {
+  std::ostringstream os;
+  os << "cache: " << elements_.size() << " elements, " << TotalBytes()
+     << " bytes";
+  for (const auto& [id, e] : elements_) {
+    os << "\n  " << e->ToString();
+  }
+  return os.str();
+}
+
+}  // namespace braid::cms

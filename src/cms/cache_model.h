@@ -1,0 +1,76 @@
+#ifndef BRAID_CMS_CACHE_MODEL_H_
+#define BRAID_CMS_CACHE_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cms/cache_element.h"
+
+namespace braid::cms {
+
+/// The cache model: meta-information about what is in the cache (paper §3:
+/// "the CMS controls the cache and the cache model (i.e., meta-information
+/// about the cache)"). Conceptually a relation (E_id, E_def, ...); here a
+/// registry with two access paths the subsumption step needs:
+///  * by element id, and
+///  * by predicate name — the "(predicate name, cache element)" index of
+///    §5.3.2 step 1, so only elements mentioning a query's predicates are
+///    considered for subsumption.
+/// A third map keys materialized results by canonical definition for the
+/// exact-match fast path.
+class CacheModel {
+ public:
+  CacheModel() = default;
+
+  /// Fresh element id ("E1", "E2", ...).
+  std::string NextId();
+
+  /// Registers an element under its id, predicate index, and canonical
+  /// key. Replaces any same-id entry.
+  void Register(CacheElementPtr element);
+
+  /// Removes the element (no-op if absent).
+  void Remove(const std::string& id);
+
+  CacheElementPtr Find(const std::string& id) const;
+
+  /// Elements whose definitions mention `predicate`.
+  std::vector<CacheElementPtr> ByPredicate(const std::string& predicate) const;
+
+  /// Element whose definition has this canonical key, or null.
+  CacheElementPtr ByCanonicalKey(const std::string& key) const;
+
+  const std::map<std::string, CacheElementPtr>& elements() const {
+    return elements_;
+  }
+  size_t size() const { return elements_.size(); }
+
+  /// Total bytes across all elements.
+  size_t TotalBytes() const;
+
+  /// True if some materialized element's definition mentions `predicate` —
+  /// the signal the IE's shaper uses to prefer conjunct orders that hit
+  /// cache-resident data.
+  bool HasMaterializedFor(const std::string& predicate) const;
+
+  /// The cache model *as a relation* — the paper's §5.3.2 presentation
+  /// ("a relation of type (E_id_i, E_def_i, ....)"). Columns: e_id, e_def,
+  /// form ('extension' or 'generator'), tuples, bytes, hits. This is what
+  /// the IE reads when it "access[es] cache model information from the
+  /// CMS" (§3).
+  rel::Relation AsRelation() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, CacheElementPtr> elements_;
+  std::map<std::string, std::set<std::string>> by_predicate_;
+  std::map<std::string, std::string> by_canonical_key_;
+  int next_id_ = 1;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_CACHE_MODEL_H_

@@ -1,0 +1,461 @@
+#include "cms/cms.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace braid::cms {
+
+namespace {
+
+using caql::CaqlQuery;
+using logic::Term;
+
+/// The all-variable generalization of a view instance: the view's own
+/// definition (every consumer constant replaced by its variable).
+CaqlQuery GeneralizedForm(const advice::ViewSpec& view) {
+  return view.AsCaql();
+}
+
+}  // namespace
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kExact:
+      return "exact";
+    case CacheOutcome::kFullLocal:
+      return "full-local";
+    case CacheOutcome::kLazy:
+      return "lazy";
+    case CacheOutcome::kPartial:
+      return "partial";
+    case CacheOutcome::kRemote:
+      return "remote";
+  }
+  return "?";
+}
+
+std::string CmsMetrics::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << ie_queries << " exact=" << exact_hits
+     << " full_local=" << full_local_hits << " lazy=" << lazy_answers
+     << " partial=" << partial_hits << " remote_only=" << remote_only
+     << " prefetches=" << prefetches << " generalizations=" << generalizations
+     << " response_ms=" << response_ms << " local_ms=" << local_ms
+     << " prefetch_ms=" << prefetch_ms;
+  return os.str();
+}
+
+Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
+    : remote_(remote),
+      config_(config),
+      cache_(config.cache_budget_bytes, config.replacement_horizon),
+      rdi_(remote),
+      planner_(&cache_.model(), remote,
+               PlannerConfig{config.enable_subsumption &&
+                             config.enable_caching}),
+      monitor_(&cache_, &rdi_, config.local_per_tuple_ms,
+               config.enable_parallel) {
+  // Replacement advice: the tracker's predicted distance for the
+  // element's origin view; when the tracker has no prediction, the
+  // simplest advice form (the relevant-base-relation list) still protects
+  // session-relevant elements at the horizon boundary.
+  cache_.set_replacement_advisor(
+      [this](const CacheElement& e) -> std::optional<size_t> {
+        if (!config_.enable_advice) return std::nullopt;
+        auto distance = advice_.PredictedDistance(e.origin_view());
+        if (distance.has_value()) return distance;
+        for (const logic::Atom& a : e.definition().RelationAtoms()) {
+          if (advice_.SessionRelevant(a.predicate)) {
+            return config_.replacement_horizon > 0
+                       ? config_.replacement_horizon - 1
+                       : 0;
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+void Cms::BeginSession(advice::AdviceSet advice) {
+  if (!config_.enable_advice) {
+    advice = advice::AdviceSet{};  // The CMS functions without advice.
+  }
+  advice_.BeginSession(std::move(advice));
+}
+
+bool Cms::CachingPolicyAdmits(const CaqlQuery& definition) const {
+  if (!config_.enable_caching) return false;
+  if (!config_.single_relation_only) return true;
+  // CERI86-style policy: only unrestricted single base-relation extensions.
+  if (definition.body.size() != 1) return false;
+  const logic::Atom& atom = definition.body[0];
+  if (atom.IsComparison()) return false;
+  std::vector<std::string> vars = atom.Variables();
+  return vars.size() == atom.arity() &&
+         definition.head_args.size() == atom.arity();
+}
+
+std::string Cms::CacheResult(const CaqlQuery& definition, rel::Relation result,
+                             const std::string& origin_view) {
+  // Result caching is cross-session ("eliminates the cost of recomputing
+  // repeated CAQL queries", §5.3): admission is unconditional within the
+  // policy; a path expression predicting no recurrence lowers the
+  // element's replacement priority instead of blocking admission.
+  if (!CachingPolicyAdmits(definition)) return "";
+  auto element = std::make_shared<CacheElement>(
+      cache_.model().NextId(), definition,
+      std::make_shared<rel::Relation>(std::move(result)));
+  element->set_origin_view(origin_view);
+
+  // Attribute indexing from consumer annotations (paper §4.2.1): index the
+  // extension columns of consumer-annotated head variables.
+  if (config_.enable_indexing && config_.enable_advice &&
+      !origin_view.empty()) {
+    for (const std::string& var : advice_.IndexHints(origin_view)) {
+      for (size_t i = 0; i < definition.head_args.size(); ++i) {
+        const Term& t = definition.head_args[i];
+        if (t.is_variable() && t.var_name() == var) {
+          element->EnsureIndex(i);
+        }
+      }
+    }
+  }
+
+  const std::string id = element->id();
+  return cache_.Insert(std::move(element)) ? id : "";
+}
+
+Result<Cms::EagerExec> Cms::ExecuteEager(const CaqlQuery& query) {
+  BRAID_ASSIGN_OR_RETURN(Plan plan, planner_.PlanQuery(query));
+  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome, monitor_.ExecutePlan(plan));
+  EagerExec exec;
+  exec.result = std::move(outcome.result);
+  exec.response_ms = outcome.response_ms;
+  exec.fully_local = plan.fully_local;
+  for (const PlanSource& s : plan.sources) {
+    if (s.kind == PlanSource::Kind::kElement) {
+      exec.any_element_source = true;
+      break;
+    }
+  }
+  metrics_.local_ms += outcome.local_ms;
+  return exec;
+}
+
+double Cms::EstimateResultBytes(const CaqlQuery& query) const {
+  auto sql = rdi_.Translate(query, query.HeadVariables());
+  if (!sql.ok()) return 0;
+  // ~40 bytes per tuple is representative of the small tuples in play.
+  return remote_->EstimateCardinality(*sql) * 40.0;
+}
+
+Result<bool> Cms::MaybeGeneralize(const CaqlQuery& query,
+                                  const std::string& view_id,
+                                  double* response_ms) {
+  if (!config_.enable_generalization || !config_.enable_advice ||
+      !config_.enable_caching || view_id.empty()) {
+    return false;
+  }
+  const advice::ViewSpec* view = advice_.FindView(view_id);
+  if (view == nullptr) return false;
+  // Only useful when the instance actually binds constants.
+  bool has_constant = false;
+  for (const Term& t : query.head_args) {
+    if (t.is_constant()) has_constant = true;
+  }
+  if (!has_constant) return false;
+  if (!advice_.ShouldGeneralize(view_id, query)) return false;
+
+  const CaqlQuery general = GeneralizedForm(*view);
+  // Already cached (or derivable without remote work)? Nothing to do.
+  if (cache_.model().ByCanonicalKey(general.CanonicalKey()) != nullptr) {
+    return false;
+  }
+  // Too large to pay off?
+  if (EstimateResultBytes(general) >
+      static_cast<double>(config_.cache_budget_bytes) / 2) {
+    return false;
+  }
+  BRAID_ASSIGN_OR_RETURN(EagerExec exec, ExecuteEager(general));
+  *response_ms += exec.response_ms;
+  CacheResult(general, std::move(exec.result), view_id);
+  ++metrics_.generalizations;
+  return true;
+}
+
+void Cms::MaybePrefetch(const std::string& current_view) {
+  if (!config_.enable_prefetch || !config_.enable_advice ||
+      !config_.enable_caching) {
+    return;
+  }
+  for (const std::string& candidate : advice_.PrefetchCandidates()) {
+    if (candidate == current_view) continue;
+    const advice::ViewSpec* view = advice_.FindView(candidate);
+    if (view == nullptr) continue;
+    const CaqlQuery general = GeneralizedForm(*view);
+    if (cache_.model().ByCanonicalKey(general.CanonicalKey()) != nullptr) {
+      continue;  // already prefetched / cached
+    }
+    // Skip when a fully local plan exists (no remote work to hide).
+    auto plan = planner_.PlanQuery(general);
+    if (plan.ok() && plan->fully_local) continue;
+    if (EstimateResultBytes(general) >
+        static_cast<double>(config_.cache_budget_bytes) / 2) {
+      continue;
+    }
+    auto exec = ExecuteEager(general);
+    if (!exec.ok()) continue;
+    // Prefetch cost is hidden behind IE processing: it adds communication
+    // volume but not response time.
+    metrics_.prefetch_ms += exec->response_ms;
+    CacheResult(general, std::move(exec->result), candidate);
+    ++metrics_.prefetches;
+  }
+}
+
+Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
+  BRAID_RETURN_IF_ERROR(query.Validate());
+  cache_.Tick();
+  ++metrics_.ie_queries;
+  const std::string view_id = config_.enable_advice ? query.name : "";
+  advice_.OnQuery(view_id);
+
+  CmsAnswer answer;
+  double response_ms = 0;
+
+  // Exact-match fast path (result caching).
+  if (config_.enable_caching) {
+    CacheElementPtr exact =
+        cache_.model().ByCanonicalKey(query.CanonicalKey());
+    if (exact != nullptr && exact->is_materialized()) {
+      cache_.Touch(exact->id());
+      ++metrics_.exact_hits;
+      answer.relation = exact->extension();
+      answer.stream = std::make_unique<stream::ScanStream>(answer.relation);
+      answer.outcome = CacheOutcome::kExact;
+      answer.response_ms =
+          exact->extension()->NumTuples() * config_.local_per_tuple_ms;
+      metrics_.response_ms += answer.response_ms;
+      MaybePrefetch(view_id);
+      return answer;
+    }
+  }
+
+  // Step 1: possibly evaluate a more general query first.
+  BRAID_ASSIGN_OR_RETURN(bool generalized,
+                         MaybeGeneralize(query, view_id, &response_ms));
+  (void)generalized;
+
+  // Steps 2-3: plan.
+  BRAID_ASSIGN_OR_RETURN(Plan plan, planner_.PlanQuery(query));
+
+  // Lazy evaluation: only when every needed datum is cached (§5.1) and
+  // advice marks the view all-producer (§5.3.3 guideline).
+  if (plan.fully_local && config_.enable_lazy && config_.enable_advice &&
+      advice_.LazyHint(view_id)) {
+    auto stream = monitor_.BuildLazyStream(plan);
+    if (stream.ok()) {
+      ++metrics_.lazy_answers;
+      answer.lazy = true;
+      answer.stream = std::move(*stream);
+      answer.outcome = CacheOutcome::kLazy;
+      answer.response_ms = response_ms;  // setup only; tuples are on demand
+      metrics_.response_ms += answer.response_ms;
+      MaybePrefetch(view_id);
+      return answer;
+    }
+  }
+
+  // Eager execution.
+  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome, monitor_.ExecutePlan(plan));
+  response_ms += outcome.response_ms;
+  metrics_.local_ms += outcome.local_ms;
+
+  bool any_element = false;
+  for (const PlanSource& s : plan.sources) {
+    if (s.kind == PlanSource::Kind::kElement) any_element = true;
+  }
+  if (plan.fully_local) {
+    ++metrics_.full_local_hits;
+    answer.outcome = CacheOutcome::kFullLocal;
+  } else if (any_element) {
+    ++metrics_.partial_hits;
+    answer.outcome = CacheOutcome::kPartial;
+  } else {
+    ++metrics_.remote_only;
+    answer.outcome = CacheOutcome::kRemote;
+  }
+
+  // Result caching (repeats then take the exact-match fast path).
+  {
+    rel::Relation copy = outcome.result;
+    CacheResult(query, std::move(copy), view_id);
+  }
+
+  answer.relation = std::make_shared<rel::Relation>(std::move(outcome.result));
+  answer.stream = std::make_unique<stream::ScanStream>(answer.relation);
+  answer.response_ms = response_ms;
+  metrics_.response_ms += response_ms;
+  MaybePrefetch(view_id);
+  return answer;
+}
+
+Result<rel::Relation> Cms::Aggregate(const CaqlQuery& query,
+                                     const std::vector<std::string>& group_by,
+                                     rel::AggFn fn,
+                                     const std::string& agg_var) {
+  BRAID_ASSIGN_OR_RETURN(CmsAnswer answer, Query(query));
+  rel::Relation input =
+      answer.relation != nullptr
+          ? *answer.relation
+          : stream::Drain(*answer.stream, query.name);
+  std::vector<size_t> group_cols;
+  for (const std::string& g : group_by) {
+    auto col = input.schema().ColumnIndex(g);
+    if (!col.has_value()) {
+      return Status::InvalidArgument(StrCat("group-by variable ", g,
+                                            " not in query head"));
+    }
+    group_cols.push_back(*col);
+  }
+  size_t agg_col = 0;
+  if (fn != rel::AggFn::kCount) {
+    auto col = input.schema().ColumnIndex(agg_var);
+    if (!col.has_value()) {
+      return Status::InvalidArgument(StrCat("aggregate variable ", agg_var,
+                                            " not in query head"));
+    }
+    agg_col = *col;
+  }
+  return rel::Aggregate(input, group_cols,
+                        {rel::AggSpec{fn, agg_col, agg_var.empty()
+                                                       ? std::string("agg")
+                                                       : agg_var}});
+}
+
+Result<rel::Relation> Cms::QuerySorted(
+    const CaqlQuery& query, const std::vector<std::string>& order_by) {
+  // Column positions of the ordering variables within the head.
+  std::vector<size_t> cols;
+  for (const std::string& var : order_by) {
+    bool found = false;
+    for (size_t i = 0; i < query.head_args.size(); ++i) {
+      const Term& t = query.head_args[i];
+      if (t.is_variable() && t.var_name() == var) {
+        cols.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrCat("order-by variable ", var, " is not a head variable"));
+    }
+  }
+
+  BRAID_ASSIGN_OR_RETURN(CmsAnswer answer, Query(query));
+  if (!answer.lazy) {
+    // When the answer lives in the cache (exact hit, or just cached by
+    // Query), keep the sorted copy as a co-existing alternative
+    // representation of that element and reuse it next time.
+    CacheElementPtr element =
+        cache_.model().ByCanonicalKey(query.CanonicalKey());
+    if (element != nullptr && element->is_materialized()) {
+      auto rep = element->sorted(cols);
+      const bool reused = rep != nullptr;
+      if (!reused) rep = element->EnsureSorted(cols);
+      if (rep != nullptr) {
+        if (!reused) {
+          metrics_.local_ms += rep->NumTuples() * config_.local_per_tuple_ms;
+        }
+        return *rep;
+      }
+    }
+  }
+  rel::Relation input = answer.relation != nullptr
+                            ? *answer.relation
+                            : stream::Drain(*answer.stream, query.name);
+  metrics_.local_ms += input.NumTuples() * config_.local_per_tuple_ms;
+  return rel::Sort(input, cols);
+}
+
+Result<rel::Relation> Cms::QueryUnion(
+    const std::vector<CaqlQuery>& branches, bool distinct) {
+  if (branches.empty()) {
+    return Status::InvalidArgument("union of zero branches");
+  }
+  rel::Relation result;
+  bool first = true;
+  for (const CaqlQuery& branch : branches) {
+    BRAID_ASSIGN_OR_RETURN(CmsAnswer answer, Query(branch));
+    rel::Relation part = answer.relation != nullptr
+                             ? *answer.relation
+                             : stream::Drain(*answer.stream, branch.name);
+    if (first) {
+      result = std::move(part);
+      first = false;
+      continue;
+    }
+    if (part.schema().size() != result.schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("union branch ", branch.name, " has arity ",
+                 part.schema().size(), ", expected ",
+                 result.schema().size()));
+    }
+    for (rel::Tuple& t : part.mutable_tuples()) {
+      result.AppendUnchecked(std::move(t));
+    }
+  }
+  if (distinct) {
+    rel::Relation deduped = rel::Distinct(result);
+    deduped.set_name(result.name());
+    return deduped;
+  }
+  return result;
+}
+
+Result<rel::Relation> Cms::TransitiveClosure(const std::string& edge_predicate) {
+  const std::string closure_pred = StrCat("closure$", edge_predicate);
+  CaqlQuery closure_def;
+  closure_def.name = closure_pred;
+  closure_def.head_args = {Term::Var("X"), Term::Var("Y")};
+  closure_def.body = {logic::Atom(closure_pred, {Term::Var("X"),
+                                                 Term::Var("Y")})};
+  if (config_.enable_caching) {
+    CacheElementPtr cached =
+        cache_.model().ByCanonicalKey(closure_def.CanonicalKey());
+    if (cached != nullptr && cached->is_materialized()) {
+      cache_.Touch(cached->id());
+      return *cached->extension();
+    }
+  }
+
+  // Fetch the edge relation (through the normal query path so a cached
+  // copy is reused) and run the fixed-point operator locally.
+  CaqlQuery edges;
+  edges.name = StrCat(edge_predicate, "_edges");
+  edges.head_args = {Term::Var("X"), Term::Var("Y")};
+  edges.body = {logic::Atom(edge_predicate, {Term::Var("X"), Term::Var("Y")})};
+  BRAID_ASSIGN_OR_RETURN(CmsAnswer answer, Query(edges));
+  rel::Relation edge_rel = answer.relation != nullptr
+                               ? *answer.relation
+                               : stream::Drain(*answer.stream, edges.name);
+  LocalWork work;
+  rel::Relation closure =
+      QueryProcessor::TransitiveClosure(edge_rel, 0, 1, &work);
+  metrics_.local_ms += work.tuples_processed * config_.local_per_tuple_ms;
+  metrics_.response_ms += work.tuples_processed * config_.local_per_tuple_ms;
+
+  if (config_.enable_caching && !config_.single_relation_only) {
+    rel::Relation copy = closure;
+    copy.set_name(closure_pred);
+    auto element = std::make_shared<CacheElement>(
+        cache_.model().NextId(), closure_def,
+        std::make_shared<rel::Relation>(std::move(copy)));
+    cache_.Insert(std::move(element));
+  }
+  return closure;
+}
+
+}  // namespace braid::cms

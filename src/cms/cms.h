@@ -1,0 +1,186 @@
+#ifndef BRAID_CMS_CMS_H_
+#define BRAID_CMS_CMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advice/advice.h"
+#include "cms/advice_manager.h"
+#include "cms/cache_manager.h"
+#include "cms/execution_monitor.h"
+#include "cms/planner.h"
+#include "cms/query_processor.h"
+#include "cms/remote_interface.h"
+#include "common/status.h"
+#include "dbms/remote_dbms.h"
+#include "stream/stream_ops.h"
+
+namespace braid::cms {
+
+/// Policy switchboard for the CMS. Each flag corresponds to one of the
+/// paper's techniques, so experiments can ablate them independently; the
+/// baseline coupling modes of §1 are specific settings (see
+/// `src/baselines`).
+struct CmsConfig {
+  size_t cache_budget_bytes = 8ull << 20;
+  bool enable_caching = true;        // off = loose coupling
+  bool enable_subsumption = true;    // off = exact-match reuse only
+  bool single_relation_only = false; // CERI86-style: cache base relations only
+  bool enable_advice = true;
+  bool enable_prefetch = true;
+  bool enable_generalization = true;
+  bool enable_indexing = true;
+  bool enable_lazy = true;
+  bool enable_parallel = true;
+  size_t replacement_horizon = 4;    // advice-protection window (queries)
+  double local_per_tuple_ms = 0.002; // workstation per-tuple cost
+};
+
+/// How a query was answered.
+enum class CacheOutcome {
+  kExact,       // identical cached result
+  kFullLocal,   // derived entirely from cached data via subsumption
+  kLazy,        // generator over cached data
+  kPartial,     // cached data plus a remote subquery
+  kRemote,      // entirely from the remote DBMS
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
+/// Counters accumulated across a session.
+struct CmsMetrics {
+  size_t ie_queries = 0;
+  size_t exact_hits = 0;
+  size_t full_local_hits = 0;
+  size_t lazy_answers = 0;
+  size_t partial_hits = 0;
+  size_t remote_only = 0;
+  size_t prefetches = 0;
+  size_t generalizations = 0;
+  double response_ms = 0;   // simulated time the IE waited
+  double local_ms = 0;      // workstation compute
+  double prefetch_ms = 0;   // remote time hidden behind the session
+  std::string ToString() const;
+};
+
+/// A query answer: materialized relation and/or a stream over it. For lazy
+/// answers `relation` is null and the stream is a generator that computes
+/// tuples on demand from cached data.
+struct CmsAnswer {
+  std::shared_ptr<const rel::Relation> relation;
+  stream::TupleStreamPtr stream;
+  bool lazy = false;
+  CacheOutcome outcome = CacheOutcome::kRemote;
+  double response_ms = 0;
+};
+
+/// The Cache Management System (paper §5): a main-memory relational store
+/// between the inference engine and the remote DBMS. Accepts advice and
+/// CAQL queries, reuses cached views via subsumption, splits residual work
+/// between the local Query Processor and the remote DBMS, and streams
+/// results back to the IE.
+///
+/// The CMS is usable without any advice and by clients other than the IE
+/// (paper §3) — every advice-driven behaviour degrades to a default.
+class Cms {
+ public:
+  Cms(dbms::RemoteDbms* remote, CmsConfig config);
+
+  /// Starts a session: installs advice (ignored when advice is disabled)
+  /// and resets the tracker.
+  void BeginSession(advice::AdviceSet advice);
+
+  /// Answers one IE query.
+  Result<CmsAnswer> Query(const caql::CaqlQuery& query);
+
+  /// CMS-only aggregation service (the remote DML has no aggregates):
+  /// evaluates `query`, then groups by the named head variables and
+  /// applies the aggregate to `agg_var`.
+  Result<rel::Relation> Aggregate(const caql::CaqlQuery& query,
+                                  const std::vector<std::string>& group_by,
+                                  rel::AggFn fn, const std::string& agg_var);
+
+  /// Answers `query` ordered by the named head variables. When the answer
+  /// is a cached extension, the sorted copy is kept as a co-existing
+  /// alternative representation of the element (paper §5.2) and reused by
+  /// later sorted requests; "the case where alternative sortings are
+  /// required" then costs one sort total, not one per use.
+  Result<rel::Relation> QuerySorted(const caql::CaqlQuery& query,
+                                    const std::vector<std::string>& order_by);
+
+  /// CAQL's OR: answers the union of several conjunctive branches (the
+  /// disjunctive queries a compiling IE's DAPs contain, §2). Every branch
+  /// must have the same head arity; each branch benefits from the cache
+  /// independently. With `distinct`, duplicates across branches collapse
+  /// (SETOF over the union).
+  Result<rel::Relation> QueryUnion(
+      const std::vector<caql::CaqlQuery>& branches, bool distinct = false);
+
+  /// CMS-only fixed-point service: the transitive closure of the base
+  /// relation `edge_predicate` (arity 2). The closure is cached under a
+  /// dedicated predicate name and reused on later calls.
+  Result<rel::Relation> TransitiveClosure(const std::string& edge_predicate);
+
+  /// Schema (and statistics) of the remote database — the path by which
+  /// the IE reads schema information "via the CMS" (paper §3).
+  const dbms::Database& RemoteSchema() const { return remote_->database(); }
+
+  CacheManager& cache() { return cache_; }
+  const CacheManager& cache() const { return cache_; }
+  AdviceManager& advice_manager() { return advice_; }
+  const CmsConfig& config() const { return config_; }
+
+  CmsMetrics& metrics() { return metrics_; }
+  void ResetMetrics() { metrics_ = CmsMetrics{}; }
+
+ private:
+  struct EagerExec {
+    rel::Relation result;
+    double response_ms = 0;
+    bool any_element_source = false;
+    bool fully_local = false;
+  };
+
+  /// Plans and eagerly executes `query` (no caching of the result here).
+  Result<EagerExec> ExecuteEager(const caql::CaqlQuery& query);
+
+  /// Caches `result` as a materialized element defined by `definition`,
+  /// subject to the caching policy; builds advised indexes. Returns the
+  /// element id or "" when not cached.
+  std::string CacheResult(const caql::CaqlQuery& definition,
+                          rel::Relation result,
+                          const std::string& origin_view);
+
+  /// Generalization decision + execution (step 1 of §5.3): if advice says
+  /// the constants of `query` will vary across a recurring view, execute
+  /// the all-variable generalization and cache it. Charges the cost to the
+  /// current response time. Returns true if a generalization was cached.
+  Result<bool> MaybeGeneralize(const caql::CaqlQuery& query,
+                               const std::string& view_id,
+                               double* response_ms);
+
+  /// Prefetch: execute predicted-next views (in generalized form) whose
+  /// data is not yet locally derivable. Costs accrue to prefetch_ms, not
+  /// to any query's response.
+  void MaybePrefetch(const std::string& current_view);
+
+  /// Estimated bytes of the result of `query` if fetched remotely.
+  double EstimateResultBytes(const caql::CaqlQuery& query) const;
+
+  /// True if the caching policy admits an element with this definition.
+  bool CachingPolicyAdmits(const caql::CaqlQuery& definition) const;
+
+  dbms::RemoteDbms* remote_;
+  CmsConfig config_;
+  CacheManager cache_;
+  AdviceManager advice_;
+  RemoteDbmsInterface rdi_;
+  QueryPlanner planner_;
+  ExecutionMonitor monitor_;
+  CmsMetrics metrics_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_CMS_H_

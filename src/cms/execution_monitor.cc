@@ -1,0 +1,265 @@
+#include "cms/execution_monitor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace braid::cms {
+
+namespace {
+
+using logic::Atom;
+using logic::Term;
+
+/// Builds a predicate over a (possibly concatenated) schema for a
+/// comparison atom, resolving variables by first-occurrence column name.
+Result<rel::PredicatePtr> ComparisonPredicate(const rel::Schema& schema,
+                                              const Atom& comp) {
+  auto col_of = [&schema](const Term& t) -> std::optional<size_t> {
+    if (t.is_constant()) return std::nullopt;
+    return schema.ColumnIndex(t.var_name());
+  };
+  const Term& lhs = comp.args[0];
+  const Term& rhs = comp.args[1];
+  auto lc = col_of(lhs);
+  auto rc = col_of(rhs);
+  const rel::CompareOp op = comp.comparison_op();
+  if (lhs.is_variable() && !lc.has_value()) {
+    return Status::FailedPrecondition(
+        StrCat("variable ", lhs.var_name(), " unbound in lazy pipeline"));
+  }
+  if (rhs.is_variable() && !rc.has_value()) {
+    return Status::FailedPrecondition(
+        StrCat("variable ", rhs.var_name(), " unbound in lazy pipeline"));
+  }
+  if (lc.has_value() && rc.has_value()) {
+    return rel::Predicate::ColumnColumn(*lc, op, *rc);
+  }
+  if (lc.has_value()) {
+    return rel::Predicate::ColumnConst(*lc, op, rhs.value());
+  }
+  if (rc.has_value()) {
+    return rel::Predicate::ColumnConst(*rc, rel::ReverseCompareOp(op),
+                                       lhs.value());
+  }
+  // Ground comparison.
+  if (rel::EvalCompare(op, lhs.value(), rhs.value())) {
+    return rel::Predicate::True();
+  }
+  return rel::Predicate::Not(rel::Predicate::True());
+}
+
+}  // namespace
+
+Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
+    const PlanSource& source, LocalWork* work) {
+  CacheElementPtr element = cache_->model().Find(source.element_id);
+  if (element == nullptr || !element->is_materialized()) {
+    return Status::NotFound(
+        StrCat("cache element ", source.element_id, " vanished"));
+  }
+  cache_->Touch(source.element_id);
+  const std::shared_ptr<const rel::Relation>& ext = element->extension();
+
+  // Apply residual selections, using a hash index for the first
+  // column-equals-constant selection when one exists.
+  rel::Relation selected;
+  const SubsumptionMatch& match = source.match;
+  size_t index_sel = match.selections.size();
+  for (size_t i = 0; i < match.selections.size(); ++i) {
+    const ResidualSelection& s = match.selections[i];
+    if (!s.rhs_is_column && s.op == rel::CompareOp::kEq &&
+        element->index(s.column) != nullptr) {
+      index_sel = i;
+      break;
+    }
+  }
+  std::vector<rel::PredicatePtr> preds;
+  for (size_t i = 0; i < match.selections.size(); ++i) {
+    if (i == index_sel) continue;
+    const ResidualSelection& s = match.selections[i];
+    preds.push_back(s.rhs_is_column
+                        ? rel::Predicate::ColumnColumn(s.column, s.op,
+                                                       s.rhs_column)
+                        : rel::Predicate::ColumnConst(s.column, s.op,
+                                                      s.constant));
+  }
+  rel::PredicatePtr pred =
+      preds.empty() ? rel::Predicate::True() : rel::Predicate::And(preds);
+
+  selected = rel::Relation(element->id(), ext->schema());
+  if (index_sel < match.selections.size()) {
+    const ResidualSelection& s = match.selections[index_sel];
+    auto index = element->index(s.column);
+    const std::vector<size_t>& rows = index->Lookup(s.constant);
+    if (work != nullptr) work->tuples_processed += rows.size();
+    for (size_t row : rows) {
+      const rel::Tuple& t = ext->tuple(row);
+      if (pred->Eval(t)) selected.AppendUnchecked(t);
+    }
+  } else {
+    if (work != nullptr) work->tuples_processed += ext->NumTuples();
+    for (const rel::Tuple& t : ext->tuples()) {
+      if (pred->Eval(t)) selected.AppendUnchecked(t);
+    }
+  }
+
+  // Project the needed variables and name columns after them.
+  std::vector<size_t> cols;
+  std::vector<rel::Column> names;
+  for (const auto& [var, col] : match.var_to_column) {
+    cols.push_back(col);
+    names.push_back(rel::Column{var, rel::ValueType::kNull});
+  }
+  rel::Relation projected = rel::Project(selected, cols);
+  rel::Relation out(element->id(), rel::Schema(std::move(names)));
+  out.mutable_tuples() = std::move(projected.mutable_tuples());
+  return out;
+}
+
+Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
+  ExecutionOutcome outcome;
+  LocalWork prep_work;
+
+  std::vector<rel::Relation> bindings;
+  for (const PlanSource& source : plan.sources) {
+    if (source.kind == PlanSource::Kind::kElement) {
+      BRAID_ASSIGN_OR_RETURN(rel::Relation b,
+                             MaterializeElementSource(source, &prep_work));
+      bindings.push_back(std::move(b));
+    } else {
+      BRAID_ASSIGN_OR_RETURN(
+          RemoteFetch fetch,
+          rdi_->Fetch(source.remote_query, source.remote_vars));
+      outcome.remote_ms += fetch.cost.total_ms;
+      ++outcome.remote_queries;
+      bindings.push_back(std::move(fetch.bindings));
+    }
+  }
+
+  // Anti sources (negated literals): fetched like positive sources but
+  // applied as anti-joins during assembly.
+  std::vector<rel::Relation> anti_bindings;
+  for (const PlanSource& source : plan.anti_sources) {
+    if (source.kind == PlanSource::Kind::kElement) {
+      BRAID_ASSIGN_OR_RETURN(rel::Relation b,
+                             MaterializeElementSource(source, &prep_work));
+      anti_bindings.push_back(std::move(b));
+    } else {
+      BRAID_ASSIGN_OR_RETURN(
+          RemoteFetch fetch,
+          rdi_->Fetch(source.remote_query, source.remote_vars));
+      outcome.remote_ms += fetch.cost.total_ms;
+      ++outcome.remote_queries;
+      anti_bindings.push_back(std::move(fetch.bindings));
+    }
+  }
+
+  LocalWork assembly_work;
+  BRAID_ASSIGN_OR_RETURN(
+      outcome.result,
+      QueryProcessor::Assemble(plan.query, std::move(bindings),
+                               plan.residual_comparisons, plan.evaluables,
+                               &assembly_work, std::move(anti_bindings)));
+
+  const double prep_ms = prep_work.tuples_processed * local_per_tuple_ms_;
+  const double assembly_ms =
+      assembly_work.tuples_processed * local_per_tuple_ms_;
+  outcome.local_ms = prep_ms + assembly_ms;
+  outcome.work.tuples_processed =
+      prep_work.tuples_processed + assembly_work.tuples_processed;
+  // Cache-side preparation overlaps the remote subquery when parallel
+  // execution is enabled; final assembly needs both inputs.
+  outcome.response_ms =
+      (parallel_ ? std::max(outcome.remote_ms, prep_ms)
+                 : outcome.remote_ms + prep_ms) +
+      assembly_ms;
+  return outcome;
+}
+
+Result<stream::TupleStreamPtr> ExecutionMonitor::BuildLazyStream(
+    const Plan& plan) {
+  if (!plan.fully_local) {
+    return Status::FailedPrecondition(
+        "lazy evaluation requires all data in the cache");
+  }
+  if (!plan.evaluables.empty()) {
+    return Status::Unimplemented("lazy evaluation with evaluable functions");
+  }
+  if (!plan.anti_sources.empty()) {
+    return Status::Unimplemented("lazy evaluation with negation");
+  }
+  for (const Term& t : plan.query.head_args) {
+    if (!t.is_variable()) {
+      return Status::Unimplemented("lazy evaluation with constant head");
+    }
+  }
+  if (plan.sources.empty()) {
+    return Status::FailedPrecondition("lazy plan has no sources");
+  }
+
+  // Prepare binding relations eagerly (cheap residual selections).
+  LocalWork prep;
+  std::vector<std::shared_ptr<rel::Relation>> bindings;
+  for (const PlanSource& source : plan.sources) {
+    BRAID_ASSIGN_OR_RETURN(rel::Relation b,
+                           MaterializeElementSource(source, &prep));
+    bindings.push_back(std::make_shared<rel::Relation>(std::move(b)));
+  }
+  // Order: smallest first, then connected.
+  std::sort(bindings.begin(), bindings.end(),
+            [](const auto& a, const auto& b) {
+              return a->NumTuples() < b->NumTuples();
+            });
+
+  stream::TupleStreamPtr pipeline =
+      std::make_unique<stream::ScanStream>(bindings.front());
+  for (size_t i = 1; i < bindings.size(); ++i) {
+    const std::shared_ptr<rel::Relation>& right = bindings[i];
+    // Join keys: columns of `right` whose names already occur on the left.
+    std::vector<rel::JoinKey> keys;
+    for (size_t rc = 0; rc < right->schema().size(); ++rc) {
+      auto lc = pipeline->schema().ColumnIndex(right->schema().column(rc).name);
+      if (lc.has_value()) keys.push_back(rel::JoinKey{*lc, rc});
+    }
+    std::shared_ptr<const rel::HashIndex> index;
+    if (!keys.empty()) {
+      index = std::make_shared<rel::HashIndex>(*right, keys[0].right_col);
+    }
+    pipeline = std::make_unique<stream::IndexJoinStream>(
+        std::move(pipeline), right, std::move(keys), std::move(index));
+  }
+
+  // Residual comparisons.
+  if (!plan.residual_comparisons.empty()) {
+    std::vector<rel::PredicatePtr> preds;
+    for (const Atom& comp : plan.residual_comparisons) {
+      BRAID_ASSIGN_OR_RETURN(rel::PredicatePtr p,
+                             ComparisonPredicate(pipeline->schema(), comp));
+      preds.push_back(std::move(p));
+    }
+    pipeline = std::make_unique<stream::SelectStream>(
+        std::move(pipeline), rel::Predicate::And(std::move(preds)));
+  }
+
+  // Head projection.
+  std::vector<size_t> head_cols;
+  for (const Term& t : plan.query.head_args) {
+    auto col = pipeline->schema().ColumnIndex(t.var_name());
+    if (!col.has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("head variable ", t.var_name(), " unbound in lazy plan"));
+    }
+    head_cols.push_back(*col);
+  }
+  pipeline = std::make_unique<stream::ProjectStream>(std::move(pipeline),
+                                                     std::move(head_cols));
+  if (plan.query.distinct) {
+    // SETOF: duplicate suppression stays lazy too.
+    pipeline = std::make_unique<stream::DistinctStream>(std::move(pipeline));
+  }
+  return pipeline;
+}
+
+}  // namespace braid::cms

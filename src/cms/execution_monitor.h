@@ -1,0 +1,64 @@
+#ifndef BRAID_CMS_EXECUTION_MONITOR_H_
+#define BRAID_CMS_EXECUTION_MONITOR_H_
+
+#include <memory>
+
+#include "cms/cache_manager.h"
+#include "cms/planner.h"
+#include "cms/query_processor.h"
+#include "cms/remote_interface.h"
+#include "common/status.h"
+#include "stream/stream_ops.h"
+
+namespace braid::cms {
+
+/// What executing a plan produced and cost. Times are simulated
+/// milliseconds; `response_ms` accounts for the parallel overlap of
+/// cache-side work with the remote subquery when enabled.
+struct ExecutionOutcome {
+  rel::Relation result;
+  double local_ms = 0;
+  double remote_ms = 0;
+  double response_ms = 0;
+  size_t remote_queries = 0;
+  LocalWork work;
+};
+
+/// The Execution Monitor (paper Fig. 5): "coordinates the execution of the
+/// subqueries according to the order specified by the QPO. Subqueries to
+/// the remote DBMS can be executed in parallel with the subqueries to the
+/// Cache Manager."
+class ExecutionMonitor {
+ public:
+  ExecutionMonitor(CacheManager* cache, RemoteDbmsInterface* rdi,
+                   double local_per_tuple_ms, bool parallel)
+      : cache_(cache),
+        rdi_(rdi),
+        local_per_tuple_ms_(local_per_tuple_ms),
+        parallel_(parallel) {}
+
+  /// Executes `plan` eagerly, producing the materialized head projection.
+  Result<ExecutionOutcome> ExecutePlan(const Plan& plan);
+
+  /// Builds a generator (lazy stream) for a fully local plan. Requires:
+  /// no remote sources, no evaluable atoms, and an all-variable head.
+  /// Binding relations are prepared eagerly (they are small residual
+  /// selections over cached extensions); joins, comparisons, and the head
+  /// projection run lazily, one tuple per pull.
+  Result<stream::TupleStreamPtr> BuildLazyStream(const Plan& plan);
+
+ private:
+  /// Converts one element source into a binding relation (columns named by
+  /// the query variables it supplies).
+  Result<rel::Relation> MaterializeElementSource(const PlanSource& source,
+                                                 LocalWork* work);
+
+  CacheManager* cache_;
+  RemoteDbmsInterface* rdi_;
+  double local_per_tuple_ms_;
+  bool parallel_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_EXECUTION_MONITOR_H_

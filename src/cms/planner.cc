@@ -1,0 +1,228 @@
+#include "cms/planner.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace braid::cms {
+
+namespace {
+
+using caql::CaqlQuery;
+using logic::Atom;
+
+}  // namespace
+
+std::string PlanSource::ToString() const {
+  if (kind == Kind::kElement) {
+    return StrCat("cache:", element_id, " ", match.ToString());
+  }
+  return StrCat("remote:", remote_query.ToString());
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream os;
+  os << "plan for " << query.ToString() << (fully_local ? " [local]" : "");
+  for (const PlanSource& s : sources) {
+    os << "\n  " << s.ToString();
+  }
+  for (const PlanSource& s : anti_sources) {
+    os << "\n  anti: " << s.ToString();
+  }
+  if (!residual_comparisons.empty()) {
+    os << "\n  residual:";
+    for (const Atom& c : residual_comparisons) os << " " << c.ToString();
+  }
+  return os.str();
+}
+
+std::vector<std::pair<CacheElementPtr, SubsumptionMatch>>
+QueryPlanner::RelevantElements(const CaqlQuery& query) const {
+  std::vector<std::pair<CacheElementPtr, SubsumptionMatch>> out;
+  if (!config_.enable_subsumption) return out;
+
+  std::set<std::string> considered;
+  for (const Atom& atom : query.RelationAtoms()) {
+    for (const CacheElementPtr& element : model_->ByPredicate(atom.predicate)) {
+      if (!considered.insert(element->id()).second) continue;
+      if (!element->is_materialized()) continue;
+      // All distinct covered-component matches: one element may serve
+      // several components (e.g. both sides of a self-join).
+      for (SubsumptionMatch& match :
+           ComputeSubsumptionAll(element->definition(), query)) {
+        out.emplace_back(element, std::move(match));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query) const {
+  BRAID_RETURN_IF_ERROR(query.Validate());
+  Plan plan;
+  plan.query = query;
+  plan.evaluables = query.EvaluableAtoms();
+
+  const std::vector<Atom> rel_atoms = query.RelationAtoms();
+  const std::vector<Atom> comparisons = query.ComparisonAtoms();
+
+  if (rel_atoms.empty()) {
+    // Pure built-in query: no sources, everything residual/local.
+    plan.residual_comparisons = comparisons;
+    plan.fully_local = true;
+    return plan;
+  }
+
+  // Step 2: relevant cache elements.
+  auto matches = RelevantElements(query);
+
+  // Step 3 (element choice): when several elements can derive the same
+  // component, prefer the cheaper derivation — more coverage first, then
+  // fewer residual selections, then the smaller extension (§5.3.3's
+  // E_101/E_102 vs E_103 example).
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.covered.size() != b.second.covered.size()) {
+                return a.second.covered.size() > b.second.covered.size();
+              }
+              if (a.second.selections.size() != b.second.selections.size()) {
+                return a.second.selections.size() < b.second.selections.size();
+              }
+              return a.first->extension()->NumTuples() <
+                     b.first->extension()->NumTuples();
+            });
+
+  // Greedy disjoint cover of the query's relation atoms.
+  std::vector<bool> covered(rel_atoms.size(), false);
+  for (auto& [element, match] : matches) {
+    bool overlaps = false;
+    for (size_t qi : match.covered) {
+      if (covered[qi]) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    for (size_t qi : match.covered) covered[qi] = true;
+    PlanSource source;
+    source.kind = PlanSource::Kind::kElement;
+    source.element_id = element->id();
+    source.match = std::move(match);
+    plan.sources.push_back(std::move(source));
+    if (std::all_of(covered.begin(), covered.end(),
+                    [](bool c) { return c; })) {
+      break;
+    }
+  }
+
+  // Negated literals: one anti source each, from the cache when a cached
+  // element subsumes the positive form, otherwise from the remote DBMS.
+  for (const Atom& negated : query.NegatedAtoms()) {
+    const Atom positive = negated.Positive();
+    caql::CaqlQuery positive_query;
+    positive_query.name = StrCat(query.name, "_not_", positive.predicate);
+    for (const std::string& v : positive.Variables()) {
+      positive_query.head_args.push_back(logic::Term::Var(v));
+    }
+    positive_query.body = {positive};
+
+    PlanSource anti;
+    bool local = false;
+    if (config_.enable_subsumption) {
+      for (const CacheElementPtr& element :
+           model_->ByPredicate(positive.predicate)) {
+        if (!element->is_materialized()) continue;
+        auto match = ComputeSubsumption(element->definition(), positive_query);
+        if (match.has_value() && match->full) {
+          anti.kind = PlanSource::Kind::kElement;
+          anti.element_id = element->id();
+          anti.match = std::move(*match);
+          local = true;
+          break;
+        }
+      }
+    }
+    if (!local) {
+      anti.kind = PlanSource::Kind::kRemote;
+      anti.remote_query = positive_query;
+      anti.remote_vars = positive.Variables();
+      plan.fully_local = false;
+    }
+    plan.anti_sources.push_back(std::move(anti));
+  }
+
+  // Uncovered atoms form the remote subquery.
+  std::vector<Atom> uncovered;
+  std::set<std::string> uncovered_vars;
+  for (size_t i = 0; i < rel_atoms.size(); ++i) {
+    if (covered[i]) continue;
+    uncovered.push_back(rel_atoms[i]);
+    for (const std::string& v : rel_atoms[i].Variables()) {
+      uncovered_vars.insert(v);
+    }
+  }
+
+  if (uncovered.empty()) {
+    bool anti_remote = false;
+    for (const PlanSource& a : plan.anti_sources) {
+      if (a.kind == PlanSource::Kind::kRemote) anti_remote = true;
+    }
+    plan.fully_local = !anti_remote;
+    plan.residual_comparisons = comparisons;
+    return plan;
+  }
+
+  // Comparisons whose variables live entirely in the remote subquery are
+  // pushed to the server; the rest stay residual.
+  std::vector<Atom> pushed;
+  for (const Atom& comp : comparisons) {
+    bool push = true;
+    for (const std::string& v : comp.Variables()) {
+      if (uncovered_vars.count(v) == 0) {
+        push = false;
+        break;
+      }
+    }
+    if (push) {
+      pushed.push_back(comp);
+    } else {
+      plan.residual_comparisons.push_back(comp);
+    }
+  }
+
+  // Variables the rest of the plan needs from the remote side: head
+  // variables, variables shared with covered atoms or residual built-ins.
+  std::set<std::string> needed;
+  for (const std::string& v : query.HeadVariables()) needed.insert(v);
+  for (size_t i = 0; i < rel_atoms.size(); ++i) {
+    if (!covered[i]) continue;
+    for (const std::string& v : rel_atoms[i].Variables()) needed.insert(v);
+  }
+  {
+    std::set<std::string> builtin_vars;
+    logic::CollectVariables(plan.residual_comparisons, &builtin_vars);
+    logic::CollectVariables(plan.evaluables, &builtin_vars);
+    std::vector<Atom> negated = query.NegatedAtoms();
+    logic::CollectVariables(negated, &builtin_vars);
+    needed.insert(builtin_vars.begin(), builtin_vars.end());
+  }
+
+  PlanSource remote;
+  remote.kind = PlanSource::Kind::kRemote;
+  remote.remote_query.name = StrCat(query.name, "_remote");
+  remote.remote_query.body = uncovered;
+  for (const Atom& comp : pushed) remote.remote_query.body.push_back(comp);
+  for (const std::string& v : uncovered_vars) {
+    if (needed.count(v) > 0) {
+      remote.remote_vars.push_back(v);
+      remote.remote_query.head_args.push_back(logic::Term::Var(v));
+    }
+  }
+  plan.sources.push_back(std::move(remote));
+  plan.fully_local = false;
+  return plan;
+}
+
+}  // namespace braid::cms

@@ -1,0 +1,91 @@
+#ifndef BRAID_CMS_PLANNER_H_
+#define BRAID_CMS_PLANNER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "caql/caql_query.h"
+#include "cms/cache_model.h"
+#include "cms/subsumption.h"
+#include "common/status.h"
+#include "dbms/remote_dbms.h"
+
+namespace braid::cms {
+
+/// One independent input of a plan: either a cache element (with the
+/// subsumption match describing the residual operations) or a remote
+/// subquery. Sources are independent and may execute in parallel — the
+/// cache-side sources on the workstation while the remote subquery runs on
+/// the database server (paper §5: "Support for parallel execution of
+/// subqueries on both the CMS and the remote DBMS").
+struct PlanSource {
+  enum class Kind { kElement, kRemote };
+  Kind kind = Kind::kElement;
+
+  // kElement:
+  std::string element_id;
+  SubsumptionMatch match;
+
+  // kRemote:
+  caql::CaqlQuery remote_query;
+  std::vector<std::string> remote_vars;  // bindings to ship back
+
+  std::string ToString() const;
+};
+
+/// An executable plan: a set of independent sources whose binding
+/// relations are joined, filtered by the residual comparisons, extended by
+/// the evaluable atoms, anti-joined against the negated literals' sources,
+/// and projected onto the query head.
+struct Plan {
+  caql::CaqlQuery query;
+  std::vector<PlanSource> sources;
+  /// One source per negated literal, fetching the positive form; applied
+  /// as an anti-join during assembly (CAQL's NOT — the remote DML cannot
+  /// express it, so it always executes on the CMS).
+  std::vector<PlanSource> anti_sources;
+  std::vector<logic::Atom> residual_comparisons;
+  std::vector<logic::Atom> evaluables;
+  bool fully_local = false;
+
+  std::string ToString() const;
+};
+
+/// Planner policy knobs (subset of the CMS configuration).
+struct PlannerConfig {
+  /// When false, cached data is only reused through the facade's
+  /// exact-match path; the planner sends everything remote.
+  bool enable_subsumption = true;
+};
+
+/// The Query Planner/Optimizer (paper §5.3). Step 1 (choosing the query to
+/// evaluate, including generalization) happens in the CMS facade with the
+/// Advice Manager; this class implements step 2 (identify relevant cache
+/// elements via subsumption, using the cache model's predicate index) and
+/// step 3 (divide the query into a partially ordered set of subqueries for
+/// the Cache Manager and the remote DBMS, choosing among overlapping
+/// elements by cost).
+class QueryPlanner {
+ public:
+  QueryPlanner(const CacheModel* model, const dbms::RemoteDbms* remote,
+               PlannerConfig config)
+      : model_(model), remote_(remote), config_(config) {}
+
+  /// Step 2: all materialized cache elements that can derive a component
+  /// of `query`, with their matches.
+  std::vector<std::pair<CacheElementPtr, SubsumptionMatch>> RelevantElements(
+      const caql::CaqlQuery& query) const;
+
+  /// Steps 2+3: builds an executable plan for `query`.
+  Result<Plan> PlanQuery(const caql::CaqlQuery& query) const;
+
+ private:
+  const CacheModel* model_;
+  const dbms::RemoteDbms* remote_;
+  PlannerConfig config_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_PLANNER_H_

@@ -1,0 +1,81 @@
+#ifndef BRAID_CMS_SUBSUMPTION_H_
+#define BRAID_CMS_SUBSUMPTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "caql/caql_query.h"
+#include "relational/predicate.h"
+
+namespace braid::cms {
+
+/// One residual selection to apply to a cache element's extension so that
+/// it yields (a component of) the query: either column-op-constant (a
+/// query constant matched a definition variable) or column = column (two
+/// definition variables matched the same query variable).
+struct ResidualSelection {
+  size_t column = 0;
+  rel::CompareOp op = rel::CompareOp::kEq;
+  bool rhs_is_column = false;
+  size_t rhs_column = 0;
+  rel::Value constant;
+};
+
+/// The result of a successful subsumption test: how a cache element's
+/// extension can be used to derive a component of a query (paper §5.3.2).
+struct SubsumptionMatch {
+  /// Indices into the query's RelationAtoms() list covered by the element.
+  std::vector<size_t> covered;
+  /// For every query variable the rest of the plan needs, the element
+  /// extension column (position within the element's head) that carries it.
+  std::map<std::string, size_t> var_to_column;
+  /// Selections to apply to the element extension.
+  std::vector<ResidualSelection> selections;
+  /// True if every relation atom of the query is covered.
+  bool full = false;
+
+  std::string ToString() const;
+};
+
+/// Tests whether the cached view defined by `element_def` subsumes (can be
+/// used to derive) a component of `query`, and if so derives the residual
+/// operations.
+///
+/// Both queries are restricted to the PSJ class (conjunctions of relation
+/// atoms and comparisons; cf. [LARS85]). The algorithm searches for a
+/// containment mapping θ from the element definition onto the query:
+/// every relation atom of the definition must map (via one-directional
+/// term matching — query constants may match definition variables, never
+/// the reverse) onto some relation atom of the query, consistently. The
+/// image of the mapping is the covered component. Definition comparison
+/// atoms must be implied by the query's comparisons (otherwise the element
+/// is more restrictive and unusable — step 2 of the paper's sketch).
+/// Definitions containing evaluable functions require an exact match
+/// (identical canonical form), per §5.3.2.
+///
+/// Returns nullopt when no usable mapping exists. When several mappings
+/// exist, the one covering the most query atoms (breaking ties by fewest
+/// residual selections) is returned.
+std::optional<SubsumptionMatch> ComputeSubsumption(
+    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query);
+
+/// All usable matches, at most one per distinct covered-atom set (the best
+/// by fewest residual selections), ordered by descending coverage. The
+/// planner uses this so a single cached element can serve several
+/// components of one query (e.g. both sides of a self-join).
+std::vector<SubsumptionMatch> ComputeSubsumptionAll(
+    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query);
+
+/// True if `implied` (a comparison atom, possibly ground) is a logical
+/// consequence of the conjunction of `known` comparison atoms together
+/// with arithmetic evaluation. Handles ground evaluation, syntactic
+/// identity (also reversed with a flipped operator), and single-variable
+/// interval reasoning (e.g. X < 3 implies X < 5, X = 2 implies X <= 2).
+bool ComparisonImplied(const std::vector<logic::Atom>& known,
+                       const logic::Atom& implied);
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_SUBSUMPTION_H_

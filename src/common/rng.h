@@ -1,0 +1,39 @@
+#ifndef BRAID_COMMON_RNG_H_
+#define BRAID_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace braid {
+
+/// Deterministic pseudo-random generator used by workload generators and
+/// property tests. All BrAID randomness flows through explicit `Rng`
+/// instances so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace braid
+
+#endif  // BRAID_COMMON_RNG_H_

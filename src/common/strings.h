@@ -1,0 +1,35 @@
+#ifndef BRAID_COMMON_STRINGS_H_
+#define BRAID_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace braid {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on the single character `sep`. Adjacent separators produce
+/// empty fields; an empty input produces a single empty field.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view StrTrim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Streams all arguments into one string (a light-weight StrCat).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace braid
+
+#endif  // BRAID_COMMON_STRINGS_H_

@@ -1,0 +1,60 @@
+#include "dbms/database.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace braid::dbms {
+
+TableStats ComputeStats(const rel::Relation& relation) {
+  TableStats stats;
+  stats.cardinality = relation.NumTuples();
+  stats.distinct.resize(relation.schema().size(), 0);
+  for (size_t col = 0; col < relation.schema().size(); ++col) {
+    std::unordered_set<size_t> hashes;
+    hashes.reserve(relation.NumTuples());
+    for (const rel::Tuple& t : relation.tuples()) {
+      hashes.insert(t[col].Hash());
+    }
+    stats.distinct[col] = hashes.size();
+  }
+  return stats;
+}
+
+Status Database::AddTable(rel::Relation table) {
+  const std::string name = table.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table must have a name");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table ", name));
+  }
+  stats_.emplace(name, ComputeStats(table));
+  tables_.emplace(name, std::move(table));
+  return Status::Ok();
+}
+
+const rel::Relation* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const TableStats* Database::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::optional<size_t> Database::ColumnIndex(
+    const std::string& table, const std::string& attribute) const {
+  const rel::Relation* rel = GetTable(table);
+  if (rel == nullptr) return std::nullopt;
+  return rel->schema().ColumnIndex(attribute);
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.NumTuples();
+  return total;
+}
+
+}  // namespace braid::dbms

@@ -1,0 +1,71 @@
+#ifndef BRAID_DBMS_DATABASE_H_
+#define BRAID_DBMS_DATABASE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace braid::dbms {
+
+/// Optimizer-facing statistics for one stored table.
+struct TableStats {
+  size_t cardinality = 0;
+  /// Number of distinct values per column. distinct[i] == 0 for an empty
+  /// table.
+  std::vector<size_t> distinct;
+
+  /// Estimated selectivity of an equality predicate on `column`
+  /// (1/distinct), or 0.1 as a default guess when unknown.
+  double EqSelectivity(size_t column) const {
+    if (column < distinct.size() && distinct[column] > 0) {
+      return 1.0 / static_cast<double>(distinct[column]);
+    }
+    return 0.1;
+  }
+};
+
+/// The catalog and storage of the simulated remote database: named tables
+/// with schemas, plus derived statistics. The CMS holds a copy of this
+/// schema (paper §5: the Cache Manager manages "(a copy of) the remote
+/// database schema") and the IE reads cardinality/selectivity from it via
+/// the CMS for problem-graph shaping.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a table; statistics are computed immediately.
+  Status AddTable(rel::Relation table);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  const rel::Relation* GetTable(const std::string& name) const;
+  const TableStats* GetStats(const std::string& name) const;
+
+  /// Column index of `attribute` in `table`, if both exist.
+  std::optional<size_t> ColumnIndex(const std::string& table,
+                                    const std::string& attribute) const;
+
+  const std::map<std::string, rel::Relation>& tables() const {
+    return tables_;
+  }
+
+  /// Total stored tuples across all tables.
+  size_t TotalTuples() const;
+
+ private:
+  std::map<std::string, rel::Relation> tables_;
+  std::map<std::string, TableStats> stats_;
+};
+
+/// Computes statistics for a relation (cardinality + per-column distinct
+/// counts). Exposed for tests and for the CMS's cache model.
+TableStats ComputeStats(const rel::Relation& relation);
+
+}  // namespace braid::dbms
+
+#endif  // BRAID_DBMS_DATABASE_H_

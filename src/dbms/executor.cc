@@ -1,0 +1,226 @@
+#include "dbms/executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+#include "relational/operators.h"
+
+namespace braid::dbms {
+
+namespace {
+
+/// True if `cond` references only tables in `bound` (positions into
+/// SqlQuery::from marked as already joined).
+bool ConditionBound(const Condition& cond, const std::vector<bool>& bound) {
+  if (!bound[cond.lhs.table]) return false;
+  if (cond.rhs_is_column && !bound[cond.rhs_col.table]) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<rel::Relation> Executor::Execute(const SqlQuery& query,
+                                        WorkCounters* work) const {
+  WorkCounters local;
+  if (query.from.empty()) {
+    return Status::InvalidArgument("query has no FROM tables");
+  }
+
+  // Resolve and validate tables.
+  std::vector<const rel::Relation*> tables;
+  tables.reserve(query.from.size());
+  for (const std::string& name : query.from) {
+    const rel::Relation* t = db_->GetTable(name);
+    if (t == nullptr) {
+      return Status::NotFound(StrCat("table ", name));
+    }
+    tables.push_back(t);
+  }
+  auto column_ok = [&tables](const ColRef& ref) {
+    return ref.table < tables.size() &&
+           ref.column < tables[ref.table]->schema().size();
+  };
+  for (const Condition& c : query.where) {
+    if (!column_ok(c.lhs) || (c.rhs_is_column && !column_ok(c.rhs_col))) {
+      return Status::InvalidArgument("condition references unknown column");
+    }
+  }
+  for (const ColRef& ref : query.select) {
+    if (!column_ok(ref)) {
+      return Status::InvalidArgument("select list references unknown column");
+    }
+  }
+
+  // Phase 1: push single-table selections below the joins.
+  std::vector<rel::Relation> filtered(query.from.size());
+  std::vector<bool> condition_used(query.where.size(), false);
+  for (size_t i = 0; i < query.from.size(); ++i) {
+    std::vector<rel::PredicatePtr> preds;
+    for (size_t ci = 0; ci < query.where.size(); ++ci) {
+      const Condition& c = query.where[ci];
+      if (c.lhs.table != i) continue;
+      if (c.rhs_is_column) {
+        if (c.rhs_col.table != i) continue;
+        preds.push_back(
+            rel::Predicate::ColumnColumn(c.lhs.column, c.op, c.rhs_col.column));
+      } else {
+        preds.push_back(
+            rel::Predicate::ColumnConst(c.lhs.column, c.op, c.constant));
+      }
+      condition_used[ci] = true;
+    }
+    local.tuples_scanned += tables[i]->NumTuples();
+    if (preds.empty()) {
+      filtered[i] = *tables[i];
+    } else {
+      filtered[i] = rel::Select(*tables[i], *rel::Predicate::And(preds));
+      local.tuples_intermediate += filtered[i].NumTuples();
+    }
+  }
+
+  // Phase 2: greedy join ordering over the filtered tables.
+  std::vector<bool> joined(query.from.size(), false);
+  std::vector<size_t> offset(query.from.size(), 0);
+
+  size_t first = 0;
+  for (size_t i = 1; i < filtered.size(); ++i) {
+    if (filtered[i].NumTuples() < filtered[first].NumTuples()) first = i;
+  }
+  rel::Relation current = filtered[first];
+  joined[first] = true;
+  offset[first] = 0;
+
+  size_t remaining = query.from.size() - 1;
+  while (remaining > 0) {
+    // Prefer a table connected to the joined set by an equi-join; among
+    // candidates pick the one with the smallest filtered cardinality.
+    size_t best = std::numeric_limits<size_t>::max();
+    bool best_connected = false;
+    for (size_t i = 0; i < query.from.size(); ++i) {
+      if (joined[i]) continue;
+      bool connected = false;
+      for (size_t ci = 0; ci < query.where.size(); ++ci) {
+        const Condition& c = query.where[ci];
+        if (condition_used[ci] || !c.IsEquiJoin()) continue;
+        const bool links =
+            (c.lhs.table == i && joined[c.rhs_col.table]) ||
+            (c.rhs_col.table == i && joined[c.lhs.table]);
+        if (links) {
+          connected = true;
+          break;
+        }
+      }
+      if (best == std::numeric_limits<size_t>::max() ||
+          (connected && !best_connected) ||
+          (connected == best_connected &&
+           filtered[i].NumTuples() < filtered[best].NumTuples())) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+
+    const size_t next = best;
+    const size_t next_offset = current.schema().size();
+
+    // Gather equality keys between `current` and `next`.
+    std::vector<rel::JoinKey> keys;
+    std::vector<rel::PredicatePtr> residual;
+    for (size_t ci = 0; ci < query.where.size(); ++ci) {
+      if (condition_used[ci]) continue;
+      const Condition& c = query.where[ci];
+      if (!c.rhs_is_column) continue;
+      const bool lhs_in_next = c.lhs.table == next;
+      const bool rhs_in_next = c.rhs_col.table == next;
+      const bool lhs_joined = joined[c.lhs.table];
+      const bool rhs_joined = joined[c.rhs_col.table];
+      size_t left_col, right_col;
+      rel::CompareOp op = c.op;
+      if (lhs_joined && rhs_in_next) {
+        left_col = offset[c.lhs.table] + c.lhs.column;
+        right_col = c.rhs_col.column;
+      } else if (rhs_joined && lhs_in_next) {
+        left_col = offset[c.rhs_col.table] + c.rhs_col.column;
+        right_col = c.lhs.column;
+        op = rel::ReverseCompareOp(op);
+      } else if (lhs_in_next && rhs_in_next) {
+        // Both sides within `next` (self-condition not caught in phase 1
+        // because it spans... actually phase 1 caught same-table; this
+        // covers self-join aliases resolved to the same position).
+        residual.push_back(rel::Predicate::ColumnColumn(
+            next_offset + c.lhs.column, c.op, next_offset + c.rhs_col.column));
+        condition_used[ci] = true;
+        continue;
+      } else {
+        continue;  // Spans a table not yet joined.
+      }
+      condition_used[ci] = true;
+      if (op == rel::CompareOp::kEq) {
+        keys.push_back(rel::JoinKey{left_col, right_col});
+      } else {
+        residual.push_back(rel::Predicate::ColumnColumn(left_col, op,
+                                                        next_offset + right_col));
+      }
+    }
+
+    rel::PredicatePtr residual_pred =
+        residual.empty() ? nullptr : rel::Predicate::And(residual);
+    current = rel::HashJoin(current, filtered[next], keys, residual_pred);
+    local.tuples_intermediate += current.NumTuples();
+    joined[next] = true;
+    offset[next] = next_offset;
+    --remaining;
+  }
+
+  // Phase 3: any conditions not yet applied (e.g. cross-table inequalities
+  // that became applicable only after later joins).
+  std::vector<rel::PredicatePtr> leftover;
+  for (size_t ci = 0; ci < query.where.size(); ++ci) {
+    if (condition_used[ci]) continue;
+    const Condition& c = query.where[ci];
+    if (!ConditionBound(c, joined)) {
+      return Status::Internal("unapplied condition after join phase");
+    }
+    const size_t lhs_col = offset[c.lhs.table] + c.lhs.column;
+    if (c.rhs_is_column) {
+      leftover.push_back(rel::Predicate::ColumnColumn(
+          lhs_col, c.op, offset[c.rhs_col.table] + c.rhs_col.column));
+    } else {
+      leftover.push_back(rel::Predicate::ColumnConst(lhs_col, c.op,
+                                                     c.constant));
+    }
+  }
+  if (!leftover.empty()) {
+    current = rel::Select(current, *rel::Predicate::And(leftover));
+    local.tuples_intermediate += current.NumTuples();
+  }
+
+  // Phase 4: projection and DISTINCT. SELECT * returns columns in FROM
+  // order regardless of the join order chosen internally.
+  {
+    std::vector<size_t> cols;
+    if (query.select.empty()) {
+      for (size_t t = 0; t < query.from.size(); ++t) {
+        for (size_t c = 0; c < tables[t]->schema().size(); ++c) {
+          cols.push_back(offset[t] + c);
+        }
+      }
+    } else {
+      cols.reserve(query.select.size());
+      for (const ColRef& ref : query.select) {
+        cols.push_back(offset[ref.table] + ref.column);
+      }
+    }
+    current = rel::Project(current, cols);
+  }
+  if (query.distinct) {
+    current = rel::Distinct(current);
+  }
+
+  local.tuples_output = current.NumTuples();
+  if (work != nullptr) *work = local;
+  current.set_name("result");
+  return current;
+}
+
+}  // namespace braid::dbms

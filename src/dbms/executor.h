@@ -1,0 +1,38 @@
+#ifndef BRAID_DBMS_EXECUTOR_H_
+#define BRAID_DBMS_EXECUTOR_H_
+
+#include "common/status.h"
+#include "dbms/database.h"
+#include "dbms/sql.h"
+#include "relational/relation.h"
+
+namespace braid::dbms {
+
+/// Work performed while executing one query, used by the cost model to
+/// derive simulated server time.
+struct WorkCounters {
+  size_t tuples_scanned = 0;       // base-table tuples read
+  size_t tuples_intermediate = 0;  // materialized intermediate tuples
+  size_t tuples_output = 0;        // final result tuples
+};
+
+/// Evaluates SqlQuery plans against a Database. Single-table predicates are
+/// pushed below joins; join order is chosen greedily by actual intermediate
+/// cardinality (smallest-first, connected tables preferred), with hash
+/// joins on equality conditions and nested-loop fallback for the rest.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Runs `query`; on success fills `work` (if non-null) with the effort
+  /// expended.
+  Result<rel::Relation> Execute(const SqlQuery& query,
+                                WorkCounters* work) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace braid::dbms
+
+#endif  // BRAID_DBMS_EXECUTOR_H_

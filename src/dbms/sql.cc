@@ -1,0 +1,41 @@
+#include "dbms/sql.h"
+
+#include <sstream>
+
+namespace braid::dbms {
+
+std::string SqlQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (distinct) os << "DISTINCT ";
+  if (select.empty()) {
+    os << "*";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "t" << select[i].table << ".c" << select[i].column;
+    }
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << from[i] << " t" << i;
+  }
+  if (!where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      const Condition& c = where[i];
+      os << "t" << c.lhs.table << ".c" << c.lhs.column << " "
+         << rel::CompareOpSymbol(c.op) << " ";
+      if (c.rhs_is_column) {
+        os << "t" << c.rhs_col.table << ".c" << c.rhs_col.column;
+      } else {
+        os << c.constant.ToString();
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace braid::dbms

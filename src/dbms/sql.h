@@ -1,0 +1,57 @@
+#ifndef BRAID_DBMS_SQL_H_
+#define BRAID_DBMS_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace braid::dbms {
+
+/// Reference to a column of one of the query's FROM entries: `table` is the
+/// position in SqlQuery::from (so self-joins are expressible), `column` is
+/// the column position within that table.
+struct ColRef {
+  size_t table = 0;
+  size_t column = 0;
+
+  bool operator==(const ColRef& other) const {
+    return table == other.table && column == other.column;
+  }
+};
+
+/// One WHERE conjunct: column-op-constant or column-op-column.
+struct Condition {
+  ColRef lhs;
+  rel::CompareOp op = rel::CompareOp::kEq;
+  bool rhs_is_column = false;
+  ColRef rhs_col;
+  rel::Value constant;
+
+  bool IsEquiJoin() const {
+    return rhs_is_column && op == rel::CompareOp::kEq &&
+           lhs.table != rhs_col.table;
+  }
+};
+
+/// The DML of the simulated remote DBMS: a conjunctive SELECT-PROJECT-JOIN
+/// query. This deliberately models the restricted query interface of a
+/// conventional early-90s relational DBMS: conjunctive SPJ with optional
+/// DISTINCT — no recursion, no disjunction, none of CAQL's second-order or
+/// evaluable predicates. The CMS executes anything beyond this itself
+/// (paper §5.3: "the remote DBMS does not support all CAQL operations, but
+/// the CMS does").
+struct SqlQuery {
+  std::vector<std::string> from;  // table names, position = ColRef::table
+  std::vector<ColRef> select;     // projection; empty means SELECT *
+  std::vector<Condition> where;   // conjunctive
+  bool distinct = false;
+
+  /// Renders "SELECT t0.c1, t1.c0 FROM b1 t0, b2 t1 WHERE t0.c0 = t1.c1".
+  std::string ToString() const;
+};
+
+}  // namespace braid::dbms
+
+#endif  // BRAID_DBMS_SQL_H_

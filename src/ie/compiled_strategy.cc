@@ -1,0 +1,309 @@
+#include "ie/compiled_strategy.h"
+
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "caql/caql_query.h"
+#include "cms/query_processor.h"
+#include "common/strings.h"
+#include "relational/operators.h"
+#include "stream/stream_ops.h"
+
+namespace braid::ie {
+
+namespace {
+
+using caql::CaqlQuery;
+using logic::Atom;
+using logic::Rule;
+using logic::Term;
+
+/// Arity of a user-defined predicate (from its first rule).
+size_t PredicateArity(const logic::KnowledgeBase& kb,
+                      const std::string& name) {
+  const auto& rules = kb.RulesFor(name);
+  return rules.empty() ? 0 : rules.front().head.arity();
+}
+
+}  // namespace
+
+std::set<std::string> CompiledStrategy::ReachablePredicates(
+    const std::string& root) const {
+  std::set<std::string> reachable;
+  std::deque<std::string> frontier{root};
+  while (!frontier.empty()) {
+    std::string pred = frontier.front();
+    frontier.pop_front();
+    if (!reachable.insert(pred).second) continue;
+    if (const logic::AggregateRule* agg = kb_->AggregateRuleFor(pred)) {
+      frontier.push_back(agg->body.predicate);
+    }
+    for (const Rule& rule : kb_->RulesFor(pred)) {
+      for (const Atom& lit : rule.body) {
+        if (lit.IsComparison() ||
+            caql::IsEvaluablePredicate(lit.predicate, lit.arity())) {
+          continue;
+        }
+        frontier.push_back(lit.predicate);
+      }
+    }
+  }
+  return reachable;
+}
+
+Result<rel::Relation> CompiledStrategy::Solve(const Atom& query) {
+  const std::set<std::string> reachable =
+      ReachablePredicates(query.predicate);
+
+  // Relations by predicate name: EDB fetched through the CMS, IDB built by
+  // fixpoint iteration. Stored as shared so the resolver can hand them to
+  // the query processor.
+  std::map<std::string, std::shared_ptr<rel::Relation>> relations;
+
+  for (const std::string& pred : reachable) {
+    if (kb_->IsBaseRelation(pred)) {
+      // One set-at-a-time fetch per base relation (through the CMS so the
+      // cache is consulted and populated).
+      auto attrs = kb_->BaseRelationAttributes(pred);
+      CaqlQuery fetch;
+      fetch.name = StrCat("compiled_", pred);
+      std::vector<Term> args;
+      for (size_t i = 0; i < attrs->size(); ++i) {
+        args.push_back(Term::Var(StrCat("V", i)));
+      }
+      fetch.head_args = args;
+      fetch.body = {Atom(pred, args)};
+      BRAID_ASSIGN_OR_RETURN(cms::CmsAnswer answer, cms_->Query(fetch));
+      ++stats_.caql_queries;
+      rel::Relation data = answer.relation != nullptr
+                               ? *answer.relation
+                               : stream::Drain(*answer.stream, pred);
+      data.set_name(pred);
+      relations[pred] = std::make_shared<rel::Relation>(std::move(data));
+      continue;
+    }
+    if (kb_->IsAggregate(pred)) {
+      // Materialized after its body predicate's stratum completes.
+      const logic::AggregateRule* agg = kb_->AggregateRuleFor(pred);
+      std::vector<std::string> cols = agg->group_vars;
+      cols.push_back(agg->result_var.empty() ? "agg" : agg->result_var);
+      relations[pred] = std::make_shared<rel::Relation>(
+          rel::Relation(pred, rel::Schema::FromNames(cols)));
+      continue;
+    }
+    if (!kb_->IsUserDefined(pred)) {
+      return Status::NotFound(StrCat("unknown predicate ", pred));
+    }
+    // Recursive-structure SOA: delegate to the CMS fixed-point operator
+    // when the closure's base is an actual remote relation the CMS can
+    // fetch; closures over derived predicates fall back to the ordinary
+    // fixpoint below.
+    auto closure_base = kb_->ClosureBaseOf(pred);
+    if (closure_base.has_value() && PredicateArity(*kb_, pred) == 2 &&
+        kb_->IsBaseRelation(*closure_base)) {
+      BRAID_ASSIGN_OR_RETURN(rel::Relation closure,
+                             cms_->TransitiveClosure(*closure_base));
+      ++stats_.caql_queries;
+      closure.set_name(pred);
+      relations[pred] = std::make_shared<rel::Relation>(std::move(closure));
+      continue;
+    }
+    // Plain IDB predicate: start empty.
+    const size_t arity = PredicateArity(*kb_, pred);
+    std::vector<std::string> cols;
+    for (size_t i = 0; i < arity; ++i) cols.push_back(StrCat("c", i));
+    relations[pred] = std::make_shared<rel::Relation>(
+        rel::Relation(pred, rel::Schema::FromNames(cols)));
+  }
+
+  // Predicates still requiring fixpoint iteration (not EDB, not closures).
+  std::vector<const Rule*> active_rules;
+  std::set<std::string> idb;
+  std::vector<const logic::AggregateRule*> aggregates;
+  for (const std::string& pred : reachable) {
+    if (kb_->IsBaseRelation(pred)) continue;
+    if (kb_->IsAggregate(pred)) {
+      idb.insert(pred);
+      aggregates.push_back(kb_->AggregateRuleFor(pred));
+      continue;
+    }
+    auto closure_base = kb_->ClosureBaseOf(pred);
+    if (closure_base.has_value() && PredicateArity(*kb_, pred) == 2 &&
+        kb_->IsBaseRelation(*closure_base)) {
+      continue;
+    }
+    idb.insert(pred);
+    for (const Rule& rule : kb_->RulesFor(pred)) {
+      active_rules.push_back(&rule);
+    }
+  }
+
+  cms::QueryProcessor::AtomResolver resolver =
+      [&relations](const Atom& atom) -> std::shared_ptr<const rel::Relation> {
+    auto it = relations.find(atom.predicate);
+    return it == relations.end() ? nullptr : it->second;
+  };
+
+  // Stratify: stratum(head) >= stratum(body predicate) for positive
+  // dependencies and strictly greater across negation. EDB relations and
+  // closure-SOA predicates sit at stratum 0. A stratum value exceeding
+  // the IDB size implies a cycle through negation.
+  std::map<std::string, size_t> stratum;
+  for (const std::string& pred : idb) stratum[pred] = 0;
+  bool strat_changed = true;
+  while (strat_changed) {
+    strat_changed = false;
+    // Aggregation, like negation, needs its input complete: the head sits
+    // strictly above the body predicate.
+    for (const logic::AggregateRule* agg : aggregates) {
+      size_t& head_stratum = stratum[agg->head_predicate];
+      auto it = stratum.find(agg->body.predicate);
+      const size_t body_stratum = it == stratum.end() ? 0 : it->second;
+      if (head_stratum < body_stratum + 1) {
+        head_stratum = body_stratum + 1;
+        strat_changed = true;
+        if (head_stratum > idb.size()) {
+          return Status::InvalidArgument(
+              "knowledge base is not stratified (cycle through aggregation)");
+        }
+      }
+    }
+    for (const Rule* rule : active_rules) {
+      size_t& head_stratum = stratum[rule->head.predicate];
+      for (const Atom& lit : rule->body) {
+        if (lit.IsComparison() ||
+            caql::IsEvaluablePredicate(lit.predicate, lit.arity())) {
+          continue;
+        }
+        auto it = stratum.find(lit.predicate);
+        const size_t body_stratum = it == stratum.end() ? 0 : it->second;
+        const size_t need = lit.negated ? body_stratum + 1 : body_stratum;
+        if (head_stratum < need) {
+          head_stratum = need;
+          strat_changed = true;
+          if (head_stratum > idb.size()) {
+            return Status::InvalidArgument(
+                "knowledge base is not stratified (cycle through negation)");
+          }
+        }
+      }
+    }
+  }
+  size_t max_stratum = 0;
+  for (const auto& [pred, level] : stratum) {
+    max_stratum = std::max(max_stratum, level);
+  }
+
+  // Naive fixpoint per stratum, bottom-up: lower strata are complete
+  // before any rule that negates them runs. Duplicate suppression via
+  // per-predicate tuple sets.
+  std::map<std::string, std::unordered_set<rel::Tuple, rel::TupleHash>> seen;
+  for (const std::string& pred : idb) {
+    for (const rel::Tuple& t : relations[pred]->tuples()) {
+      seen[pred].insert(t);
+    }
+  }
+
+  for (size_t level = 0; level <= max_stratum; ++level) {
+    // Aggregates of this stratum: their body predicate saturated in a
+    // lower stratum, so one grouping pass materializes them.
+    for (const logic::AggregateRule* agg : aggregates) {
+      if (stratum[agg->head_predicate] != level) continue;
+      auto src = relations.find(agg->body.predicate);
+      if (src == relations.end()) {
+        return Status::Internal(
+            StrCat("aggregate body ", agg->body.predicate, " missing"));
+      }
+      cms::LocalWork work;
+      BRAID_ASSIGN_OR_RETURN(
+          rel::Relation bound,
+          cms::QueryProcessor::BindAtom(agg->body, *src->second, &work));
+      std::vector<size_t> group_cols;
+      for (const std::string& g : agg->group_vars) {
+        auto col = bound.schema().ColumnIndex(g);
+        if (!col.has_value()) {
+          return Status::InvalidArgument(
+              StrCat("aggregate group variable ", g, " unbound"));
+        }
+        group_cols.push_back(*col);
+      }
+      size_t agg_col = 0;
+      if (agg->fn != logic::AggregateFn::kCount) {
+        auto col = bound.schema().ColumnIndex(agg->agg_var);
+        if (!col.has_value()) {
+          return Status::InvalidArgument(
+              StrCat("aggregate variable ", agg->agg_var, " unbound"));
+        }
+        agg_col = *col;
+      }
+      rel::AggFn fn = rel::AggFn::kCount;
+      switch (agg->fn) {
+        case logic::AggregateFn::kCount: fn = rel::AggFn::kCount; break;
+        case logic::AggregateFn::kSum: fn = rel::AggFn::kSum; break;
+        case logic::AggregateFn::kMin: fn = rel::AggFn::kMin; break;
+        case logic::AggregateFn::kMax: fn = rel::AggFn::kMax; break;
+        case logic::AggregateFn::kAvg: fn = rel::AggFn::kAvg; break;
+      }
+      rel::Relation grouped = rel::Aggregate(
+          bound, group_cols,
+          {rel::AggSpec{fn, agg_col,
+                        agg->result_var.empty() ? "agg" : agg->result_var}});
+      grouped.set_name(agg->head_predicate);
+      *relations[agg->head_predicate] = std::move(grouped);
+    }
+
+    std::vector<const Rule*> level_rules;
+    for (const Rule* rule : active_rules) {
+      if (stratum[rule->head.predicate] == level) level_rules.push_back(rule);
+    }
+    bool changed = !level_rules.empty();
+    while (changed) {
+      if (++stats_.iterations > config_.max_iterations) {
+        return Status::ResourceExhausted("fixpoint iteration limit exceeded");
+      }
+      changed = false;
+      for (const Rule* rule : level_rules) {
+        CaqlQuery body_query;
+        body_query.name = rule->id;
+        body_query.head_args = rule->head.args;
+        body_query.body = rule->body;
+        cms::LocalWork work;
+        auto derived =
+            cms::QueryProcessor::Evaluate(body_query, resolver, &work);
+        if (!derived.ok()) {
+          return derived.status();
+        }
+        auto& target = relations[rule->head.predicate];
+        auto& target_seen = seen[rule->head.predicate];
+        for (const rel::Tuple& t : derived->tuples()) {
+          if (target_seen.insert(t).second) {
+            target->AppendUnchecked(t);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::string& pred : idb) {
+    stats_.idb_tuples += relations[pred]->NumTuples();
+  }
+
+  // Read the answer off the saturated database.
+  CaqlQuery final_query;
+  final_query.name = "answer";
+  const std::vector<std::string> vars = query.Variables();
+  for (const std::string& v : vars) final_query.head_args.push_back(Term::Var(v));
+  final_query.body = {query};
+  cms::LocalWork work;
+  BRAID_ASSIGN_OR_RETURN(
+      rel::Relation result,
+      cms::QueryProcessor::Evaluate(final_query, resolver, &work));
+  rel::Relation named(StrCat("solutions(", query.predicate, ")"),
+                      rel::Schema::FromNames(vars));
+  named.mutable_tuples() = std::move(result.mutable_tuples());
+  return rel::Distinct(named);
+}
+
+}  // namespace braid::ie

@@ -1,0 +1,56 @@
+#ifndef BRAID_IE_COMPILED_STRATEGY_H_
+#define BRAID_IE_COMPILED_STRATEGY_H_
+
+#include <map>
+#include <string>
+
+#include "cms/cms.h"
+#include "common/status.h"
+#include "logic/knowledge_base.h"
+#include "relational/relation.h"
+
+namespace braid::ie {
+
+struct CompiledConfig {
+  size_t max_iterations = 10000;  // fixpoint guard
+};
+
+struct CompiledStats {
+  size_t caql_queries = 0;  // base-relation fetches through the CMS
+  size_t iterations = 0;    // fixpoint rounds
+  size_t idb_tuples = 0;    // derived tuples at fixpoint
+};
+
+/// The compiled inference strategy: the set-at-a-time, all-solutions end
+/// of the I-C range (paper §2). The portion of the knowledge base relevant
+/// to the AI query is evaluated bottom-up: base relations are fetched
+/// set-at-a-time through the CMS (one large request each, benefiting from
+/// the cache like any other CAQL query), recursion is handled by fixpoint
+/// iteration — with recursive-structure SOAs routed to the CMS's dedicated
+/// transitive-closure operator — and the query's answer is read off the
+/// saturated IDB.
+class CompiledStrategy {
+ public:
+  CompiledStrategy(const logic::KnowledgeBase* kb, cms::Cms* cms,
+                   CompiledConfig config)
+      : kb_(kb), cms_(cms), config_(config) {}
+
+  /// Solves the AI query; returns one row per distinct solution, columns
+  /// named by the query's variables.
+  Result<rel::Relation> Solve(const logic::Atom& query);
+
+  const CompiledStats& stats() const { return stats_; }
+
+ private:
+  /// Predicates (user and base) reachable from `root` through rules.
+  std::set<std::string> ReachablePredicates(const std::string& root) const;
+
+  const logic::KnowledgeBase* kb_;
+  cms::Cms* cms_;
+  CompiledConfig config_;
+  CompiledStats stats_;
+};
+
+}  // namespace braid::ie
+
+#endif  // BRAID_IE_COMPILED_STRATEGY_H_

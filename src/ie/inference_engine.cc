@@ -1,0 +1,69 @@
+#include "ie/inference_engine.h"
+
+#include "logic/parser.h"
+
+namespace braid::ie {
+
+Result<Preanalysis> InferenceEngine::Analyze(const logic::Atom& query) const {
+  Preanalysis pre;
+
+  ProblemGraphExtractor extractor(kb_);
+  BRAID_ASSIGN_OR_RETURN(pre.graph, extractor.Extract(query));
+
+  ProblemGraphShaper shaper(kb_, &cms_->RemoteSchema(),
+                            ShaperConfig{config_.shaper_cull,
+                                         config_.shaper_reorder},
+                            &cms_->cache().model());
+  BRAID_RETURN_IF_ERROR(shaper.Shape(&pre.graph));
+
+  ViewSpecifier specifier(kb_,
+                          ViewSpecifierConfig{config_.max_conjunction_size});
+  BRAID_ASSIGN_OR_RETURN(pre.spec, specifier.Specify(pre.graph));
+
+  pre.advice.base_relations = pre.graph.BaseRelations();
+  pre.advice.view_specs = pre.spec.views;
+  if (config_.send_path_expression) {
+    PathExpressionCreator path_creator(&pre.spec);
+    pre.advice.path_expression = path_creator.Create(pre.graph);
+  }
+  return pre;
+}
+
+Result<AskOutcome> InferenceEngine::Ask(const logic::Atom& query) {
+  BRAID_ASSIGN_OR_RETURN(Preanalysis pre, Analyze(query));
+
+  AskOutcome outcome;
+  outcome.advice = pre.advice;
+
+  // Session start: transmit advice, then the CAQL query sequence follows.
+  cms_->BeginSession(config_.send_advice ? pre.advice : advice::AdviceSet{});
+
+  switch (config_.strategy) {
+    case StrategyKind::kInterpreted: {
+      InterpretedStrategy strategy(
+          kb_, &pre.spec, cms_,
+          InterpreterConfig{config_.max_depth, config_.max_solutions});
+      BRAID_ASSIGN_OR_RETURN(outcome.solutions, strategy.Solve(query));
+      outcome.interpreter_stats = strategy.stats();
+      break;
+    }
+    case StrategyKind::kCompiled: {
+      CompiledStrategy strategy(kb_, cms_, CompiledConfig{});
+      BRAID_ASSIGN_OR_RETURN(outcome.solutions, strategy.Solve(query));
+      outcome.compiled_stats = strategy.stats();
+      if (config_.max_solutions < outcome.solutions.NumTuples()) {
+        outcome.solutions.mutable_tuples().resize(config_.max_solutions);
+      }
+      break;
+    }
+  }
+  return outcome;
+}
+
+Result<AskOutcome> InferenceEngine::Ask(const std::string& query_text) {
+  BRAID_ASSIGN_OR_RETURN(logic::Atom query,
+                         logic::ParseQueryAtom(query_text));
+  return Ask(query);
+}
+
+}  // namespace braid::ie

@@ -1,0 +1,87 @@
+#ifndef BRAID_IE_INFERENCE_ENGINE_H_
+#define BRAID_IE_INFERENCE_ENGINE_H_
+
+#include <string>
+
+#include "advice/advice.h"
+#include "cms/cms.h"
+#include "common/status.h"
+#include "ie/compiled_strategy.h"
+#include "ie/interpreted_strategy.h"
+#include "ie/path_creator.h"
+#include "ie/problem_graph.h"
+#include "ie/shaper.h"
+#include "ie/view_specifier.h"
+#include "logic/knowledge_base.h"
+
+namespace braid::ie {
+
+/// Deductive search strategies available as "function suites" (paper §4:
+/// the IE has no built-in strategy; components combine into strategies
+/// along the I-C range, as in the FDE).
+enum class StrategyKind {
+  kInterpreted,  // depth-first, chronological backtracking, tuple-at-a-time
+  kCompiled,     // bottom-up, set-at-a-time, all solutions
+};
+
+struct IeConfig {
+  StrategyKind strategy = StrategyKind::kInterpreted;
+  size_t max_conjunction_size = 3;  // view-specifier flattening parameter
+  size_t max_depth = 64;
+  size_t max_solutions = SIZE_MAX;  // 1 = single-solution (Prolog) mode
+  bool send_advice = true;           // transmit view specs + path expression
+  bool send_path_expression = true;
+  bool shaper_reorder = true;
+  bool shaper_cull = true;
+};
+
+/// The result of pre-analysis: the shaped problem graph, the view
+/// specifications with rule plans, and the advice set that would be sent
+/// to the CMS.
+struct Preanalysis {
+  ProblemGraph graph;
+  ViewSpecification spec;
+  advice::AdviceSet advice;
+};
+
+/// The outcome of answering one AI query.
+struct AskOutcome {
+  rel::Relation solutions;  // one row per solution, columns = query vars
+  advice::AdviceSet advice;
+  InterpreterStats interpreter_stats;  // meaningful for kInterpreted
+  CompiledStats compiled_stats;        // meaningful for kCompiled
+};
+
+/// The BrAID inference engine (paper §4, Fig. 4). `Ask` runs the full
+/// pipeline: query translation, problem-graph extraction, shaping, view
+/// specification, path-expression creation, advice transmission (session
+/// start), then inference under the configured strategy, with all database
+/// access routed through the CMS as CAQL queries.
+class InferenceEngine {
+ public:
+  InferenceEngine(const logic::KnowledgeBase* kb, cms::Cms* cms,
+                  IeConfig config = {})
+      : kb_(kb), cms_(cms), config_(config) {}
+
+  /// Pre-analysis only (no session, no inference) — used by tests and by
+  /// callers that want to inspect the advice.
+  Result<Preanalysis> Analyze(const logic::Atom& query) const;
+
+  /// Answers an AI query (an atomic formula, e.g. parsed from "k1(X,Y)?").
+  Result<AskOutcome> Ask(const logic::Atom& query);
+
+  /// Convenience: parses `query_text` with the query translator first.
+  Result<AskOutcome> Ask(const std::string& query_text);
+
+  const IeConfig& config() const { return config_; }
+  void set_config(IeConfig config) { config_ = config; }
+
+ private:
+  const logic::KnowledgeBase* kb_;
+  cms::Cms* cms_;
+  IeConfig config_;
+};
+
+}  // namespace braid::ie
+
+#endif  // BRAID_IE_INFERENCE_ENGINE_H_

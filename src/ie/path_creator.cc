@@ -1,0 +1,127 @@
+#include "ie/path_creator.h"
+
+namespace braid::ie {
+
+namespace {
+
+using advice::PathExpr;
+using advice::PathExprPtr;
+using advice::RepBound;
+
+/// First producer variable of a query pattern, or "" if none.
+std::string FirstProducer(const PathExpr& pattern) {
+  if (pattern.kind() != PathExpr::Kind::kQueryPattern) return "";
+  for (const advice::AnnotatedVar& v : pattern.args()) {
+    if (v.binding == advice::Binding::kProducer) return v.name;
+  }
+  return "";
+}
+
+}  // namespace
+
+advice::PathExprPtr PathExpressionCreator::Create(
+    const ProblemGraph& graph) const {
+  if (graph.root == nullptr) return nullptr;
+  std::set<std::string> recursed;
+  PathExprPtr body = PathOfOr(*graph.root, &recursed);
+  if (body == nullptr) return nullptr;
+  if (body->kind() == PathExpr::Kind::kSequence) return body;
+  return PathExpr::Sequence({body}, RepBound::Fixed(1), RepBound::Fixed(1));
+}
+
+advice::PathExprPtr PathExpressionCreator::PathOfAnd(
+    const AndNode& node, std::set<std::string>* recursed) const {
+  auto plan_it = spec_->rule_plans.find(node.rule_id);
+  if (plan_it == spec_->rule_plans.end()) return nullptr;
+  const RulePlan& plan = plan_it->second;
+
+  // Child OR node by body index, for recursing into calls.
+  auto child_by_index = [&node](size_t body_index) -> const OrNode* {
+    for (const auto& sub : node.subgoals) {
+      if (sub->body_index == body_index) return sub.get();
+    }
+    return nullptr;
+  };
+
+  std::vector<PathExprPtr> elems;
+  for (const RuleItem& item : plan.items) {
+    switch (item.kind) {
+      case RuleItem::Kind::kRun: {
+        const advice::ViewSpec* view = spec_->FindView(item.view_id);
+        if (view == nullptr) continue;
+        elems.push_back(PathExpr::Pattern(view->id, view->head));
+        break;
+      }
+      case RuleItem::Kind::kBuiltin:
+        break;  // No CAQL emission.
+      case RuleItem::Kind::kCall: {
+        const OrNode* child = child_by_index(item.body_index);
+        if (child == nullptr) break;
+        PathExprPtr sub = PathOfOr(*child, recursed);
+        if (sub != nullptr) elems.push_back(std::move(sub));
+        break;
+      }
+    }
+  }
+
+  if (elems.empty()) return nullptr;
+  if (elems.size() == 1) return elems[0];
+  // Group the tail under a repetition bound by the first element's
+  // producer cardinality (backtracking re-solves the tail per binding).
+  const std::string producer = FirstProducer(*elems[0]);
+  std::vector<PathExprPtr> tail(elems.begin() + 1, elems.end());
+  PathExprPtr tail_seq = PathExpr::Sequence(
+      std::move(tail), RepBound::Fixed(0),
+      producer.empty() ? RepBound::Fixed(1)
+                       : RepBound::Cardinality(producer));
+  return PathExpr::Sequence({elems[0], std::move(tail_seq)},
+                            RepBound::Fixed(1), RepBound::Fixed(1));
+}
+
+advice::PathExprPtr PathExpressionCreator::PathOfOr(
+    const OrNode& node, std::set<std::string>* recursed) const {
+  switch (node.leaf) {
+    case OrNode::LeafKind::kBase:
+    case OrNode::LeafKind::kBuiltin:
+    case OrNode::LeafKind::kAggregate:
+      return nullptr;  // Absorbed into runs / IE-evaluated.
+    case OrNode::LeafKind::kRecursive:
+      recursed->insert(node.goal.predicate);
+      return nullptr;
+    case OrNode::LeafKind::kExpanded:
+      break;
+  }
+
+  std::vector<PathExprPtr> children;
+  bool guarded = false;
+  for (const auto& alt : node.alternatives) {
+    auto plan_it = spec_->rule_plans.find(alt->rule_id);
+    if (plan_it != spec_->rule_plans.end() &&
+        !plan_it->second.items.empty() &&
+        plan_it->second.items.front().kind != RuleItem::Kind::kRun) {
+      guarded = true;  // Emission of this alternative is conditional.
+    }
+    PathExprPtr sub = PathOfAnd(*alt, recursed);
+    if (sub != nullptr) children.push_back(std::move(sub));
+  }
+  if (children.empty()) return nullptr;
+  PathExprPtr result;
+  if (children.size() == 1 && !guarded) {
+    result = children[0];
+  } else if (guarded) {
+    result = PathExpr::Alternation(std::move(children),
+                                   node.alternatives_mutex ? 1 : 0);
+  } else {
+    result = PathExpr::Sequence(std::move(children), RepBound::Fixed(1),
+                                RepBound::Fixed(1));
+  }
+  // This node defines a predicate that recurses below: re-entry replays
+  // the whole definition group, so the repetition wraps here.
+  if (recursed->erase(node.goal.predicate) > 0) {
+    result = PathExpr::Sequence({std::move(result)}, RepBound::Fixed(1),
+                                RepBound::Cardinality("rec"));
+  }
+  return result;
+}
+
+}  // namespace braid::ie

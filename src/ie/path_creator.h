@@ -1,0 +1,52 @@
+#ifndef BRAID_IE_PATH_CREATOR_H_
+#define BRAID_IE_PATH_CREATOR_H_
+
+#include <set>
+#include <string>
+
+#include "advice/path_expr.h"
+#include "ie/problem_graph.h"
+#include "ie/view_specifier.h"
+
+namespace braid::ie {
+
+/// The path-expression creator (paper §4.1/§4.2.2): traverses the shaped
+/// problem graph and builds an abstraction of the CAQL query sequence the
+/// interpreted strategy will emit.
+///
+/// Construction rules (matching the paper's worked examples):
+///  * a run under an AND node becomes a query pattern "d_i(args)";
+///  * the items of an AND body form a sequence; elements after the first
+///    producing pattern are grouped under a repetition <0, |v|> where v is
+///    the first producer variable of that pattern (backtracking re-solves
+///    the tail once per binding — Example 1);
+///  * an OR node's alternatives become a sequence when every alternative
+///    opens with a run (backtracking will try each in turn), and an
+///    alternation when any alternative is guarded by an IE-only call
+///    (Example 2), with a selection term of 1 when mutual-exclusion SOAs
+///    mark the alternatives exclusive;
+///  * a recursive occurrence wraps its *defining* OR node's whole group in
+///    an unbounded repetition (the depth is the symbolic cardinality
+///    "|rec|") — re-entry replays the entire definition, alternatives and
+///    all, not just the recursive rule's own items.
+class PathExpressionCreator {
+ public:
+  explicit PathExpressionCreator(const ViewSpecification* spec)
+      : spec_(spec) {}
+
+  /// Builds the session path expression; null if the graph emits no CAQL
+  /// queries at all.
+  advice::PathExprPtr Create(const ProblemGraph& graph) const;
+
+ private:
+  advice::PathExprPtr PathOfOr(const OrNode& node,
+                               std::set<std::string>* recursed) const;
+  advice::PathExprPtr PathOfAnd(const AndNode& node,
+                                std::set<std::string>* recursed) const;
+
+  const ViewSpecification* spec_;
+};
+
+}  // namespace braid::ie
+
+#endif  // BRAID_IE_PATH_CREATOR_H_

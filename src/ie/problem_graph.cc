@@ -1,0 +1,151 @@
+#include "ie/problem_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "caql/caql_query.h"
+#include "common/strings.h"
+#include "logic/unify.h"
+
+namespace braid::ie {
+
+namespace {
+
+using logic::Atom;
+using logic::Rule;
+using logic::Substitution;
+
+void CollectBase(const OrNode& node, std::vector<std::string>* out) {
+  if (node.leaf == OrNode::LeafKind::kBase) {
+    if (std::find(out->begin(), out->end(), node.goal.predicate) ==
+        out->end()) {
+      out->push_back(node.goal.predicate);
+    }
+    return;
+  }
+  for (const auto& alt : node.alternatives) {
+    for (const auto& sub : alt->subgoals) {
+      CollectBase(*sub, out);
+    }
+  }
+}
+
+void Render(const OrNode& node, int indent, std::ostringstream* os) {
+  *os << std::string(indent * 2, ' ') << "OR " << node.goal.ToString();
+  switch (node.leaf) {
+    case OrNode::LeafKind::kBase:
+      *os << " [base]";
+      break;
+    case OrNode::LeafKind::kBuiltin:
+      *os << " [builtin]";
+      break;
+    case OrNode::LeafKind::kRecursive:
+      *os << " [recursive]";
+      break;
+    case OrNode::LeafKind::kAggregate:
+      *os << " [aggregate]";
+      break;
+    case OrNode::LeafKind::kExpanded:
+      break;
+  }
+  if (node.alternatives_mutex) *os << " [mutex]";
+  *os << "\n";
+  for (const auto& alt : node.alternatives) {
+    *os << std::string(indent * 2 + 2, ' ') << "AND " << alt->rule_id << " "
+        << alt->head.ToString() << "\n";
+    for (const auto& sub : alt->subgoals) {
+      Render(*sub, indent + 2, os);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ProblemGraph::BaseRelations() const {
+  std::vector<std::string> out;
+  if (root != nullptr) CollectBase(*root, &out);
+  return out;
+}
+
+std::string ProblemGraph::ToString() const {
+  std::ostringstream os;
+  os << "problem graph for " << query.ToString() << "\n";
+  if (root != nullptr) Render(*root, 1, &os);
+  return os.str();
+}
+
+Result<ProblemGraph> ProblemGraphExtractor::Extract(const Atom& query) const {
+  if (query.IsComparison()) {
+    return Status::InvalidArgument("AI query cannot be a comparison");
+  }
+  std::vector<std::string> stack;
+  int rename_counter = 0;
+  ProblemGraph graph;
+  graph.query = query;
+  BRAID_ASSIGN_OR_RETURN(graph.root,
+                         ExpandGoal(query, &stack, &rename_counter));
+  return graph;
+}
+
+Result<std::unique_ptr<OrNode>> ProblemGraphExtractor::ExpandGoal(
+    const Atom& goal, std::vector<std::string>* expansion_stack,
+    int* rename_counter) const {
+  auto node = std::make_unique<OrNode>();
+  node->goal = goal;
+
+  if (goal.IsComparison() ||
+      caql::IsEvaluablePredicate(goal.predicate, goal.arity())) {
+    node->leaf = OrNode::LeafKind::kBuiltin;
+    return node;
+  }
+  if (kb_->IsBaseRelation(goal.predicate)) {
+    node->leaf = OrNode::LeafKind::kBase;
+    return node;
+  }
+  if (kb_->IsAggregate(goal.predicate)) {
+    node->leaf = OrNode::LeafKind::kAggregate;
+    return node;
+  }
+  if (!kb_->IsUserDefined(goal.predicate)) {
+    return Status::NotFound(
+        StrCat("predicate ", goal.predicate, "/", goal.arity(),
+               " is neither a base relation nor defined by rules"));
+  }
+  // Recursive occurrence: only a single instance of the recursive
+  // definition appears per recursive relation occurrence.
+  if (std::find(expansion_stack->begin(), expansion_stack->end(),
+                goal.predicate) != expansion_stack->end()) {
+    node->leaf = OrNode::LeafKind::kRecursive;
+    return node;
+  }
+
+  expansion_stack->push_back(goal.predicate);
+  for (const Rule& rule : kb_->RulesFor(goal.predicate)) {
+    // Standardize apart, then unify the (renamed) head with the goal. A
+    // failed unification culls the alternative immediately (constant
+    // propagation at extraction time).
+    const std::string suffix = StrCat("_", (*rename_counter)++);
+    Atom head = logic::RenameVariables(rule.head, suffix);
+    auto mgu = logic::UnifyAtoms(head, goal);
+    if (!mgu.has_value()) continue;
+
+    auto and_node = std::make_unique<AndNode>();
+    and_node->rule_id = rule.id;
+    and_node->head = mgu->Apply(head);
+    for (size_t bi = 0; bi < rule.body.size(); ++bi) {
+      Atom sub = mgu->Apply(logic::RenameVariables(rule.body[bi], suffix));
+      auto child = ExpandGoal(sub, expansion_stack, rename_counter);
+      if (!child.ok()) {
+        expansion_stack->pop_back();
+        return child.status();
+      }
+      (*child)->body_index = bi;
+      and_node->subgoals.push_back(std::move(*child));
+    }
+    node->alternatives.push_back(std::move(and_node));
+  }
+  expansion_stack->pop_back();
+  return node;
+}
+
+}  // namespace braid::ie

@@ -1,0 +1,90 @@
+#ifndef BRAID_IE_PROBLEM_GRAPH_H_
+#define BRAID_IE_PROBLEM_GRAPH_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/knowledge_base.h"
+
+namespace braid::ie {
+
+struct AndNode;
+
+/// An OR node: one subgoal (relation occurrence). Its alternatives are the
+/// rules defining the subgoal's predicate; leaves are base relations,
+/// built-ins, or recursive re-occurrences (only a single instance of a
+/// recursive definition appears per recursive relation occurrence —
+/// paper §4.1).
+struct OrNode {
+  enum class LeafKind {
+    kExpanded,   // user-defined, alternatives populated
+    kBase,       // stored in the remote DBMS
+    kBuiltin,    // comparison / evaluable
+    kRecursive,  // recursive re-occurrence (not re-expanded)
+    kAggregate,  // defined by an #agg rule (AGG second-order predicate)
+  };
+
+  logic::Atom goal;
+  LeafKind leaf = LeafKind::kExpanded;
+  std::vector<std::unique_ptr<AndNode>> alternatives;
+
+  /// Position of this subgoal in its rule's original body (before any
+  /// shaper reordering). Unused for the root.
+  size_t body_index = 0;
+
+  /// Filled by the shaper: goal variables bound at call time (constants
+  /// propagated from the query and producer/consumer dataflow).
+  std::set<std::string> bound_vars;
+  /// Filled by the shaper: alternatives are pairwise mutually exclusive
+  /// (from mutual-exclusion SOAs) — drives path-expression selection terms.
+  bool alternatives_mutex = false;
+};
+
+/// An AND node: one rule instance. `head` is the rule head after
+/// unification with the parent goal; `subgoals` are the body literals in
+/// (possibly shaper-reordered) order.
+struct AndNode {
+  std::string rule_id;
+  logic::Atom head;
+  std::vector<std::unique_ptr<OrNode>> subgoals;
+};
+
+/// The problem graph: the and/or graph extracted from the predicate
+/// connection graph for one AI query (paper §4.1). It is a partial proof
+/// tree whose leaves are base relations, built-ins, or recursive
+/// occurrences.
+struct ProblemGraph {
+  logic::Atom query;
+  std::unique_ptr<OrNode> root;
+
+  /// Base relations referenced anywhere in the graph — the simplest form
+  /// of advice (§4.2).
+  std::vector<std::string> BaseRelations() const;
+
+  /// Multi-line indented rendering for debugging.
+  std::string ToString() const;
+};
+
+/// The problem-graph extractor: performs partial evaluation of the AI
+/// query over the knowledge base, expanding user-defined relations and
+/// stopping at base relations, built-ins, and recursive occurrences.
+class ProblemGraphExtractor {
+ public:
+  explicit ProblemGraphExtractor(const logic::KnowledgeBase* kb) : kb_(kb) {}
+
+  Result<ProblemGraph> Extract(const logic::Atom& query) const;
+
+ private:
+  Result<std::unique_ptr<OrNode>> ExpandGoal(
+      const logic::Atom& goal, std::vector<std::string>* expansion_stack,
+      int* rename_counter) const;
+
+  const logic::KnowledgeBase* kb_;
+};
+
+}  // namespace braid::ie
+
+#endif  // BRAID_IE_PROBLEM_GRAPH_H_

@@ -1,0 +1,68 @@
+#ifndef BRAID_IE_SHAPER_H_
+#define BRAID_IE_SHAPER_H_
+
+#include "cms/cache_model.h"
+#include "common/status.h"
+#include "dbms/database.h"
+#include "ie/problem_graph.h"
+#include "logic/knowledge_base.h"
+
+namespace braid::ie {
+
+struct ShaperConfig {
+  bool cull = true;     // evaluate ground built-ins, drop dead alternatives
+  bool reorder = true;  // producer/consumer conjunct ordering
+};
+
+/// The problem-graph shaper (paper §4.1): eagerly constrains the problem
+/// graph before any DBMS access.
+///
+///  * Constant propagation happened during extraction (head unification
+///    pushes query and rule constants along unification arcs); the shaper
+///    finishes the job by evaluating built-ins whose arguments are all
+///    constants, deleting those that hold and culling alternatives that
+///    contain one that fails (and, transitively, OR nodes left with no
+///    alternatives).
+///  * Cardinality and selectivity information from the DBMS schema and
+///    functional-dependency SOAs determine producer-consumer relationships,
+///    realized as conjunct reorderings and binding patterns (`bound_vars`
+///    on each OR node).
+///  * Mutual-exclusion SOAs mark OR nodes whose alternatives are pairwise
+///    exclusive (used by the path-expression creator for selection terms).
+class ProblemGraphShaper {
+ public:
+  /// `cache_model` (optional) is the CMS's cache model — the IE "can
+  /// access cache model information from the CMS" (§3) — letting the
+  /// shaper discount subgoals whose data is already cache-resident when
+  /// ordering conjuncts.
+  ProblemGraphShaper(const logic::KnowledgeBase* kb,
+                     const dbms::Database* schema, ShaperConfig config = {},
+                     const cms::CacheModel* cache_model = nullptr)
+      : kb_(kb), schema_(schema), config_(config),
+        cache_model_(cache_model) {}
+
+  Status Shape(ProblemGraph* graph) const;
+
+ private:
+  /// Bottom-up culling. Returns false if the node cannot succeed (caller
+  /// culls the enclosing alternative).
+  bool Cull(OrNode* node) const;
+
+  /// Top-down: reorders each AND body and assigns binding patterns.
+  void OrderAndBind(OrNode* node) const;
+
+  /// Estimated result cardinality of a subgoal given bound variables.
+  double EstimateGoal(const OrNode& node,
+                      const std::set<std::string>& bound) const;
+
+  void MarkMutex(OrNode* node) const;
+
+  const logic::KnowledgeBase* kb_;
+  const dbms::Database* schema_;
+  ShaperConfig config_;
+  const cms::CacheModel* cache_model_;
+};
+
+}  // namespace braid::ie
+
+#endif  // BRAID_IE_SHAPER_H_

@@ -1,0 +1,193 @@
+#include "ie/view_specifier.h"
+
+#include <set>
+
+#include "caql/caql_query.h"
+#include "common/strings.h"
+
+namespace braid::ie {
+
+namespace {
+
+using advice::AnnotatedVar;
+using advice::Binding;
+using advice::ViewSpec;
+using logic::Atom;
+using logic::Rule;
+using logic::Term;
+
+const Rule* FindRule(const logic::KnowledgeBase& kb, const std::string& id) {
+  for (const Rule& r : kb.rules()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+/// Original-variable names bound at this subgoal's call time: positions
+/// where the graph occurrence is bound (constant, or a variable the shaper
+/// marked bound) and the original rule atom has a variable.
+std::set<std::string> BoundOriginalVars(const OrNode& graph_node,
+                                        const Atom& original_atom) {
+  std::set<std::string> bound;
+  for (size_t p = 0;
+       p < original_atom.args.size() && p < graph_node.goal.args.size(); ++p) {
+    const Term& orig = original_atom.args[p];
+    if (!orig.is_variable()) continue;
+    const Term& g = graph_node.goal.args[p];
+    const bool is_bound =
+        g.is_constant() ||
+        (g.is_variable() && graph_node.bound_vars.count(g.var_name()) > 0);
+    if (is_bound) bound.insert(orig.var_name());
+  }
+  return bound;
+}
+
+bool RunEligible(const OrNode& node) {
+  // Negated literals never join runs: the remote DML has no NOT, and the
+  // strategy controller evaluates them by negation-as-failure.
+  if (node.goal.negated) return false;
+  return node.leaf == OrNode::LeafKind::kBase ||
+         node.leaf == OrNode::LeafKind::kBuiltin;
+}
+
+bool IsBaseLeaf(const OrNode& node) {
+  return node.leaf == OrNode::LeafKind::kBase;
+}
+
+}  // namespace
+
+Result<ViewSpecification> ViewSpecifier::Specify(
+    const ProblemGraph& graph) const {
+  if (graph.root == nullptr) {
+    return Status::InvalidArgument("empty problem graph");
+  }
+  ViewSpecification out;
+  int view_counter = 1;
+  VisitOr(*graph.root, &out, &view_counter);
+  return out;
+}
+
+void ViewSpecifier::VisitOr(const OrNode& node, ViewSpecification* out,
+                            int* view_counter) const {
+  for (const auto& alt : node.alternatives) {
+    VisitAnd(*alt, out, view_counter);
+  }
+}
+
+void ViewSpecifier::VisitAnd(const AndNode& node, ViewSpecification* out,
+                             int* view_counter) const {
+  // Recurse first so nested definitions get plans too.
+  for (const auto& sub : node.subgoals) {
+    VisitOr(*sub, out, view_counter);
+  }
+  if (out->rule_plans.count(node.rule_id) > 0) {
+    return;  // First occurrence of the rule defined the plan.
+  }
+  const Rule* rule = FindRule(*kb_, node.rule_id);
+  if (rule == nullptr) return;
+
+  RulePlan plan;
+  plan.rule_id = node.rule_id;
+  plan.head = rule->head;
+
+  // Variables of the rule head (H) and full body, for minimum argument
+  // sets.
+  const std::vector<std::string> head_var_list = rule->head.Variables();
+  const std::set<std::string> head_vars(head_var_list.begin(),
+                                        head_var_list.end());
+
+  // Walk subgoals in shaped order, grouping run-eligible spans.
+  size_t i = 0;
+  const auto& subs = node.subgoals;
+  while (i < subs.size()) {
+    if (!RunEligible(*subs[i])) {
+      RuleItem item;
+      item.kind = RuleItem::Kind::kCall;
+      item.call = rule->body[subs[i]->body_index];
+      item.body_index = subs[i]->body_index;
+      plan.items.push_back(std::move(item));
+      ++i;
+      continue;
+    }
+    // Maximal run-eligible span.
+    size_t j = i;
+    while (j < subs.size() && RunEligible(*subs[j])) ++j;
+    // Split the span into runs of at most max_conjunction_size base atoms;
+    // built-ins ride along with the run open when they appear.
+    size_t k = i;
+    while (k < j) {
+      std::vector<size_t> span_members;  // indices into subs
+      size_t base_count = 0;
+      while (k < j) {
+        const bool is_base = IsBaseLeaf(*subs[k]);
+        if (is_base && base_count == config_.max_conjunction_size) break;
+        span_members.push_back(k);
+        if (is_base) ++base_count;
+        ++k;
+      }
+      if (base_count == 0) {
+        // Built-ins with no base atom: standalone IE-evaluated items.
+        for (size_t m : span_members) {
+          RuleItem item;
+          item.kind = RuleItem::Kind::kBuiltin;
+          item.call = rule->body[subs[m]->body_index];
+          item.body_index = subs[m]->body_index;
+          plan.items.push_back(std::move(item));
+        }
+        continue;
+      }
+      // Build the view specification for this run.
+      ViewSpec view;
+      view.id = StrCat("d", (*view_counter)++);
+      view.source_rules.push_back(node.rule_id);
+      std::set<std::string> run_vars;       // D
+      std::set<std::string> consumer_vars;  // bound at call time
+      std::set<size_t> run_body_indices;
+      for (size_t m : span_members) {
+        const Atom& orig = rule->body[subs[m]->body_index];
+        view.body.push_back(orig);
+        run_body_indices.insert(subs[m]->body_index);
+        for (const std::string& v : orig.Variables()) run_vars.insert(v);
+        for (const std::string& v : BoundOriginalVars(*subs[m], orig)) {
+          consumer_vars.insert(v);
+        }
+      }
+      // B: variables of the rest of the body.
+      std::set<std::string> rest_vars;
+      for (size_t bi = 0; bi < rule->body.size(); ++bi) {
+        if (run_body_indices.count(bi) > 0) continue;
+        for (const std::string& v : rule->body[bi].Variables()) {
+          rest_vars.insert(v);
+        }
+      }
+      // A = (H ∪ B) ∩ D, ordered by first occurrence in the run.
+      for (const Atom& a : view.body) {
+        for (const std::string& v : a.Variables()) {
+          if (head_vars.count(v) == 0 && rest_vars.count(v) == 0) continue;
+          bool already = false;
+          for (const AnnotatedVar& av : view.head) {
+            if (av.name == v) {
+              already = true;
+              break;
+            }
+          }
+          if (already) continue;
+          view.head.push_back(AnnotatedVar{
+              v, consumer_vars.count(v) > 0 ? Binding::kConsumer
+                                            : Binding::kProducer});
+        }
+      }
+
+      RuleItem item;
+      item.kind = RuleItem::Kind::kRun;
+      item.view_id = view.id;
+      item.run_atoms = view.body;
+      plan.items.push_back(std::move(item));
+      out->views.push_back(std::move(view));
+    }
+    i = j;
+  }
+  out->rule_plans.emplace(plan.rule_id, std::move(plan));
+}
+
+}  // namespace braid::ie

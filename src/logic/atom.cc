@@ -1,0 +1,75 @@
+#include "logic/atom.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace braid::logic {
+
+bool IsComparisonPredicate(const std::string& name) {
+  return name == "<" || name == "<=" || name == ">" || name == ">=" ||
+         name == "=" || name == "!=";
+}
+
+bool Atom::IsComparison() const {
+  return IsComparisonPredicate(predicate) && args.size() == 2;
+}
+
+rel::CompareOp Atom::comparison_op() const {
+  assert(IsComparison());
+  if (predicate == "<") return rel::CompareOp::kLt;
+  if (predicate == "<=") return rel::CompareOp::kLe;
+  if (predicate == ">") return rel::CompareOp::kGt;
+  if (predicate == ">=") return rel::CompareOp::kGe;
+  if (predicate == "!=") return rel::CompareOp::kNe;
+  return rel::CompareOp::kEq;
+}
+
+std::vector<std::string> Atom::Variables() const {
+  std::vector<std::string> vars;
+  for (const Term& t : args) {
+    if (!t.is_variable()) continue;
+    bool seen = false;
+    for (const std::string& v : vars) {
+      if (v == t.var_name()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) vars.push_back(t.var_name());
+  }
+  return vars;
+}
+
+bool Atom::IsGround() const {
+  for (const Term& t : args) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString() const {
+  std::ostringstream os;
+  if (negated) os << "not ";
+  if (IsComparison()) {
+    os << args[0].ToString() << " " << predicate << " " << args[1].ToString();
+    return os.str();
+  }
+  os << predicate << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+void CollectVariables(const std::vector<Atom>& atoms,
+                      std::set<std::string>* out) {
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.args) {
+      if (t.is_variable()) out->insert(t.var_name());
+    }
+  }
+}
+
+}  // namespace braid::logic

@@ -1,0 +1,67 @@
+#ifndef BRAID_LOGIC_ATOM_H_
+#define BRAID_LOGIC_ATOM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/term.h"
+#include "relational/predicate.h"
+
+namespace braid::logic {
+
+/// An atomic formula: predicate symbol applied to terms, e.g. b1(c1, Y).
+/// Comparison built-ins ("<", "<=", ">", ">=", "=", "!=") are atoms whose
+/// predicate is the operator symbol with exactly two arguments. A literal
+/// may be negated ("not p(X)") — negation-as-failure over a safe body.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+  bool negated = false;
+
+  Atom() = default;
+  Atom(std::string pred, std::vector<Term> arguments, bool neg = false)
+      : predicate(std::move(pred)), args(std::move(arguments)), negated(neg) {}
+
+  size_t arity() const { return args.size(); }
+
+  /// True for the comparison built-ins.
+  bool IsComparison() const;
+
+  /// The CompareOp for a comparison atom; requires IsComparison().
+  rel::CompareOp comparison_op() const;
+
+  /// Names of the variables occurring in this atom, in first-occurrence
+  /// order (no duplicates).
+  std::vector<std::string> Variables() const;
+
+  /// True if every argument is a constant.
+  bool IsGround() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args &&
+           negated == other.negated;
+  }
+
+  /// This literal with the opposite polarity.
+  Atom Positive() const {
+    Atom a = *this;
+    a.negated = false;
+    return a;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  /// Renders "b1(c1, Y)" or "X < 5" for comparisons.
+  std::string ToString() const;
+};
+
+/// Returns true if `name` is one of the comparison built-in predicates.
+bool IsComparisonPredicate(const std::string& name);
+
+/// Inserts all variable names of `atoms` into `out`.
+void CollectVariables(const std::vector<Atom>& atoms,
+                      std::set<std::string>* out);
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_ATOM_H_

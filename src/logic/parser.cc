@@ -1,0 +1,459 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace braid::logic {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,      // lowercase identifier (predicate / symbol constant)
+  kVariable,   // Uppercase or _ identifier
+  kInt,
+  kDouble,
+  kString,     // 'quoted'
+  kPunct,      // single punctuation or multi-char operator
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        tokens.push_back(LexNumber());
+      } else if (c == '\'') {
+        BRAID_ASSIGN_OR_RETURN(Token t, LexQuoted());
+        tokens.push_back(std::move(t));
+      } else {
+        BRAID_ASSIGN_OR_RETURN(Token t, LexPunct());
+        tokens.push_back(std::move(t));
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    bool is_var = std::isupper(static_cast<unsigned char>(word[0])) ||
+                  word[0] == '_';
+    return Token{is_var ? TokenKind::kVariable : TokenKind::kIdent,
+                 std::move(word), line_};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return Token{is_double ? TokenKind::kDouble : TokenKind::kInt,
+                 std::string(text_.substr(start, pos_ - start)), line_};
+  }
+
+  Result<Token> LexQuoted() {
+    ++pos_;  // opening quote
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+    if (pos_ >= text_.size()) {
+      return Status::ParseError(
+          StrCat("unterminated string literal at line ", line_));
+    }
+    std::string body(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(body), line_};
+  }
+
+  Result<Token> LexPunct() {
+    // Multi-character operators first.
+    static const char* kMulti[] = {":-", "<=", ">=", "!=", "->"};
+    for (const char* op : kMulti) {
+      std::string_view sv(op);
+      if (text_.substr(pos_, sv.size()) == sv) {
+        pos_ += sv.size();
+        return Token{TokenKind::kPunct, std::string(sv), line_};
+      }
+    }
+    char c = text_[pos_];
+    static const std::string kSingle = "().,&<>=?:#";
+    if (kSingle.find(c) == std::string::npos) {
+      return Status::ParseError(
+          StrCat("unexpected character '", std::string(1, c), "' at line ",
+                 line_));
+    }
+    ++pos_;
+    return Token{TokenKind::kPunct, std::string(1, c), line_};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status ParseInto(KnowledgeBase* kb) {
+    while (!AtEnd()) {
+      if (PeekPunct("#")) {
+        BRAID_RETURN_IF_ERROR(ParseDirective(kb));
+      } else {
+        BRAID_RETURN_IF_ERROR(ParseRule(kb));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<Atom> ParseSingleAtom() {
+    BRAID_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    // Optional trailing '?' or '.'.
+    if (PeekPunct("?") || PeekPunct(".")) Advance();
+    if (!AtEnd()) {
+      return Status::ParseError(
+          StrCat("trailing input after atom at line ", Peek().line));
+    }
+    return atom;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekPunct(std::string_view p) const {
+    return Peek().kind == TokenKind::kPunct && Peek().text == p;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!PeekPunct(p)) {
+      return Status::ParseError(StrCat("expected '", std::string(p),
+                                       "' but found '", Peek().text,
+                                       "' at line ", Peek().line));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError(StrCat("expected identifier but found '",
+                                       Peek().text, "' at line ",
+                                       Peek().line));
+    }
+    return Advance().text;
+  }
+
+  Result<size_t> ExpectIndex() {
+    if (Peek().kind != TokenKind::kInt) {
+      return Status::ParseError(StrCat("expected argument position at line ",
+                                       Peek().line));
+    }
+    long v = std::strtol(Advance().text.c_str(), nullptr, 10);
+    if (v < 0) return Status::ParseError("argument position must be >= 0");
+    return static_cast<size_t>(v);
+  }
+
+  Status ParseDirective(KnowledgeBase* kb) {
+    BRAID_RETURN_IF_ERROR(ExpectPunct("#"));
+    BRAID_ASSIGN_OR_RETURN(std::string keyword, ExpectIdent());
+    if (keyword == "base") {
+      BRAID_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("("));
+      std::vector<std::string> attrs;
+      while (true) {
+        // Column names may be lowercase idents or variables; normalize.
+        if (Peek().kind != TokenKind::kIdent &&
+            Peek().kind != TokenKind::kVariable) {
+          return Status::ParseError(
+              StrCat("expected column name at line ", Peek().line));
+        }
+        attrs.push_back(Advance().text);
+        if (PeekPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      BRAID_RETURN_IF_ERROR(ExpectPunct(")"));
+      BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+      return kb->DeclareBaseRelation(name, std::move(attrs));
+    }
+    if (keyword == "mutex") {
+      BRAID_ASSIGN_OR_RETURN(std::string a, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct(","));
+      BRAID_ASSIGN_OR_RETURN(std::string b, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+      kb->AddMutualExclusion(MutualExclusionSoa{a, b});
+      return Status::Ok();
+    }
+    if (keyword == "fd") {
+      BRAID_ASSIGN_OR_RETURN(std::string pred, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct(":"));
+      FunctionalDependencySoa soa;
+      soa.predicate = pred;
+      while (Peek().kind == TokenKind::kInt) {
+        BRAID_ASSIGN_OR_RETURN(size_t idx, ExpectIndex());
+        soa.determinant.push_back(idx);
+      }
+      BRAID_RETURN_IF_ERROR(ExpectPunct("->"));
+      while (Peek().kind == TokenKind::kInt) {
+        BRAID_ASSIGN_OR_RETURN(size_t idx, ExpectIndex());
+        soa.dependent.push_back(idx);
+      }
+      BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+      kb->AddFunctionalDependency(std::move(soa));
+      return Status::Ok();
+    }
+    if (keyword == "agg") {
+      // #agg head(G..., N) = fn V : body(...).
+      AggregateRule agg;
+      BRAID_ASSIGN_OR_RETURN(agg.head_predicate, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("("));
+      std::vector<std::string> head_vars;
+      while (Peek().kind == TokenKind::kVariable) {
+        head_vars.push_back(Advance().text);
+        if (PeekPunct(",")) Advance();
+      }
+      BRAID_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (head_vars.empty()) {
+        return Status::ParseError(
+            StrCat("aggregate head needs a result variable at line ",
+                   Peek().line));
+      }
+      agg.group_vars.assign(head_vars.begin(), head_vars.end() - 1);
+      agg.result_var = head_vars.back();
+      const std::string result_var = head_vars.back();
+      BRAID_RETURN_IF_ERROR(ExpectPunct("="));
+      BRAID_ASSIGN_OR_RETURN(std::string fn, ExpectIdent());
+      if (fn == "count") agg.fn = AggregateFn::kCount;
+      else if (fn == "sum") agg.fn = AggregateFn::kSum;
+      else if (fn == "min") agg.fn = AggregateFn::kMin;
+      else if (fn == "max") agg.fn = AggregateFn::kMax;
+      else if (fn == "avg") agg.fn = AggregateFn::kAvg;
+      else {
+        return Status::ParseError(
+            StrCat("unknown aggregate function ", fn, " at line ",
+                   Peek().line));
+      }
+      if (Peek().kind != TokenKind::kVariable) {
+        return Status::ParseError(
+            StrCat("expected aggregate variable at line ", Peek().line));
+      }
+      agg.agg_var = Advance().text;
+      BRAID_RETURN_IF_ERROR(ExpectPunct(":"));
+      BRAID_ASSIGN_OR_RETURN(agg.body, ParseAtom());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+      // The result variable must not collide with a grouping variable.
+      for (const std::string& g : agg.group_vars) {
+        if (g == result_var) {
+          return Status::ParseError(
+              StrCat("result variable ", result_var,
+                     " repeats a group variable at line ", Peek().line));
+        }
+      }
+      return kb->AddAggregateRule(std::move(agg));
+    }
+    if (keyword == "closure") {
+      BRAID_ASSIGN_OR_RETURN(std::string closure, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("="));
+      BRAID_ASSIGN_OR_RETURN(std::string base, ExpectIdent());
+      BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+      kb->AddRecursiveStructure(RecursiveStructureSoa{closure, base});
+      return Status::Ok();
+    }
+    return Status::ParseError(
+        StrCat("unknown directive #", keyword, " at line ", Peek().line));
+  }
+
+  Status ParseRule(KnowledgeBase* kb) {
+    BRAID_ASSIGN_OR_RETURN(Rule rule, ParseRuleOnly());
+    return kb->AddRule(std::move(rule));
+  }
+
+ public:
+  Result<Rule> ParseRuleOnly() {
+    Rule rule;
+    // Optional rule-id prefix "R1:" (as emitted by Rule::ToString).
+    if ((Peek().kind == TokenKind::kVariable ||
+         Peek().kind == TokenKind::kIdent) &&
+        pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokenKind::kPunct &&
+        tokens_[pos_ + 1].text == ":") {
+      rule.id = Advance().text;
+      Advance();  // ':'
+    }
+    BRAID_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    rule.head = std::move(head);
+    if (PeekPunct(":-")) {
+      Advance();
+      while (true) {
+        BRAID_ASSIGN_OR_RETURN(Atom lit, ParseLiteral());
+        rule.body.push_back(std::move(lit));
+        if (PeekPunct(",") || PeekPunct("&")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    BRAID_RETURN_IF_ERROR(ExpectPunct("."));
+    return rule;
+  }
+
+ private:
+
+  /// literal := ["not"] atom | term cmpop term
+  Result<Atom> ParseLiteral() {
+    // "not" is a keyword only when it prefixes an atom ("not p(...)");
+    // a predicate named not(...) still parses as an atom.
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "not" &&
+        pos_ + 2 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokenKind::kIdent &&
+        tokens_[pos_ + 2].kind == TokenKind::kPunct &&
+        tokens_[pos_ + 2].text == "(") {
+      Advance();
+      BRAID_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      atom.negated = true;
+      return atom;
+    }
+    // An atom begins with ident '('; otherwise parse a comparison.
+    if (Peek().kind == TokenKind::kIdent && pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokenKind::kPunct &&
+        tokens_[pos_ + 1].text == "(") {
+      return ParseAtom();
+    }
+    BRAID_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Peek().kind != TokenKind::kPunct ||
+        !IsComparisonPredicate(Peek().text)) {
+      return Status::ParseError(
+          StrCat("expected comparison operator at line ", Peek().line));
+    }
+    std::string op = Advance().text;
+    BRAID_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Atom(op, {std::move(lhs), std::move(rhs)});
+  }
+
+  Result<Atom> ParseAtom() {
+    BRAID_ASSIGN_OR_RETURN(std::string pred, ExpectIdent());
+    BRAID_RETURN_IF_ERROR(ExpectPunct("("));
+    std::vector<Term> args;
+    if (!PeekPunct(")")) {
+      while (true) {
+        BRAID_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        args.push_back(std::move(t));
+        if (PeekPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    BRAID_RETURN_IF_ERROR(ExpectPunct(")"));
+    return Atom(std::move(pred), std::move(args));
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        return Term::Var(Advance().text);
+      case TokenKind::kIdent:
+        return Term::Str(Advance().text);
+      case TokenKind::kInt:
+        return Term::Int(std::strtoll(Advance().text.c_str(), nullptr, 10));
+      case TokenKind::kDouble:
+        return Term::Const(
+            rel::Value::Double(std::strtod(Advance().text.c_str(), nullptr)));
+      case TokenKind::kString:
+        return Term::Str(Advance().text);
+      default:
+        return Status::ParseError(
+            StrCat("expected term but found '", t.text, "' at line ", t.line));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseProgram(std::string_view text, KnowledgeBase* kb) {
+  Lexer lexer(text);
+  BRAID_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseInto(kb);
+}
+
+Result<Atom> ParseQueryAtom(std::string_view text) {
+  Lexer lexer(text);
+  BRAID_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleAtom();
+}
+
+Result<Rule> ParseRuleText(std::string_view text) {
+  Lexer lexer(text);
+  BRAID_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseRuleOnly();
+}
+
+}  // namespace braid::logic

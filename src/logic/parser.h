@@ -1,0 +1,41 @@
+#ifndef BRAID_LOGIC_PARSER_H_
+#define BRAID_LOGIC_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "logic/knowledge_base.h"
+
+namespace braid::logic {
+
+/// Parses a knowledge-base program in BrAID's Datalog-style surface syntax
+/// into `kb` (which may already contain declarations; new ones are added).
+///
+/// Syntax (comments run from '%' or '//' to end of line):
+///
+///   #base b1(src, dst).            % declare an EDB relation + columns
+///   #mutex k3, k4.                 % mutual-exclusion SOA
+///   #fd b1: 0 -> 1.                % functional-dependency SOA (arg positions)
+///   #closure ancestor = parent.    % recursive-structure SOA
+///   k1(X, Y) :- b1(c1, Y), k2(X, Y).
+///   k2(X, Y) :- b2(X, Z), b3(Z, c2, Y), Z > 5.
+///
+/// Identifiers starting with an uppercase letter or '_' are variables;
+/// lowercase identifiers are symbol constants; numeric literals are int or
+/// double constants; single-quoted strings are string constants. ',' and
+/// '&' both separate body literals.
+Status ParseProgram(std::string_view text, KnowledgeBase* kb);
+
+/// Parses a single atom such as "k1(X, Y)" (an optional trailing '?' or '.'
+/// is accepted) — the AI-query form of §3.
+Result<Atom> ParseQueryAtom(std::string_view text);
+
+/// Parses a single rule "head :- body." (or a bodiless "head.") without
+/// registering it in a knowledge base. Used by the CAQL layer, whose
+/// queries share the rule surface syntax.
+Result<Rule> ParseRuleText(std::string_view text);
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_PARSER_H_

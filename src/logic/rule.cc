@@ -1,0 +1,22 @@
+#include "logic/rule.h"
+
+#include <sstream>
+
+namespace braid::logic {
+
+std::string Rule::ToString() const {
+  std::ostringstream os;
+  if (!id.empty()) os << id << ": ";
+  os << head.ToString();
+  if (!body.empty()) {
+    os << " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << body[i].ToString();
+    }
+  }
+  os << ".";
+  return os.str();
+}
+
+}  // namespace braid::logic

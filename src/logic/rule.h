@@ -1,0 +1,28 @@
+#ifndef BRAID_LOGIC_RULE_H_
+#define BRAID_LOGIC_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+
+namespace braid::logic {
+
+/// A Horn rule: head :- body. A fact is a rule with an empty body and a
+/// ground head. Rule identifiers ("R1", "R2", ...) are assigned by the
+/// knowledge base in definition order and referenced by view specifications
+/// (paper §4.2.1) and path expressions.
+struct Rule {
+  std::string id;
+  Atom head;
+  std::vector<Atom> body;
+
+  bool IsFact() const { return body.empty(); }
+
+  /// Renders "R1: k1(X,Y) :- b1(c1,Y), k2(X,Y)."
+  std::string ToString() const;
+};
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_RULE_H_

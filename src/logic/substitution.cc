@@ -1,0 +1,68 @@
+#include "logic/substitution.h"
+
+#include <sstream>
+
+namespace braid::logic {
+
+Term Substitution::Resolve(const Term& term) const {
+  Term current = term;
+  // Chains are short; guard against accidental cycles anyway.
+  for (size_t hops = 0; hops <= bindings_.size(); ++hops) {
+    if (!current.is_variable()) return current;
+    auto it = bindings_.find(current.var_name());
+    if (it == bindings_.end()) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+std::optional<Term> Substitution::Lookup(const std::string& var) const {
+  auto it = bindings_.find(var);
+  if (it == bindings_.end()) return std::nullopt;
+  return Resolve(it->second);
+}
+
+bool Substitution::Bind(const std::string& var, const Term& term) {
+  Term resolved = Resolve(term);
+  // Binding X to X is a no-op.
+  if (resolved.is_variable() && resolved.var_name() == var) return true;
+  auto it = bindings_.find(var);
+  if (it != bindings_.end()) {
+    Term existing = Resolve(it->second);
+    if (existing == resolved) return true;
+    // If the existing binding resolved to a different variable, union the
+    // two chains by binding that variable instead.
+    if (existing.is_variable()) {
+      return Bind(existing.var_name(), resolved);
+    }
+    if (resolved.is_variable()) {
+      return Bind(resolved.var_name(), existing);
+    }
+    return false;  // Two distinct constants.
+  }
+  bindings_.emplace(var, std::move(resolved));
+  return true;
+}
+
+Term Substitution::Apply(const Term& term) const { return Resolve(term); }
+
+Atom Substitution::Apply(const Atom& atom) const {
+  Atom out = atom;
+  for (Term& t : out.args) t = Resolve(t);
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [var, term] : bindings_) {
+    if (!first) os << ", ";
+    first = false;
+    os << var << "=" << Resolve(term).ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace braid::logic

@@ -1,0 +1,53 @@
+#ifndef BRAID_LOGIC_SUBSTITUTION_H_
+#define BRAID_LOGIC_SUBSTITUTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+
+namespace braid::logic {
+
+/// A mapping from variable names to terms. Substitutions are kept
+/// idempotent: bindings are resolved transitively on insertion so that
+/// applying a substitution once yields a fixed point.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+  /// The binding for `var`, fully resolved through variable chains, or
+  /// nullopt if unbound.
+  std::optional<Term> Lookup(const std::string& var) const;
+
+  /// Binds `var` to `term` (resolving `term` first). Returns false (and
+  /// leaves the substitution unchanged) if `var` is already bound to a
+  /// conflicting term.
+  bool Bind(const std::string& var, const Term& term);
+
+  /// Applies the substitution to a term: variables are replaced by their
+  /// resolved bindings; unbound variables and constants pass through.
+  Term Apply(const Term& term) const;
+
+  /// Applies the substitution to every argument of `atom`.
+  Atom Apply(const Atom& atom) const;
+
+  const std::map<std::string, Term>& bindings() const { return bindings_; }
+
+  /// Renders "{X=3, Y=Z}".
+  std::string ToString() const;
+
+ private:
+  /// Follows variable→variable chains to the representative term.
+  Term Resolve(const Term& term) const;
+
+  std::map<std::string, Term> bindings_;
+};
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_SUBSTITUTION_H_

@@ -1,0 +1,13 @@
+#include "logic/term.h"
+
+namespace braid::logic {
+
+std::string Term::ToString() const {
+  if (is_variable()) return var_name();
+  const rel::Value& v = value();
+  // Render symbol constants bare (they parse back as lowercase idents).
+  if (v.type() == rel::ValueType::kString) return v.AsString();
+  return v.ToString();
+}
+
+}  // namespace braid::logic

@@ -1,0 +1,63 @@
+#ifndef BRAID_LOGIC_TERM_H_
+#define BRAID_LOGIC_TERM_H_
+
+#include <string>
+#include <variant>
+
+#include "relational/value.h"
+
+namespace braid::logic {
+
+/// A first-order term in BrAID's function-free (Datalog-class) logic: either
+/// a named variable or a constant. Constants reuse the relational `Value`
+/// type so the IE, CMS, and DBMS share one data domain.
+class Term {
+ public:
+  /// Constructs a variable term.
+  static Term Var(std::string name) {
+    Term t;
+    t.data_ = Variable{std::move(name)};
+    return t;
+  }
+  /// Constructs a constant term.
+  static Term Const(rel::Value value) {
+    Term t;
+    t.data_ = std::move(value);
+    return t;
+  }
+  static Term Int(int64_t v) { return Const(rel::Value::Int(v)); }
+  static Term Str(std::string v) {
+    return Const(rel::Value::String(std::move(v)));
+  }
+
+  bool is_variable() const { return std::holds_alternative<Variable>(data_); }
+  bool is_constant() const { return !is_variable(); }
+
+  /// Name of the variable; requires is_variable().
+  const std::string& var_name() const {
+    return std::get<Variable>(data_).name;
+  }
+  /// Constant payload; requires is_constant().
+  const rel::Value& value() const { return std::get<rel::Value>(data_); }
+
+  bool operator==(const Term& other) const {
+    if (is_variable() != other.is_variable()) return false;
+    if (is_variable()) return var_name() == other.var_name();
+    return value() == other.value();
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  /// Renders the variable name or the constant (symbols without quotes).
+  std::string ToString() const;
+
+ private:
+  struct Variable {
+    std::string name;
+  };
+  Term() = default;
+  std::variant<Variable, rel::Value> data_;
+};
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_TERM_H_

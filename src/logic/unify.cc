@@ -1,0 +1,61 @@
+#include "logic/unify.h"
+
+namespace braid::logic {
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term ra = subst->Apply(a);
+  Term rb = subst->Apply(b);
+  if (ra.is_variable()) return subst->Bind(ra.var_name(), rb);
+  if (rb.is_variable()) return subst->Bind(rb.var_name(), ra);
+  return ra.value() == rb.value();
+}
+
+std::optional<Substitution> UnifyAtoms(const Atom& a, const Atom& b,
+                                       const Substitution& seed) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) {
+    return std::nullopt;
+  }
+  Substitution subst = seed;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!UnifyTerms(a.args[i], b.args[i], &subst)) return std::nullopt;
+  }
+  return subst;
+}
+
+std::optional<Substitution> MatchOneWay(const Atom& general,
+                                        const Atom& specific,
+                                        const Substitution& seed) {
+  if (general.predicate != specific.predicate ||
+      general.arity() != specific.arity()) {
+    return std::nullopt;
+  }
+  Substitution subst = seed;
+  for (size_t i = 0; i < general.arity(); ++i) {
+    const Term& g = general.args[i];
+    const Term& s = specific.args[i];
+    if (g.is_constant()) {
+      // A constant in the general atom only matches the same constant.
+      if (!s.is_constant() || g.value() != s.value()) return std::nullopt;
+      continue;
+    }
+    // Variable in general: may absorb a constant or align with a variable,
+    // but must do so consistently across repeated occurrences.
+    Term bound = subst.Apply(g);
+    if (bound.is_variable() && bound.var_name() == g.var_name()) {
+      if (!subst.Bind(g.var_name(), s)) return std::nullopt;
+    } else if (bound != s) {
+      return std::nullopt;
+    }
+  }
+  return subst;
+}
+
+Atom RenameVariables(const Atom& atom, const std::string& suffix) {
+  Atom out = atom;
+  for (Term& t : out.args) {
+    if (t.is_variable()) t = Term::Var(t.var_name() + suffix);
+  }
+  return out;
+}
+
+}  // namespace braid::logic

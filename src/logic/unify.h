@@ -1,0 +1,39 @@
+#ifndef BRAID_LOGIC_UNIFY_H_
+#define BRAID_LOGIC_UNIFY_H_
+
+#include <optional>
+
+#include "logic/atom.h"
+#include "logic/substitution.h"
+#include "logic/term.h"
+
+namespace braid::logic {
+
+/// Unifies two terms under an accumulating substitution. Returns false and
+/// may leave partial bindings in `subst` on failure (callers discard the
+/// substitution on failure).
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+/// Unifies two atoms (same predicate, same arity, pairwise-unifiable
+/// arguments). On success returns the most general unifier extending
+/// `seed`.
+std::optional<Substitution> UnifyAtoms(const Atom& a, const Atom& b,
+                                       const Substitution& seed = {});
+
+/// One-directional match used for subsumption checks: finds a substitution
+/// over the variables of `general` only, such that Apply(general) equals
+/// `specific`. Constants in `specific` may match variables in `general`,
+/// never the reverse; variables in `specific` match only variables in
+/// `general`. This is the paper's "unification in a single direction"
+/// (§5.3.2 step 1).
+std::optional<Substitution> MatchOneWay(const Atom& general,
+                                        const Atom& specific,
+                                        const Substitution& seed = {});
+
+/// Renames every variable in `atom` by appending `suffix` (used to
+/// standardize rules apart before unification).
+Atom RenameVariables(const Atom& atom, const std::string& suffix);
+
+}  // namespace braid::logic
+
+#endif  // BRAID_LOGIC_UNIFY_H_

@@ -1,0 +1,28 @@
+#include "relational/index.h"
+
+namespace braid::rel {
+
+const std::vector<size_t> HashIndex::kEmpty;
+
+HashIndex::HashIndex(const Relation& relation, size_t column)
+    : column_(column) {
+  buckets_.reserve(relation.NumTuples());
+  for (size_t row = 0; row < relation.NumTuples(); ++row) {
+    buckets_[relation.tuple(row)[column]].push_back(row);
+  }
+}
+
+const std::vector<size_t>& HashIndex::Lookup(const Value& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+size_t HashIndex::ByteSize() const {
+  size_t total = 64;
+  for (const auto& [key, rows] : buckets_) {
+    total += key.ByteSize() + 24 + rows.size() * sizeof(size_t);
+  }
+  return total;
+}
+
+}  // namespace braid::rel

@@ -1,0 +1,41 @@
+#ifndef BRAID_RELATIONAL_INDEX_H_
+#define BRAID_RELATIONAL_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace braid::rel {
+
+/// A hash index over one column of a relation, mapping a value to the row
+/// positions that carry it. This is the CMS's "attribute index" (paper
+/// §4.2.1: consumer-annotated attributes are prime candidates for indexing)
+/// and also powers hash joins.
+///
+/// The index snapshots the relation at build time; it does not track later
+/// mutations. The CMS rebuilds indexes when a cache element is replaced.
+class HashIndex {
+ public:
+  /// Builds an index on `column` of `relation`.
+  HashIndex(const Relation& relation, size_t column);
+
+  size_t column() const { return column_; }
+  size_t NumDistinctKeys() const { return buckets_.size(); }
+
+  /// Row positions whose `column` value equals `key` (possibly empty).
+  const std::vector<size_t>& Lookup(const Value& key) const;
+
+  /// Approximate memory footprint for cache accounting.
+  size_t ByteSize() const;
+
+ private:
+  size_t column_;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> buckets_;
+  static const std::vector<size_t> kEmpty;
+};
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_INDEX_H_

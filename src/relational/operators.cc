@@ -1,0 +1,239 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "relational/index.h"
+
+namespace braid::rel {
+
+Relation Select(const Relation& input, const Predicate& pred) {
+  Relation out(StrCat("select(", input.name(), ")"), input.schema());
+  for (const Tuple& t : input.tuples()) {
+    if (pred.Eval(t)) out.AppendUnchecked(t);
+  }
+  return out;
+}
+
+Relation Project(const Relation& input, const std::vector<size_t>& columns) {
+  Relation out(StrCat("project(", input.name(), ")"),
+               input.schema().Project(columns));
+  for (const Tuple& t : input.tuples()) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (size_t c : columns) projected.push_back(t[c]);
+    out.AppendUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right,
+                  const std::vector<JoinKey>& keys,
+                  const PredicatePtr& residual) {
+  Relation out(StrCat("join(", left.name(), ",", right.name(), ")"),
+               left.schema().Concat(right.schema()));
+
+  auto emit_if_match = [&](const Tuple& lt, const Tuple& rt) {
+    for (size_t k = 1; k < keys.size(); ++k) {
+      if (lt[keys[k].left_col] != rt[keys[k].right_col]) return;
+    }
+    Tuple combined = lt;
+    combined.insert(combined.end(), rt.begin(), rt.end());
+    if (residual != nullptr && !residual->Eval(combined)) return;
+    out.AppendUnchecked(std::move(combined));
+  };
+
+  if (keys.empty()) {
+    // Cross product with optional residual filter.
+    for (const Tuple& lt : left.tuples()) {
+      for (const Tuple& rt : right.tuples()) {
+        Tuple combined = lt;
+        combined.insert(combined.end(), rt.begin(), rt.end());
+        if (residual == nullptr || residual->Eval(combined)) {
+          out.AppendUnchecked(std::move(combined));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Build on the smaller side to bound hash-table size.
+  const bool build_left = left.NumTuples() <= right.NumTuples();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const size_t build_col = build_left ? keys[0].left_col : keys[0].right_col;
+  const size_t probe_col = build_left ? keys[0].right_col : keys[0].left_col;
+
+  HashIndex index(build, build_col);
+  for (const Tuple& pt : probe.tuples()) {
+    for (size_t row : index.Lookup(pt[probe_col])) {
+      const Tuple& bt = build.tuple(row);
+      if (build_left) {
+        emit_if_match(bt, pt);
+      } else {
+        emit_if_match(pt, bt);
+      }
+    }
+  }
+  return out;
+}
+
+Relation NestedLoopJoin(const Relation& left, const Relation& right,
+                        const Predicate& pred) {
+  Relation out(StrCat("nljoin(", left.name(), ",", right.name(), ")"),
+               left.schema().Concat(right.schema()));
+  for (const Tuple& lt : left.tuples()) {
+    for (const Tuple& rt : right.tuples()) {
+      Tuple combined = lt;
+      combined.insert(combined.end(), rt.begin(), rt.end());
+      if (pred.Eval(combined)) out.AppendUnchecked(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& left, const Relation& right) {
+  if (left.schema().size() != right.schema().size()) {
+    return Status::InvalidArgument(
+        StrCat("union arity mismatch: ", left.schema().size(), " vs ",
+               right.schema().size()));
+  }
+  Relation out(StrCat("union(", left.name(), ",", right.name(), ")"),
+               left.schema());
+  for (const Tuple& t : left.tuples()) out.AppendUnchecked(t);
+  for (const Tuple& t : right.tuples()) out.AppendUnchecked(t);
+  return out;
+}
+
+Result<Relation> Difference(const Relation& left, const Relation& right) {
+  if (left.schema().size() != right.schema().size()) {
+    return Status::InvalidArgument(
+        StrCat("difference arity mismatch: ", left.schema().size(), " vs ",
+               right.schema().size()));
+  }
+  std::unordered_map<Tuple, size_t, TupleHash> right_counts;
+  for (const Tuple& t : right.tuples()) ++right_counts[t];
+  Relation out(StrCat("diff(", left.name(), ",", right.name(), ")"),
+               left.schema());
+  for (const Tuple& t : left.tuples()) {
+    auto it = right_counts.find(t);
+    if (it != right_counts.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.AppendUnchecked(t);
+  }
+  return out;
+}
+
+Relation Distinct(const Relation& input) {
+  Relation out(StrCat("distinct(", input.name(), ")"), input.schema());
+  std::unordered_map<Tuple, bool, TupleHash> seen;
+  for (const Tuple& t : input.tuples()) {
+    if (!seen.emplace(t, true).second) continue;
+    out.AppendUnchecked(t);
+  }
+  return out;
+}
+
+Relation Sort(const Relation& input, const std::vector<size_t>& columns) {
+  Relation out(StrCat("sort(", input.name(), ")"), input.schema());
+  out.mutable_tuples() = input.tuples();
+  std::stable_sort(out.mutable_tuples().begin(), out.mutable_tuples().end(),
+                   [&columns](const Tuple& a, const Tuple& b) {
+                     for (size_t c : columns) {
+                       int cmp = a[c].Compare(b[c]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+namespace {
+
+/// Running state for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    if (v.IsNumeric()) sum += v.NumericValue();
+    if (!any || v < min) min = v;
+    if (!any || v > max) max = v;
+    any = true;
+  }
+
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(count);
+      case AggFn::kSum:
+        return Value::Double(sum);
+      case AggFn::kMin:
+        return any ? min : Value::Null();
+      case AggFn::kMax:
+        return any ? max : Value::Null();
+      case AggFn::kAvg:
+        return count > 0 ? Value::Double(sum / static_cast<double>(count))
+                         : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Relation Aggregate(const Relation& input, const std::vector<size_t>& group_by,
+                   const std::vector<AggSpec>& aggs) {
+  Schema out_schema = input.schema().Project(group_by);
+  for (const AggSpec& a : aggs) {
+    out_schema.AddColumn(Column{a.output_name, ValueType::kNull});
+  }
+  Relation out(StrCat("agg(", input.name(), ")"), std::move(out_schema));
+
+  std::unordered_map<Tuple, std::vector<AggState>, TupleHash> groups;
+  std::vector<Tuple> group_order;  // Deterministic output order.
+  for (const Tuple& t : input.tuples()) {
+    Tuple key;
+    key.reserve(group_by.size());
+    for (size_t c : group_by) key.push_back(t[c]);
+    auto [it, inserted] = groups.emplace(key, std::vector<AggState>());
+    if (inserted) {
+      it->second.resize(aggs.size());
+      group_order.push_back(key);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].fn == AggFn::kCount) {
+        it->second[i].Add(Value::Int(1));
+      } else {
+        it->second[i].Add(t[aggs[i].column]);
+      }
+    }
+  }
+
+  // A global aggregate (no GROUP BY) over an empty input still produces one
+  // row: COUNT is 0 and other aggregates are NULL.
+  if (group_by.empty() && group_order.empty()) {
+    group_order.push_back(Tuple{});
+    groups.emplace(Tuple{}, std::vector<AggState>(aggs.size()));
+  }
+
+  for (const Tuple& key : group_order) {
+    const std::vector<AggState>& states = groups.at(key);
+    Tuple row = key;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      row.push_back(states[i].Finish(aggs[i].fn));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace braid::rel

@@ -1,0 +1,69 @@
+#ifndef BRAID_RELATIONAL_OPERATORS_H_
+#define BRAID_RELATIONAL_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/predicate.h"
+#include "relational/relation.h"
+
+namespace braid::rel {
+
+/// Pair of column positions equated by a join: left.tuple[left_col] ==
+/// right.tuple[right_col].
+struct JoinKey {
+  size_t left_col;
+  size_t right_col;
+};
+
+/// σ: tuples of `input` satisfying `pred`.
+Relation Select(const Relation& input, const Predicate& pred);
+
+/// π: `input` restricted to `columns` (positions; duplicates allowed). Bag
+/// semantics — no duplicate elimination.
+Relation Project(const Relation& input, const std::vector<size_t>& columns);
+
+/// Equi-join via hashing on the first key; remaining keys and `residual`
+/// (over the concatenated tuple) are checked per candidate pair. With no
+/// keys this degrades to a filtered cross product.
+Relation HashJoin(const Relation& left, const Relation& right,
+                  const std::vector<JoinKey>& keys,
+                  const PredicatePtr& residual = nullptr);
+
+/// Nested-loop join with an arbitrary predicate over the concatenated
+/// tuple. Baseline used by tests to validate HashJoin.
+Relation NestedLoopJoin(const Relation& left, const Relation& right,
+                        const Predicate& pred);
+
+/// Bag union. Schemas must have equal arity.
+Result<Relation> Union(const Relation& left, const Relation& right);
+
+/// Set difference (left tuples not present in right; duplicates in left
+/// collapse to multiplicity max(l - r, 0) per distinct tuple).
+Result<Relation> Difference(const Relation& left, const Relation& right);
+
+/// Duplicate elimination.
+Relation Distinct(const Relation& input);
+
+/// Sorts by the given columns ascending (lexicographic).
+Relation Sort(const Relation& input, const std::vector<size_t>& columns);
+
+/// Aggregation function kinds.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFn fn;
+  size_t column = 0;  // Ignored for kCount.
+  std::string output_name;
+};
+
+/// Groups `input` by `group_by` columns and computes each aggregate.
+/// Output schema: group columns then one column per AggSpec. With empty
+/// `group_by`, produces a single row (even over an empty input for kCount).
+Relation Aggregate(const Relation& input, const std::vector<size_t>& group_by,
+                   const std::vector<AggSpec>& aggs);
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_OPERATORS_H_

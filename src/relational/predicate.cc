@@ -1,0 +1,157 @@
+#include "relational/predicate.h"
+
+#include <sstream>
+
+namespace braid::rel {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return !lhs.is_null() && !rhs.is_null() && lhs < rhs;
+    case CompareOp::kLe:
+      return !lhs.is_null() && !rhs.is_null() && lhs <= rhs;
+    case CompareOp::kGt:
+      return !lhs.is_null() && !rhs.is_null() && lhs > rhs;
+    case CompareOp::kGe:
+      return !lhs.is_null() && !rhs.is_null() && lhs >= rhs;
+  }
+  return false;
+}
+
+CompareOp ReverseCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+PredicatePtr Predicate::True() {
+  return std::shared_ptr<Predicate>(new Predicate(Kind::kTrue));
+}
+
+PredicatePtr Predicate::ColumnConst(size_t col, CompareOp op, Value constant) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kColumnConst));
+  p->lhs_col_ = col;
+  p->op_ = op;
+  p->constant_ = std::move(constant);
+  return p;
+}
+
+PredicatePtr Predicate::ColumnColumn(size_t lhs_col, CompareOp op,
+                                     size_t rhs_col) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kColumnColumn));
+  p->lhs_col_ = lhs_col;
+  p->op_ = op;
+  p->rhs_col_ = rhs_col;
+  return p;
+}
+
+PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAnd));
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
+  if (children.size() == 1) return children[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kOr));
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr child) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kNot));
+  p->children_.push_back(std::move(child));
+  return p;
+}
+
+bool Predicate::Eval(const Tuple& t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kColumnConst:
+      return EvalCompare(op_, t[lhs_col_], constant_);
+    case Kind::kColumnColumn:
+      return EvalCompare(op_, t[lhs_col_], t[rhs_col_]);
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->Eval(t)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c->Eval(t)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_[0]->Eval(t);
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      os << "TRUE";
+      break;
+    case Kind::kColumnConst:
+      os << "#" << lhs_col_ << " " << CompareOpSymbol(op_) << " "
+         << constant_.ToString();
+      break;
+    case Kind::kColumnColumn:
+      os << "#" << lhs_col_ << " " << CompareOpSymbol(op_) << " #" << rhs_col_;
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << (kind_ == Kind::kAnd ? " AND " : " OR ");
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kNot:
+      os << "NOT " << children_[0]->ToString();
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace braid::rel

@@ -1,0 +1,90 @@
+#ifndef BRAID_RELATIONAL_PREDICATE_H_
+#define BRAID_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace braid::rel {
+
+/// Comparison operator for predicate leaves.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// Evaluates `lhs op rhs` under the Value total order. Comparisons with
+/// NULL are false (SQL-like three-valued logic collapsed to false), except
+/// kEq/kNe which treat NULL = NULL as true (needed for join semantics on
+/// generated data, which never contains NULL keys in practice).
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// Flips an operator across its arguments: (a < b) == (b > a).
+CompareOp ReverseCompareOp(CompareOp op);
+
+/// A boolean expression tree over the columns of a single (possibly
+/// concatenated) tuple. Leaves compare a column with a constant or with
+/// another column.
+class Predicate {
+ public:
+  enum class Kind {
+    kTrue,          // Always true.
+    kColumnConst,   // tuple[lhs_col] op constant
+    kColumnColumn,  // tuple[lhs_col] op tuple[rhs_col]
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  /// Always-true predicate.
+  static std::shared_ptr<Predicate> True();
+  static std::shared_ptr<Predicate> ColumnConst(size_t col, CompareOp op,
+                                                Value constant);
+  static std::shared_ptr<Predicate> ColumnColumn(size_t lhs_col, CompareOp op,
+                                                 size_t rhs_col);
+  static std::shared_ptr<Predicate> And(
+      std::vector<std::shared_ptr<Predicate>> children);
+  static std::shared_ptr<Predicate> Or(
+      std::vector<std::shared_ptr<Predicate>> children);
+  static std::shared_ptr<Predicate> Not(std::shared_ptr<Predicate> child);
+
+  Kind kind() const { return kind_; }
+  size_t lhs_col() const { return lhs_col_; }
+  size_t rhs_col() const { return rhs_col_; }
+  CompareOp op() const { return op_; }
+  const Value& constant() const { return constant_; }
+  const std::vector<std::shared_ptr<Predicate>>& children() const {
+    return children_;
+  }
+
+  /// Evaluates against one tuple.
+  bool Eval(const Tuple& t) const;
+
+  /// Renders e.g. "(#0 = 3 AND #1 < #2)".
+  std::string ToString() const;
+
+ private:
+  explicit Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  size_t lhs_col_ = 0;
+  size_t rhs_col_ = 0;
+  CompareOp op_ = CompareOp::kEq;
+  Value constant_;
+  std::vector<std::shared_ptr<Predicate>> children_;
+};
+
+using PredicatePtr = std::shared_ptr<Predicate>;
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_PREDICATE_H_

@@ -1,0 +1,40 @@
+#include "relational/relation.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace braid::rel {
+
+Status Relation::Append(Tuple t) {
+  if (t.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", t.size(), " does not match schema arity ",
+               schema_.size(), " of relation ", name_));
+  }
+  tuples_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+size_t Relation::ByteSize() const {
+  size_t total = 64;
+  for (const Tuple& t : tuples_) total += TupleByteSize(t);
+  return total;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << " " << schema_.ToString() << " [" << tuples_.size()
+     << " tuples]";
+  size_t shown = 0;
+  for (const Tuple& t : tuples_) {
+    if (shown++ >= max_rows) {
+      os << "\n  ...";
+      break;
+    }
+    os << "\n  " << TupleToString(t);
+  }
+  return os.str();
+}
+
+}  // namespace braid::rel

@@ -1,0 +1,57 @@
+#ifndef BRAID_RELATIONAL_RELATION_H_
+#define BRAID_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace braid::rel {
+
+/// An in-memory bag of tuples with a schema. Relations are the unit of data
+/// exchanged between the remote-DBMS simulator, the CMS cache, and the
+/// relational operators. Bag semantics: duplicates are allowed unless a
+/// `Distinct` pass is applied.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  size_t NumTuples() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  /// Appends a tuple; it must have exactly one value per schema column.
+  Status Append(Tuple t);
+
+  /// Appends without arity checking (hot path for operators that construct
+  /// well-formed tuples).
+  void AppendUnchecked(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  void Clear() { tuples_.clear(); }
+
+  /// Approximate in-memory size, for cache budgeting.
+  size_t ByteSize() const;
+
+  /// Multi-line rendering: header then one line per tuple (for debugging
+  /// and examples; capped at `max_rows`).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_RELATION_H_

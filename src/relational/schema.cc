@@ -1,0 +1,48 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+namespace braid::rel {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back(Column{n, ValueType::kNull});
+  return Schema(std::move(cols));
+}
+
+std::optional<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name;
+    if (columns_[i].type != ValueType::kNull) {
+      os << ":" << ValueTypeName(columns_[i].type);
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace braid::rel

@@ -1,0 +1,61 @@
+#ifndef BRAID_RELATIONAL_SCHEMA_H_
+#define BRAID_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace braid::rel {
+
+/// Name and declared type of one column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;  // kNull means "any type".
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns describing the tuples of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Convenience: columns with unconstrained type.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Concatenation of this schema with `other` (for joins / products).
+  Schema Concat(const Schema& other) const;
+
+  /// Schema restricted to the given column positions, in order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// Renders "(a:INT, b:STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,45 @@
+#ifndef BRAID_RELATIONAL_TUPLE_H_
+#define BRAID_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace braid::rel {
+
+/// A row: one `Value` per schema column.
+using Tuple = std::vector<Value>;
+
+/// Hash of a whole tuple, combining per-value hashes.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x345678;
+    for (const Value& v : t) {
+      h = h * 1000003 ^ v.Hash();
+    }
+    return h;
+  }
+};
+
+/// Renders "(1, 'a', NULL)".
+inline std::string TupleToString(const Tuple& t) {
+  std::string s = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += t[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+/// Approximate in-memory footprint of a tuple, for cache accounting.
+inline size_t TupleByteSize(const Tuple& t) {
+  size_t total = 16;  // vector overhead
+  for (const Value& v : t) total += v.ByteSize();
+  return total;
+}
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_TUPLE_H_

@@ -1,0 +1,104 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace braid::rel {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType lt = type();
+  const ValueType rt = other.type();
+  // NULL sorts first.
+  if (lt == ValueType::kNull || rt == ValueType::kNull) {
+    if (lt == rt) return 0;
+    return lt == ValueType::kNull ? -1 : 1;
+  }
+  // Numeric cross-type comparison.
+  if (IsNumeric() && other.IsNumeric()) {
+    if (lt == ValueType::kInt && rt == ValueType::kInt) {
+      const int64_t a = AsInt();
+      const int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = NumericValue();
+    const double b = other.NumericValue();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // Mixed numeric/string: order by type tag.
+  if (lt != rt) {
+    return static_cast<int>(lt) < static_cast<int>(rt) ? -1 : 1;
+  }
+  // Both strings.
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      // Hash ints through double when they are exactly representable so
+      // that Value::Int(2) and Value::Double(2.0) hash alike (they compare
+      // equal). 64-bit ints beyond 2^53 lose precision as doubles, but such
+      // an int can only compare equal to itself among ints anyway; for
+      // hashing consistency we still route through double.
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 16 + AsString().size();
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace braid::rel

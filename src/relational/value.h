@@ -1,0 +1,96 @@
+#ifndef BRAID_RELATIONAL_VALUE_H_
+#define BRAID_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace braid::rel {
+
+/// Runtime type of a `Value`.
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value: SQL-style NULL, 64-bit integer, double, or
+/// string. Values are small value types; copies are cheap except for long
+/// strings.
+///
+/// Ordering: NULL sorts before every non-NULL value. Int and double compare
+/// numerically with each other; comparing a numeric with a string orders by
+/// type tag (numeric < string). This gives every pair of values a total
+/// order, which the sort/join operators rely on.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors require the matching type (checked by assert in debug).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value as double for either int or double payloads.
+  double NumericValue() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                     : AsDouble();
+  }
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Three-way comparison implementing the total order documented above.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (an int and a double that compare
+  /// equal hash identically).
+  size_t Hash() const;
+
+  /// Renders the value for display: NULL, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes, used for cache accounting.
+  size_t ByteSize() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace braid::rel
+
+#endif  // BRAID_RELATIONAL_VALUE_H_

@@ -1,0 +1,88 @@
+#ifndef BRAID_STREAM_REMOTE_STREAM_H_
+#define BRAID_STREAM_REMOTE_STREAM_H_
+
+#include <memory>
+
+#include "stream/tuple_stream.h"
+
+namespace braid::stream {
+
+/// Timing parameters of a buffered remote result (paper §5.5: "The CMS's
+/// interface to the remote DBMS provides buffers for the data returned by
+/// the DBMS. The interface also allows pipelining...").
+struct RemoteStreamTiming {
+  double server_ms = 0;        // total server production time
+  double msg_latency_ms = 0;   // per-message round-trip latency
+  double per_tuple_ms = 0;     // transfer cost per tuple
+  size_t buffer_tuples = 64;   // tuples per buffer (one message each)
+  bool pipelining = true;      // server produces while earlier buffers ship
+};
+
+/// A remote result consumed buffer-at-a-time: tuples are all present (the
+/// simulation is deterministic), but each carries the simulated time at
+/// which its buffer arrived at the workstation. With pipelining the
+/// server's production overlaps the transfer of earlier buffers, so the
+/// first buffer arrives long before the full result — the time-to-first-
+/// tuple advantage stream processing exists to provide.
+class BufferedRemoteStream : public TupleStream {
+ public:
+  BufferedRemoteStream(std::shared_ptr<const rel::Relation> result,
+                       RemoteStreamTiming timing)
+      : result_(std::move(result)), timing_(timing) {}
+
+  const rel::Schema& schema() const override { return result_->schema(); }
+
+  std::optional<rel::Tuple> Next() override {
+    if (pos_ >= result_->NumTuples()) return std::nullopt;
+    ++produced_;
+    return result_->tuple(pos_++);
+  }
+
+  size_t WorkDone() const override { return pos_; }
+
+  size_t NumBuffers() const {
+    const size_t n = result_->NumTuples();
+    const size_t b = timing_.buffer_tuples == 0 ? 1 : timing_.buffer_tuples;
+    return n == 0 ? 1 : (n + b - 1) / b;
+  }
+
+  /// Simulated arrival time (ms after the request was issued) of the
+  /// buffer containing tuple `index`.
+  double ArrivalMs(size_t index) const {
+    const size_t b = timing_.buffer_tuples == 0 ? 1 : timing_.buffer_tuples;
+    const size_t buffer = index / b;                    // 0-based
+    const size_t buffers = NumBuffers();
+    const double per_buffer_transfer =
+        timing_.msg_latency_ms +
+        static_cast<double>(b) * timing_.per_tuple_ms;
+    if (!timing_.pipelining) {
+      // The server finishes the whole result first, then ships buffers.
+      return timing_.server_ms +
+             static_cast<double>(buffer + 1) * per_buffer_transfer;
+    }
+    // Pipelined: buffer k is ready at the server after a proportional
+    // share of production, and its transfer overlaps later production.
+    const double produced_at = timing_.server_ms *
+                               static_cast<double>(buffer + 1) /
+                               static_cast<double>(buffers);
+    return std::max(produced_at,
+                    static_cast<double>(buffer) * per_buffer_transfer) +
+           per_buffer_transfer;
+  }
+
+  /// Arrival of the last buffer (total response time of the transfer).
+  double CompletionMs() const {
+    return result_->NumTuples() == 0
+               ? timing_.server_ms + timing_.msg_latency_ms
+               : ArrivalMs(result_->NumTuples() - 1);
+  }
+
+ private:
+  std::shared_ptr<const rel::Relation> result_;
+  RemoteStreamTiming timing_;
+  size_t pos_ = 0;
+};
+
+}  // namespace braid::stream
+
+#endif  // BRAID_STREAM_REMOTE_STREAM_H_

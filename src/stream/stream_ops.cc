@@ -1,0 +1,124 @@
+#include "stream/stream_ops.h"
+
+namespace braid::stream {
+
+rel::Relation Drain(TupleStream& stream, const std::string& name) {
+  rel::Relation out(name, stream.schema());
+  while (auto t = stream.Next()) {
+    out.AppendUnchecked(std::move(*t));
+  }
+  return out;
+}
+
+std::optional<rel::Tuple> ScanStream::Next() {
+  if (pos_ >= relation_->NumTuples()) return std::nullopt;
+  ++produced_;
+  return relation_->tuple(pos_++);
+}
+
+std::optional<rel::Tuple> SelectStream::Next() {
+  while (auto t = input_->Next()) {
+    if (pred_->Eval(*t)) {
+      ++produced_;
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<rel::Tuple> ProjectStream::Next() {
+  auto t = input_->Next();
+  if (!t.has_value()) return std::nullopt;
+  rel::Tuple projected;
+  projected.reserve(columns_.size());
+  for (size_t c : columns_) projected.push_back((*t)[c]);
+  ++produced_;
+  return projected;
+}
+
+IndexJoinStream::IndexJoinStream(
+    TupleStreamPtr left, std::shared_ptr<const rel::Relation> right,
+    std::vector<rel::JoinKey> keys,
+    std::shared_ptr<const rel::HashIndex> right_index,
+    rel::PredicatePtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      right_index_(std::move(right_index)),
+      residual_(std::move(residual)),
+      schema_(left_->schema().Concat(right_->schema())) {
+  scan_all_ = right_index_ == nullptr || keys_.empty();
+}
+
+bool IndexJoinStream::AdvanceLeft() {
+  current_left_ = left_->Next();
+  if (!current_left_.has_value()) return false;
+  candidate_pos_ = 0;
+  if (scan_all_) {
+    candidates_.clear();
+    candidates_.reserve(right_->NumTuples());
+    for (size_t i = 0; i < right_->NumTuples(); ++i) candidates_.push_back(i);
+  } else {
+    const rel::Value& key = (*current_left_)[keys_[0].left_col];
+    candidates_ = right_index_->Lookup(key);
+  }
+  return true;
+}
+
+std::optional<rel::Tuple> IndexJoinStream::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      if (!AdvanceLeft()) return std::nullopt;
+    }
+    while (candidate_pos_ < candidates_.size()) {
+      const rel::Tuple& rt = right_->tuple(candidates_[candidate_pos_++]);
+      ++work_;
+      bool match = true;
+      // When an index served key 0, start checking from key 1.
+      const size_t first_key = scan_all_ ? 0 : 1;
+      for (size_t k = first_key; k < keys_.size(); ++k) {
+        if ((*current_left_)[keys_[k].left_col] != rt[keys_[k].right_col]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      rel::Tuple combined = *current_left_;
+      combined.insert(combined.end(), rt.begin(), rt.end());
+      if (residual_ != nullptr && !residual_->Eval(combined)) continue;
+      ++produced_;
+      return combined;
+    }
+    current_left_.reset();
+  }
+}
+
+std::optional<rel::Tuple> DistinctStream::Next() {
+  while (auto t = input_->Next()) {
+    if (seen_.emplace(*t, true).second) {
+      ++produced_;
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<rel::Tuple> ConcatStream::Next() {
+  while (current_ < inputs_.size()) {
+    auto t = inputs_[current_]->Next();
+    if (t.has_value()) {
+      ++produced_;
+      return t;
+    }
+    ++current_;
+  }
+  return std::nullopt;
+}
+
+size_t ConcatStream::WorkDone() const {
+  size_t total = 0;
+  for (const auto& in : inputs_) total += in->WorkDone();
+  return total;
+}
+
+}  // namespace braid::stream

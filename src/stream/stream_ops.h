@@ -1,0 +1,130 @@
+#ifndef BRAID_STREAM_STREAM_OPS_H_
+#define BRAID_STREAM_STREAM_OPS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/index.h"
+#include "relational/operators.h"
+#include "relational/predicate.h"
+#include "stream/tuple_stream.h"
+
+namespace braid::stream {
+
+/// Scans a shared, immutable relation (typically a cached extension).
+class ScanStream : public TupleStream {
+ public:
+  explicit ScanStream(std::shared_ptr<const rel::Relation> relation)
+      : relation_(std::move(relation)) {}
+
+  const rel::Schema& schema() const override { return relation_->schema(); }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override { return pos_; }
+
+ private:
+  std::shared_ptr<const rel::Relation> relation_;
+  size_t pos_ = 0;
+};
+
+/// Lazy selection.
+class SelectStream : public TupleStream {
+ public:
+  SelectStream(TupleStreamPtr input, rel::PredicatePtr pred)
+      : input_(std::move(input)), pred_(std::move(pred)) {}
+
+  const rel::Schema& schema() const override { return input_->schema(); }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override { return input_->WorkDone(); }
+
+ private:
+  TupleStreamPtr input_;
+  rel::PredicatePtr pred_;
+};
+
+/// Lazy projection.
+class ProjectStream : public TupleStream {
+ public:
+  ProjectStream(TupleStreamPtr input, std::vector<size_t> columns)
+      : input_(std::move(input)),
+        columns_(std::move(columns)),
+        schema_(input_->schema().Project(columns_)) {}
+
+  const rel::Schema& schema() const override { return schema_; }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override { return input_->WorkDone(); }
+
+ private:
+  TupleStreamPtr input_;
+  std::vector<size_t> columns_;
+  rel::Schema schema_;
+};
+
+/// Lazy join: pulls left tuples one at a time and probes the (materialized,
+/// typically cached) right relation, through a hash index when one is
+/// supplied. This is the shape of generator the CMS plans when all
+/// required data is in the cache (§5.1).
+class IndexJoinStream : public TupleStream {
+ public:
+  IndexJoinStream(TupleStreamPtr left,
+                  std::shared_ptr<const rel::Relation> right,
+                  std::vector<rel::JoinKey> keys,
+                  std::shared_ptr<const rel::HashIndex> right_index = nullptr,
+                  rel::PredicatePtr residual = nullptr);
+
+  const rel::Schema& schema() const override { return schema_; }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override { return work_ + left_->WorkDone(); }
+
+ private:
+  /// Advances to the next left tuple and computes its match candidates.
+  bool AdvanceLeft();
+
+  TupleStreamPtr left_;
+  std::shared_ptr<const rel::Relation> right_;
+  std::vector<rel::JoinKey> keys_;
+  std::shared_ptr<const rel::HashIndex> right_index_;
+  rel::PredicatePtr residual_;
+  rel::Schema schema_;
+
+  std::optional<rel::Tuple> current_left_;
+  std::vector<size_t> candidates_;  // rows of right_ to test
+  size_t candidate_pos_ = 0;
+  bool scan_all_ = false;  // no index: candidates are all rows
+  size_t work_ = 0;
+};
+
+/// Duplicate elimination on a stream (stateful: remembers emitted tuples).
+class DistinctStream : public TupleStream {
+ public:
+  explicit DistinctStream(TupleStreamPtr input) : input_(std::move(input)) {}
+
+  const rel::Schema& schema() const override { return input_->schema(); }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override { return input_->WorkDone(); }
+
+ private:
+  TupleStreamPtr input_;
+  std::unordered_map<rel::Tuple, bool, rel::TupleHash> seen_;
+};
+
+/// Concatenates a fixed list of streams with identical schemas.
+class ConcatStream : public TupleStream {
+ public:
+  explicit ConcatStream(std::vector<TupleStreamPtr> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  const rel::Schema& schema() const override {
+    return inputs_.front()->schema();
+  }
+  std::optional<rel::Tuple> Next() override;
+  size_t WorkDone() const override;
+
+ private:
+  std::vector<TupleStreamPtr> inputs_;
+  size_t current_ = 0;
+};
+
+}  // namespace braid::stream
+
+#endif  // BRAID_STREAM_STREAM_OPS_H_

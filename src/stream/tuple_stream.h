@@ -1,0 +1,49 @@
+#ifndef BRAID_STREAM_TUPLE_STREAM_H_
+#define BRAID_STREAM_TUPLE_STREAM_H_
+
+#include <memory>
+#include <optional>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace braid::stream {
+
+/// Pull-based stream of tuples — the data-transfer interface between the
+/// CMS and the IE (paper §3: "The CMS returns the result for the query
+/// using a stream") and the representation of *generators*, the CMS's lazy
+/// form of a relation (§5.1).
+///
+/// `Next()` produces the next tuple or nullopt at end of stream. Streams
+/// are single-pass; the CMS materializes an extension when multiple passes
+/// or random access are required.
+class TupleStream {
+ public:
+  virtual ~TupleStream() = default;
+
+  /// The schema of produced tuples.
+  virtual const rel::Schema& schema() const = 0;
+
+  /// Produces the next tuple, or nullopt when exhausted.
+  virtual std::optional<rel::Tuple> Next() = 0;
+
+  /// Total tuples this node has produced so far.
+  size_t produced() const { return produced_; }
+
+  /// Cumulative work units (tuples examined) performed by this node and
+  /// its inputs — the measure of lazy-evaluation effort.
+  virtual size_t WorkDone() const { return produced_; }
+
+ protected:
+  size_t produced_ = 0;
+};
+
+using TupleStreamPtr = std::unique_ptr<TupleStream>;
+
+/// Pulls every remaining tuple of `stream` into a relation named `name`.
+rel::Relation Drain(TupleStream& stream, const std::string& name = "drained");
+
+}  // namespace braid::stream
+
+#endif  // BRAID_STREAM_TUPLE_STREAM_H_

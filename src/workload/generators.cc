@@ -1,0 +1,198 @@
+#include "workload/generators.h"
+
+#include "common/strings.h"
+#include "relational/relation.h"
+
+namespace braid::workload {
+
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+
+}  // namespace
+
+dbms::Database MakeGenealogyDatabase(const GenealogyParams& params) {
+  Rng rng(params.seed);
+  dbms::Database db;
+
+  Relation parent("parent", Schema::FromNames({"child", "parent"}));
+  // A forest: person i (i >= roots) gets a parent drawn from earlier ids,
+  // biased toward recent generations to keep trees deep.
+  for (size_t i = params.roots; i < params.people; ++i) {
+    const int64_t lo =
+        static_cast<int64_t>(i > 40 ? i - 40 : 0);
+    const int64_t p = rng.Uniform(lo, static_cast<int64_t>(i) - 1);
+    parent.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(i)), Value::Int(p)});
+  }
+
+  Relation person("person", Schema::FromNames({"id", "age", "city"}));
+  for (size_t i = 0; i < params.people; ++i) {
+    person.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(i)),
+              Value::Int(rng.Uniform(0, 99)),
+              Value::String(StrCat("city", rng.Uniform(
+                                               0, static_cast<int64_t>(
+                                                      params.cities) -
+                                                      1)))});
+  }
+
+  (void)db.AddTable(std::move(parent));
+  (void)db.AddTable(std::move(person));
+  return db;
+}
+
+std::string GenealogyKb() {
+  return R"(
+#base parent(child, par).
+#base person(id, age, city).
+#fd person: 0 -> 1 2.
+#closure ancestor = parent.
+
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+grandparent(X, Y) :- parent(X, Z), parent(Z, Y).
+greatgrand(X, Y) :- parent(X, A), parent(A, B), parent(B, Y).
+sibling(X, Y) :- parent(X, P), parent(Y, P), X != Y.
+elder(X, A) :- person(X, A, C), A >= 65.
+townsfolk(X, Y) :- person(X, A1, C), person(Y, A2, C), X != Y.
+)";
+}
+
+dbms::Database MakeSupplierDatabase(const SupplierParams& params) {
+  Rng rng(params.seed);
+  dbms::Database db;
+
+  Relation supplier("supplier", Schema::FromNames({"sid", "city"}));
+  for (size_t i = 0; i < params.suppliers; ++i) {
+    supplier.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(i)),
+              Value::String(StrCat(
+                  "city",
+                  rng.Uniform(0, static_cast<int64_t>(params.cities) - 1)))});
+  }
+
+  Relation part("part", Schema::FromNames({"pid", "color", "weight"}));
+  for (size_t i = 0; i < params.parts; ++i) {
+    part.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(i)),
+              Value::String(StrCat(
+                  "color",
+                  rng.Uniform(0, static_cast<int64_t>(params.colors) - 1))),
+              Value::Int(rng.Uniform(1, 100))});
+  }
+
+  Relation supplies("supplies", Schema::FromNames({"sid", "pid", "qty"}));
+  for (size_t i = 0; i < params.supplies; ++i) {
+    supplies.AppendUnchecked(
+        Tuple{Value::Int(rng.Uniform(
+                  0, static_cast<int64_t>(params.suppliers) - 1)),
+              Value::Int(
+                  rng.Uniform(0, static_cast<int64_t>(params.parts) - 1)),
+              Value::Int(rng.Uniform(1, 1000))});
+  }
+
+  (void)db.AddTable(std::move(supplier));
+  (void)db.AddTable(std::move(part));
+  (void)db.AddTable(std::move(supplies));
+  return db;
+}
+
+std::string SupplierKb() {
+  return R"(
+#base supplier(sid, city).
+#base part(pid, color, weight).
+#base supplies(sid, pid, qty).
+#fd supplier: 0 -> 1.
+#fd part: 0 -> 1 2.
+#mutex heavy_part, light_part.
+#agg part_sources(P, N) = count S : supplies(S, P, Q).
+#agg supplier_volume(S, T) = sum Q : supplies(S, P, Q).
+
+supplier_of(P, S) :- supplies(S, P, Q).
+single_sourced(P) :- part_sources(P, N), N = 1.
+co_located(S1, S2) :- supplier(S1, C), supplier(S2, C), S1 != S2.
+heavy_part(P) :- part(P, C, W), W > 50.
+light_part(P) :- part(P, C, W), W <= 50.
+heavy_supplier(S, P) :- heavy_part(P), supplies(S, P, Q).
+light_supplier(S, P) :- light_part(P), supplies(S, P, Q).
+bulk_supply(S, P) :- supplies(S, P, Q), Q > 500.
+second_source(P, S1, S2) :- supplies(S1, P, Q1), supplies(S2, P, Q2), S1 != S2.
+)";
+}
+
+dbms::Database MakeBomDatabase(const BomParams& params) {
+  Rng rng(params.seed);
+  dbms::Database db;
+
+  Relation component("component",
+                     Schema::FromNames({"asm", "part", "qty"}));
+  // Assemblies reference strictly smaller ids, so the BOM is a DAG.
+  for (size_t i = params.leaves; i < params.items; ++i) {
+    const int64_t children = rng.Uniform(1, static_cast<int64_t>(params.fanout));
+    for (int64_t c = 0; c < children; ++c) {
+      component.AppendUnchecked(
+          Tuple{Value::Int(static_cast<int64_t>(i)),
+                Value::Int(rng.Uniform(0, static_cast<int64_t>(i) - 1)),
+                Value::Int(rng.Uniform(1, 8))});
+    }
+  }
+
+  Relation item("item", Schema::FromNames({"id", "unit_cost"}));
+  for (size_t i = 0; i < params.items; ++i) {
+    item.AppendUnchecked(Tuple{Value::Int(static_cast<int64_t>(i)),
+                               Value::Int(rng.Uniform(1, 500))});
+  }
+
+  (void)db.AddTable(std::move(component));
+  (void)db.AddTable(std::move(item));
+  return db;
+}
+
+std::string BomKb() {
+  return R"(
+#base component(asm, part, qty).
+#base item(id, unit_cost).
+#fd item: 0 -> 1.
+#agg direct_components(A, N) = count P : component(A, P, Q).
+#agg costliest(C) = max U : item(I, U).
+
+uses(A, P) :- component(A, P, Q).
+contains(A, P) :- uses(A, P).
+contains(A, P) :- uses(A, X), contains(X, P).
+leaf(P) :- item(P, U), not uses(P, X).
+expensive_leaf(P, U) :- leaf(P), item(P, U), U > 400.
+complex_assembly(A) :- direct_components(A, N), N >= 3.
+)";
+}
+
+dbms::Database MakeGraphDatabase(const GraphParams& params) {
+  Rng rng(params.seed);
+  dbms::Database db;
+
+  Relation edge("edge", Schema::FromNames({"src", "dst"}));
+  for (size_t i = 0; i < params.edges; ++i) {
+    int64_t a = rng.Uniform(0, static_cast<int64_t>(params.nodes) - 1);
+    int64_t b = rng.Uniform(0, static_cast<int64_t>(params.nodes) - 1);
+    if (a == b) continue;
+    if (params.acyclic && a > b) std::swap(a, b);
+    edge.AppendUnchecked(Tuple{Value::Int(a), Value::Int(b)});
+  }
+  (void)db.AddTable(std::move(edge));
+  return db;
+}
+
+std::string GraphKb() {
+  return R"(
+#base edge(src, dst).
+#closure reachable = edge.
+
+reachable(X, Y) :- edge(X, Y).
+reachable(X, Y) :- edge(X, Z), reachable(Z, Y).
+)";
+}
+
+}  // namespace braid::workload

@@ -1,0 +1,85 @@
+#ifndef BRAID_WORKLOAD_GENERATORS_H_
+#define BRAID_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dbms/database.h"
+
+namespace braid::workload {
+
+/// Parameters of the genealogy workload: a random forest of `people`
+/// persons, each non-root with one parent; `parent(child, parent)` plus a
+/// `person(id, age, city)` attribute table.
+struct GenealogyParams {
+  size_t people = 500;
+  size_t roots = 10;        // forest roots (no parent)
+  size_t cities = 8;
+  uint64_t seed = 42;
+};
+
+/// Builds the genealogy database. Person ids are ints 0..people-1; cities
+/// are symbols "city0"... Ages 0..99.
+dbms::Database MakeGenealogyDatabase(const GenealogyParams& params);
+
+/// The genealogy knowledge base (re-parseable program text): base
+/// declarations for parent/person, rules for ancestor (recursive),
+/// grandparent, sibling, elder (age comparison), plus SOAs
+/// (#closure ancestor = parent, #fd person: 0 -> 1 2).
+std::string GenealogyKb();
+
+/// Parameters of the supplier-parts workload (the classic Codd-era schema
+/// an early-90s expert system would sit on): supplier(sid, city),
+/// part(pid, color, weight), supplies(sid, pid, qty).
+struct SupplierParams {
+  size_t suppliers = 100;
+  size_t parts = 300;
+  size_t supplies = 1500;
+  size_t cities = 10;
+  size_t colors = 6;
+  uint64_t seed = 7;
+};
+
+dbms::Database MakeSupplierDatabase(const SupplierParams& params);
+
+/// Supplier-parts knowledge base: rules for supplier_of, co_located,
+/// heavy_part, local_heavy_supplier, second_source, plus a mutual-exclusion
+/// SOA between the heavy/light classifications.
+std::string SupplierKb();
+
+/// Parameters of the bill-of-materials workload: a DAG of assemblies and
+/// parts. `component(asm, part, qty)` links each assembly to its direct
+/// components; ids below `leaves` are atomic parts, the rest assemblies.
+struct BomParams {
+  size_t items = 150;      // total parts + assemblies
+  size_t leaves = 90;      // ids [0, leaves) have no components
+  size_t fanout = 4;       // max direct components per assembly
+  uint64_t seed = 17;
+};
+
+/// Builds the BOM database: component(asm, part, qty) and
+/// item(id, unit_cost).
+dbms::Database MakeBomDatabase(const BomParams& params);
+
+/// BOM knowledge base: contains (recursive, with #closure), leaf detection
+/// via negation, and #agg rules for component counts.
+std::string BomKb();
+
+/// Parameters of the random-graph workload for transitive closure.
+struct GraphParams {
+  size_t nodes = 200;
+  size_t edges = 600;
+  uint64_t seed = 99;
+  bool acyclic = true;  // edges go low → high node ids
+};
+
+/// Builds a database with a single edge(src, dst) table.
+dbms::Database MakeGraphDatabase(const GraphParams& params);
+
+/// Graph knowledge base: reachable (recursive) + #closure SOA.
+std::string GraphKb();
+
+}  // namespace braid::workload
+
+#endif  // BRAID_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,127 @@
+#include "workload/loader.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "logic/parser.h"
+
+namespace braid::workload {
+
+namespace {
+
+/// Parses one CSV field into a Value: int, double, or (quoted) string.
+rel::Value ParseField(std::string_view raw) {
+  std::string text(StrTrim(raw));
+  if (text.size() >= 2 && text.front() == '\'' && text.back() == '\'') {
+    return rel::Value::String(text.substr(1, text.size() - 2));
+  }
+  if (text.empty()) return rel::Value::String("");
+  // Integer?
+  size_t pos = text[0] == '-' ? 1 : 0;
+  bool digits = pos < text.size();
+  bool has_dot = false;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '.' && !has_dot) {
+      has_dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      digits = false;
+      break;
+    }
+  }
+  if (digits && !has_dot) {
+    return rel::Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+  }
+  if (digits && has_dot) {
+    return rel::Value::Double(std::strtod(text.c_str(), nullptr));
+  }
+  return rel::Value::String(text);
+}
+
+}  // namespace
+
+Result<rel::Relation> LoadCsv(const std::string& path,
+                              const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  std::string name = table_name;
+  if (name.empty()) {
+    name = std::filesystem::path(path).stem().string();
+  }
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument(StrCat(path, " is empty"));
+  }
+  std::vector<std::string> columns;
+  for (const std::string& col : StrSplit(header, ',')) {
+    columns.push_back(std::string(StrTrim(col)));
+    if (columns.back().empty()) {
+      return Status::InvalidArgument(
+          StrCat(path, ": empty column name in header"));
+    }
+  }
+
+  rel::Relation table(name, rel::Schema::FromNames(columns));
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StrTrim(line).empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (fields.size() != columns.size()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": expected ", columns.size(),
+                 " fields, found ", fields.size()));
+    }
+    rel::Tuple tuple;
+    tuple.reserve(fields.size());
+    for (const std::string& f : fields) tuple.push_back(ParseField(f));
+    table.AppendUnchecked(std::move(tuple));
+  }
+  return table;
+}
+
+Result<dbms::Database> LoadDatabaseFromDir(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) {
+    return Status::NotFound(
+        StrCat("cannot read directory ", directory, ": ", ec.message()));
+  }
+  dbms::Database db;
+  // Deterministic order.
+  std::vector<std::string> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".csv") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    return Status::NotFound(StrCat("no .csv files in ", directory));
+  }
+  for (const std::string& file : files) {
+    BRAID_ASSIGN_OR_RETURN(rel::Relation table, LoadCsv(file));
+    BRAID_RETURN_IF_ERROR(db.AddTable(std::move(table)));
+  }
+  return db;
+}
+
+Result<logic::KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  logic::KnowledgeBase kb;
+  BRAID_RETURN_IF_ERROR(logic::ParseProgram(text.str(), &kb));
+  return kb;
+}
+
+}  // namespace braid::workload

@@ -1,0 +1,31 @@
+#ifndef BRAID_WORKLOAD_LOADER_H_
+#define BRAID_WORKLOAD_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dbms/database.h"
+#include "logic/knowledge_base.h"
+
+namespace braid::workload {
+
+/// Loads one relation from a CSV file. The first line is the header
+/// (column names, comma-separated); every later non-empty line is one
+/// tuple. A field parses as an integer when it looks like one, as a
+/// double when it has a decimal point, and as a string otherwise
+/// (surrounding whitespace trimmed, optional single quotes stripped).
+/// `table_name` defaults to the file's stem.
+Result<rel::Relation> LoadCsv(const std::string& path,
+                              const std::string& table_name = "");
+
+/// Loads every `*.csv` file in `directory` as a table of a fresh remote
+/// database (table name = file stem).
+Result<dbms::Database> LoadDatabaseFromDir(const std::string& directory);
+
+/// Parses a knowledge-base program from a file (same syntax as
+/// logic::ParseProgram).
+Result<logic::KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+
+}  // namespace braid::workload
+
+#endif  // BRAID_WORKLOAD_LOADER_H_

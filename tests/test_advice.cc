@@ -1,0 +1,214 @@
+// Unit tests for advice: view specifications, path expressions, and the
+// path tracker — including the paper's §4.2.2 worked tracking example.
+
+#include <gtest/gtest.h>
+
+#include "advice/advice.h"
+#include "advice/path_tracker.h"
+
+namespace braid::advice {
+namespace {
+
+using logic::Term;
+
+PathExprPtr Pat(const std::string& id) { return PathExpr::Pattern(id, {}); }
+
+TEST(ViewSpec, ToStringMatchesPaperNotation) {
+  ViewSpec d2;
+  d2.id = "d2";
+  d2.head = {AnnotatedVar{"X", Binding::kProducer},
+             AnnotatedVar{"Y", Binding::kConsumer}};
+  d2.body = {logic::Atom("b2", {Term::Var("X"), Term::Var("Z")}),
+             logic::Atom("b3", {Term::Var("Z"), Term::Str("c2"),
+                                Term::Var("Y")})};
+  d2.source_rules = {"R2"};
+  EXPECT_EQ(d2.ToString(),
+            "d2(X^, Y?) =def b2(X, Z) & b3(Z, c2, Y)  (R2)");
+}
+
+TEST(ViewSpec, InstantiateSubstitutesConsumers) {
+  ViewSpec d2;
+  d2.id = "d2";
+  d2.head = {AnnotatedVar{"X", Binding::kProducer},
+             AnnotatedVar{"Y", Binding::kConsumer}};
+  d2.body = {logic::Atom("b2", {Term::Var("X"), Term::Var("Z")}),
+             logic::Atom("b3", {Term::Var("Z"), Term::Str("c2"),
+                                Term::Var("Y")})};
+  caql::CaqlQuery q = d2.Instantiate({Term::Var("X"), Term::Str("c6")});
+  EXPECT_EQ(q.ToString(), "d2(X, c6) :- b2(X, Z) & b3(Z, c2, c6)");
+}
+
+TEST(ViewSpec, ConsumerVariablesAndAllProducers) {
+  ViewSpec v;
+  v.head = {AnnotatedVar{"X", Binding::kProducer},
+            AnnotatedVar{"Y", Binding::kConsumer}};
+  EXPECT_EQ(v.ConsumerVariables(), (std::vector<std::string>{"Y"}));
+  EXPECT_FALSE(v.AllProducers());
+  v.head[1].binding = Binding::kProducer;
+  EXPECT_TRUE(v.AllProducers());
+}
+
+TEST(PathExpr, ToStringPaperExample1) {
+  // (d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>
+  auto d1 = PathExpr::Pattern("d1", {AnnotatedVar{"Y", Binding::kProducer}});
+  auto d2 = PathExpr::Pattern("d2", {AnnotatedVar{"X", Binding::kProducer},
+                                     AnnotatedVar{"Y", Binding::kConsumer}});
+  auto d3 = PathExpr::Pattern("d3", {AnnotatedVar{"X", Binding::kProducer},
+                                     AnnotatedVar{"Y", Binding::kConsumer}});
+  auto inner = PathExpr::Sequence({d2, d3}, RepBound::Fixed(0),
+                                  RepBound::Cardinality("Y"));
+  auto whole =
+      PathExpr::Sequence({d1, inner}, RepBound::Fixed(1), RepBound::Fixed(1));
+  EXPECT_EQ(whole->ToString(),
+            "(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>");
+}
+
+TEST(PathExpr, AlternationWithSelectionTerm) {
+  auto alt = PathExpr::Alternation({Pat("d2"), Pat("d3")}, 1);
+  EXPECT_EQ(alt->ToString(), "[d2(), d3()]^1");
+  EXPECT_EQ(alt->MentionedViews(),
+            (std::vector<std::string>{"d2", "d3"}));
+}
+
+TEST(PathTracker, SimpleSequence) {
+  auto seq = PathExpr::Sequence({Pat("a"), Pat("b"), Pat("c")},
+                                RepBound::Fixed(1), RepBound::Fixed(1));
+  PathTracker tracker(seq);
+  EXPECT_EQ(tracker.PredictNext(), (std::set<std::string>{"a"}));
+  EXPECT_FALSE(tracker.MayBeFinished());
+  EXPECT_TRUE(tracker.Advance("a"));
+  EXPECT_EQ(tracker.PredictNext(), (std::set<std::string>{"b"}));
+  EXPECT_TRUE(tracker.Advance("b"));
+  EXPECT_TRUE(tracker.Advance("c"));
+  EXPECT_TRUE(tracker.MayBeFinished());
+  EXPECT_EQ(tracker.mispredictions(), 0u);
+}
+
+TEST(PathTracker, MispredictionCountedAndPositionHeld) {
+  auto seq = PathExpr::Sequence({Pat("a"), Pat("b")}, RepBound::Fixed(1),
+                                RepBound::Fixed(1));
+  PathTracker tracker(seq);
+  EXPECT_FALSE(tracker.Advance("z"));  // unknown view
+  EXPECT_EQ(tracker.mispredictions(), 1u);
+  EXPECT_FALSE(tracker.Advance("b"));  // out of order
+  EXPECT_EQ(tracker.mispredictions(), 2u);
+  EXPECT_TRUE(tracker.Advance("a"));   // still at the start
+}
+
+TEST(PathTracker, RepetitionLoops) {
+  // (a)<0,|Y|> — a may repeat any number of times, or not appear.
+  auto seq = PathExpr::Sequence({Pat("a")}, RepBound::Fixed(0),
+                                RepBound::Cardinality("Y"));
+  PathTracker tracker(seq);
+  EXPECT_TRUE(tracker.MayBeFinished());  // lower bound 0
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tracker.Advance("a")) << i;
+  }
+  EXPECT_TRUE(tracker.MayBeFinished());
+}
+
+TEST(PathTracker, PaperTrackingExample) {
+  // §4.2.2: (...(d1(X?,Y^), [(d2(Z^,Y?), d3(Z?)), (d4(U^,Y?),
+  // d5(U?))]^1)<0,|X|> ...)<0,1>
+  auto d1 = Pat("d1");
+  auto branch1 = PathExpr::Sequence({Pat("d2"), Pat("d3")},
+                                    RepBound::Fixed(1), RepBound::Fixed(1));
+  auto branch2 = PathExpr::Sequence({Pat("d4"), Pat("d5")},
+                                    RepBound::Fixed(1), RepBound::Fixed(1));
+  auto alt = PathExpr::Alternation({branch1, branch2}, 1);
+  auto inner = PathExpr::Sequence({d1, alt}, RepBound::Fixed(0),
+                                  RepBound::Cardinality("X"));
+  auto whole =
+      PathExpr::Sequence({inner}, RepBound::Fixed(0), RepBound::Fixed(1));
+  PathTracker tracker(whole);
+
+  // After d1, the next query (if any) involves d2 or d4 (or d1 again via
+  // the repetition).
+  EXPECT_TRUE(tracker.Advance("d1"));
+  std::set<std::string> next = tracker.PredictNext();
+  EXPECT_TRUE(next.count("d2"));
+  EXPECT_TRUE(next.count("d4"));
+
+  // After d2: next involves d3, or d1 (repetition); d4/d5 are excluded by
+  // the mutually exclusive selection term.
+  EXPECT_TRUE(tracker.Advance("d2"));
+  next = tracker.PredictNext();
+  EXPECT_TRUE(next.count("d3"));
+  EXPECT_TRUE(next.count("d1"));
+  EXPECT_FALSE(next.count("d4"));
+  EXPECT_FALSE(next.count("d5"));
+
+  // "Thus, d1 will be required for one of the next two queries": its
+  // minimum distance from here is at most 1.
+  auto dist = tracker.MinDistanceTo("d1");
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_LE(*dist, 1u);
+  // d1 is therefore a poor replacement candidate relative to, say, d5.
+  EXPECT_TRUE(tracker.PossibleWithin(2).count("d1"));
+  EXPECT_FALSE(tracker.PossibleWithin(2).count("d5"));
+
+  // Valid continuation from the paper: d3 then d1 then d4 then d5.
+  EXPECT_TRUE(tracker.Advance("d3"));
+  EXPECT_TRUE(tracker.Advance("d1"));
+  EXPECT_TRUE(tracker.Advance("d4"));
+  EXPECT_TRUE(tracker.Advance("d5"));
+  EXPECT_EQ(tracker.mispredictions(), 0u);
+}
+
+TEST(PathTracker, AlternationWithoutSelectionAllowsMultiple) {
+  auto alt = PathExpr::Alternation({Pat("a"), Pat("b")}, 0);
+  PathTracker tracker(alt);
+  EXPECT_TRUE(tracker.Advance("a"));
+  EXPECT_TRUE(tracker.Advance("b"));
+  EXPECT_TRUE(tracker.Advance("a"));  // repeatable
+  EXPECT_TRUE(tracker.MayBeFinished());
+}
+
+TEST(PathTracker, MutualExclusionBlocksSecondPick) {
+  auto alt = PathExpr::Alternation({Pat("a"), Pat("b")}, 1);
+  PathTracker tracker(alt);
+  EXPECT_TRUE(tracker.Advance("a"));
+  EXPECT_FALSE(tracker.Advance("b"));  // at most one member
+  EXPECT_EQ(tracker.mispredictions(), 1u);
+}
+
+TEST(PathTracker, MinDistanceAcrossSequence) {
+  auto seq = PathExpr::Sequence({Pat("a"), Pat("b"), Pat("c")},
+                                RepBound::Fixed(1), RepBound::Fixed(1));
+  PathTracker tracker(seq);
+  EXPECT_EQ(tracker.MinDistanceTo("a"), 0u);
+  EXPECT_EQ(tracker.MinDistanceTo("b"), 1u);
+  EXPECT_EQ(tracker.MinDistanceTo("c"), 2u);
+  EXPECT_EQ(tracker.MinDistanceTo("z"), std::nullopt);
+  tracker.Advance("a");
+  EXPECT_EQ(tracker.MinDistanceTo("a"), std::nullopt);  // cannot recur
+  EXPECT_EQ(tracker.MinDistanceTo("c"), 1u);
+}
+
+TEST(PathTracker, PossibleWithinHorizon) {
+  auto seq = PathExpr::Sequence({Pat("a"), Pat("b"), Pat("c")},
+                                RepBound::Fixed(1), RepBound::Fixed(1));
+  PathTracker tracker(seq);
+  EXPECT_EQ(tracker.PossibleWithin(1), (std::set<std::string>{"a"}));
+  EXPECT_EQ(tracker.PossibleWithin(2), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(tracker.PossibleWithin(9),
+            (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(AdviceSet, FindViewAndToString) {
+  AdviceSet advice;
+  advice.base_relations = {"b1", "b2"};
+  ViewSpec v;
+  v.id = "d1";
+  v.head = {AnnotatedVar{"Y", Binding::kProducer}};
+  v.body = {logic::Atom("b1", {Term::Str("c1"), Term::Var("Y")})};
+  advice.view_specs.push_back(v);
+  EXPECT_NE(advice.FindView("d1"), nullptr);
+  EXPECT_EQ(advice.FindView("d9"), nullptr);
+  EXPECT_NE(advice.ToString().find("base relations: b1, b2"),
+            std::string::npos);
+  EXPECT_NE(advice.ToString().find("d1(Y^)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace braid::advice

@@ -1,0 +1,148 @@
+// Tests for the BraidSystem facade: wiring, query-text entry points, error
+// propagation across the three components, and schema/KB mismatch
+// handling (failure injection).
+
+#include <gtest/gtest.h>
+
+#include "braid/braid_system.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+using rel::Value;
+
+dbms::Database SmallDb() {
+  dbms::Database db;
+  rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
+  b.AppendUnchecked({Value::Int(1), Value::Int(2)});
+  b.AppendUnchecked({Value::Int(2), Value::Int(3)});
+  (void)db.AddTable(std::move(b));
+  return db;
+}
+
+logic::KnowledgeBase SmallKb() {
+  logic::KnowledgeBase kb;
+  (void)logic::ParseProgram(R"(
+#base b(x, y).
+hop2(X, Z) :- b(X, Y), b(Y, Z).
+)",
+                            &kb);
+  return kb;
+}
+
+TEST(BraidSystem, AskByTextAndByAtomAgree) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  auto by_text = braid.Ask("hop2(X, Z)?");
+  ASSERT_TRUE(by_text.ok());
+  auto by_atom = braid.Ask(logic::ParseQueryAtom("hop2(X, Z)").value());
+  ASSERT_TRUE(by_atom.ok());
+  EXPECT_EQ(by_text->solutions.NumTuples(), by_atom->solutions.NumTuples());
+  ASSERT_EQ(by_text->solutions.NumTuples(), 1u);
+  EXPECT_EQ(by_text->solutions.tuple(0),
+            (rel::Tuple{Value::Int(1), Value::Int(3)}));
+}
+
+TEST(BraidSystem, MalformedQueryTextRejected) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  auto out = braid.Ask("hop2(X,");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+}
+
+TEST(BraidSystem, UnknownPredicateRejected) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  auto out = braid.Ask("mystery(X)?");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BraidSystem, KbDeclaresTableMissingFromDatabase) {
+  // Failure injection: the KB declares a base relation the remote DBMS
+  // does not have. The error surfaces as NotFound from the RDI, not a
+  // crash.
+  logic::KnowledgeBase kb;
+  (void)logic::ParseProgram(R"(
+#base ghost(x).
+p(X) :- ghost(X).
+)",
+                            &kb);
+  BraidSystem braid(SmallDb(), std::move(kb));
+  auto out = braid.Ask("p(X)?");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BraidSystem, KbArityMismatchWithDatabase) {
+  // KB declares b/3 but the table is binary: the translation layer
+  // reports InvalidArgument.
+  logic::KnowledgeBase kb;
+  (void)logic::ParseProgram(R"(
+#base b(x, y, z).
+p(X) :- b(X, Y, Z).
+)",
+                            &kb);
+  BraidSystem braid(SmallDb(), std::move(kb));
+  auto out = braid.Ask("p(X)?");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BraidSystem, GroundQuerySucceedsOrFailsCleanly) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  auto yes = braid.Ask("hop2(1, 3)?");
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_EQ(yes->solutions.NumTuples(), 1u);
+  auto no = braid.Ask("hop2(1, 9)?");
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->solutions.NumTuples(), 0u);
+}
+
+TEST(BraidSystem, ReconfigureStrategyBetweenQueries) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  auto interp = braid.Ask("hop2(X, Z)?");
+  ASSERT_TRUE(interp.ok());
+  ie::IeConfig config = braid.ie().config();
+  config.strategy = ie::StrategyKind::kCompiled;
+  braid.ie().set_config(config);
+  auto compiled = braid.Ask("hop2(X, Z)?");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(interp->solutions.NumTuples(), compiled->solutions.NumTuples());
+}
+
+TEST(BraidSystem, MetricsVisibleThroughFacade) {
+  BraidSystem braid(SmallDb(), SmallKb());
+  ASSERT_TRUE(braid.Ask("hop2(X, Z)?").ok());
+  EXPECT_GT(braid.cms().metrics().ie_queries, 0u);
+  EXPECT_GT(braid.remote().stats().queries, 0u);
+  EXPECT_GT(braid.cms().cache().model().size(), 0u);
+}
+
+TEST(BraidSystem, EmptyDatabaseTableYieldsNoSolutions) {
+  dbms::Database db;
+  rel::Relation empty("b", rel::Schema::FromNames({"x", "y"}));
+  (void)db.AddTable(std::move(empty));
+  BraidSystem braid(std::move(db), SmallKb());
+  auto out = braid.Ask("hop2(X, Z)?");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->solutions.empty());
+}
+
+TEST(BraidSystem, LargeSessionStaysWithinCacheBudget) {
+  workload::GenealogyParams params;
+  params.people = 300;
+  BraidOptions options;
+  options.cms.cache_budget_bytes = 8192;
+  logic::KnowledgeBase kb;
+  (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+  BraidSystem braid(workload::MakeGenealogyDatabase(params), std::move(kb),
+                    options);
+  for (int i = 0; i < 10; ++i) {
+    auto out = braid.Ask("grandparent(" + std::to_string(250 + i) + ", Y)?");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_LE(braid.cms().cache().model().TotalBytes(), 8192u);
+  }
+}
+
+}  // namespace
+}  // namespace braid

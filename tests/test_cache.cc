@@ -1,0 +1,167 @@
+// Unit tests for cache elements, the cache model, and the cache manager's
+// replacement policy (LRU modified by advice, paper §5.4).
+
+#include <gtest/gtest.h>
+
+#include "caql/caql_query.h"
+#include "cms/cache_manager.h"
+
+namespace braid::cms {
+namespace {
+
+using caql::ParseCaql;
+
+CacheElementPtr MakeElement(const std::string& id, const std::string& def,
+                            size_t rows, const std::string& origin = "") {
+  auto q = ParseCaql(def);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto ext = std::make_shared<rel::Relation>(
+      id, rel::Schema::FromNames({"x", "y"}));
+  for (size_t i = 0; i < rows; ++i) {
+    ext->AppendUnchecked({rel::Value::Int(static_cast<int64_t>(i)),
+                          rel::Value::Int(static_cast<int64_t>(i * 2))});
+  }
+  auto e = std::make_shared<CacheElement>(id, q.value(), ext);
+  e->set_origin_view(origin);
+  return e;
+}
+
+TEST(CacheElement, MaterializedVsGenerator) {
+  auto m = MakeElement("E1", "d(X, Y) :- b(X, Y)", 3);
+  EXPECT_TRUE(m->is_materialized());
+  CacheElement g("E2", ParseCaql("d(X, Y) :- b(X, Y)").value());
+  EXPECT_FALSE(g.is_materialized());
+  EXPECT_LT(g.ByteSize(), m->ByteSize());
+}
+
+TEST(CacheElement, EnsureIndexBuildsOnce) {
+  auto e = MakeElement("E1", "d(X, Y) :- b(X, Y)", 10);
+  auto i1 = e->EnsureIndex(0);
+  ASSERT_NE(i1, nullptr);
+  auto i2 = e->EnsureIndex(0);
+  EXPECT_EQ(i1.get(), i2.get());
+  EXPECT_EQ(e->index(1), nullptr);
+  EXPECT_EQ(e->index(0), i1);
+}
+
+TEST(CacheElement, IndexCountsTowardByteSize) {
+  auto e = MakeElement("E1", "d(X, Y) :- b(X, Y)", 50);
+  const size_t before = e->ByteSize();
+  e->EnsureIndex(0);
+  EXPECT_GT(e->ByteSize(), before);
+}
+
+TEST(CacheModel, RegisterFindRemove) {
+  CacheModel model;
+  EXPECT_EQ(model.NextId(), "E1");
+  EXPECT_EQ(model.NextId(), "E2");
+  model.Register(MakeElement("E1", "d(X, Y) :- b1(X, Y)", 2));
+  EXPECT_NE(model.Find("E1"), nullptr);
+  EXPECT_EQ(model.Find("E9"), nullptr);
+  model.Remove("E1");
+  EXPECT_EQ(model.Find("E1"), nullptr);
+  model.Remove("E1");  // Idempotent.
+}
+
+TEST(CacheModel, PredicateIndex) {
+  CacheModel model;
+  model.Register(MakeElement("E1", "d(X, Y) :- b1(X, Z) & b2(Z, Y)", 2));
+  model.Register(MakeElement("E2", "e(X, Y) :- b2(X, Y)", 2));
+  EXPECT_EQ(model.ByPredicate("b1").size(), 1u);
+  EXPECT_EQ(model.ByPredicate("b2").size(), 2u);
+  EXPECT_EQ(model.ByPredicate("zz").size(), 0u);
+  model.Remove("E1");
+  EXPECT_EQ(model.ByPredicate("b2").size(), 1u);
+  EXPECT_EQ(model.ByPredicate("b1").size(), 0u);
+}
+
+TEST(CacheModel, CanonicalKeyLookup) {
+  CacheModel model;
+  auto e = MakeElement("E1", "d(X, Y) :- b(X, Y)", 2);
+  model.Register(e);
+  const std::string key =
+      ParseCaql("d(P, Q) :- b(P, Q)").value().CanonicalKey();
+  EXPECT_EQ(model.ByCanonicalKey(key), e);
+  EXPECT_EQ(model.ByCanonicalKey("nope"), nullptr);
+}
+
+TEST(CacheManager, InsertWithinBudget) {
+  CacheManager mgr(1 << 20, 4);
+  EXPECT_TRUE(mgr.Insert(MakeElement("E1", "d(X, Y) :- b(X, Y)", 10)));
+  EXPECT_EQ(mgr.stats().insertions, 1u);
+  EXPECT_EQ(mgr.stats().evictions, 0u);
+}
+
+TEST(CacheManager, OversizedElementRejected) {
+  CacheManager mgr(256, 4);
+  EXPECT_FALSE(mgr.Insert(MakeElement("E1", "d(X, Y) :- b(X, Y)", 1000)));
+  EXPECT_EQ(mgr.stats().rejected_too_large, 1u);
+  EXPECT_EQ(mgr.model().size(), 0u);
+}
+
+TEST(CacheManager, EvictsLruWhenFull) {
+  // Budget for roughly two elements of 20 rows.
+  auto probe = MakeElement("P", "d(X, Y) :- b(X, Y)", 20);
+  const size_t budget = probe->ByteSize() * 2 + 64;
+  CacheManager mgr(budget, 4);
+  ASSERT_TRUE(mgr.Insert(MakeElement("E1", "d1(X, Y) :- b1(X, Y)", 20)));
+  mgr.Tick();
+  ASSERT_TRUE(mgr.Insert(MakeElement("E2", "d2(X, Y) :- b2(X, Y)", 20)));
+  mgr.Tick();
+  mgr.Touch("E1");  // E1 now more recently used than E2.
+  mgr.Tick();
+  ASSERT_TRUE(mgr.Insert(MakeElement("E3", "d3(X, Y) :- b3(X, Y)", 20)));
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+  EXPECT_EQ(mgr.model().Find("E2"), nullptr);  // LRU victim.
+  EXPECT_NE(mgr.model().Find("E1"), nullptr);
+  EXPECT_NE(mgr.model().Find("E3"), nullptr);
+}
+
+TEST(CacheManager, AdviceProtectsPredictedElement) {
+  auto probe = MakeElement("P", "d(X, Y) :- b(X, Y)", 20);
+  const size_t budget = probe->ByteSize() * 2 + 64;
+  CacheManager mgr(budget, 4);
+  // E1 is predicted to be needed soon; E2 is not, despite being more
+  // recently used.
+  mgr.set_replacement_advisor(
+      [](const CacheElement& e) -> std::optional<size_t> {
+        if (e.origin_view() == "d1") return 1;   // needed soon
+        return std::nullopt;                     // unknown
+      });
+  ASSERT_TRUE(mgr.Insert(MakeElement("E1", "d1(X, Y) :- b1(X, Y)", 20, "d1")));
+  mgr.Tick();
+  ASSERT_TRUE(mgr.Insert(MakeElement("E2", "d2(X, Y) :- b2(X, Y)", 20, "d2")));
+  mgr.Tick();
+  mgr.Touch("E2");
+  mgr.Tick();
+  ASSERT_TRUE(mgr.Insert(MakeElement("E3", "d3(X, Y) :- b3(X, Y)", 20, "d3")));
+  // Plain LRU would evict E1 (least recently used); advice protects it.
+  EXPECT_NE(mgr.model().Find("E1"), nullptr);
+  EXPECT_EQ(mgr.model().Find("E2"), nullptr);
+}
+
+TEST(CacheManager, TouchUpdatesHitCount) {
+  CacheManager mgr(1 << 20, 4);
+  ASSERT_TRUE(mgr.Insert(MakeElement("E1", "d(X, Y) :- b(X, Y)", 5)));
+  mgr.Touch("E1");
+  mgr.Touch("E1");
+  EXPECT_EQ(mgr.model().Find("E1")->stats().hits, 2u);
+  mgr.Touch("nonexistent");  // No crash.
+}
+
+TEST(CacheManager, MultipleEvictionsToFit) {
+  auto probe = MakeElement("P", "d(X, Y) :- b(X, Y)", 10);
+  const size_t budget = probe->ByteSize() * 3 + 64;
+  CacheManager mgr(budget, 4);
+  ASSERT_TRUE(mgr.Insert(MakeElement("E1", "d1(X, Y) :- b1(X, Y)", 10)));
+  ASSERT_TRUE(mgr.Insert(MakeElement("E2", "d2(X, Y) :- b2(X, Y)", 10)));
+  ASSERT_TRUE(mgr.Insert(MakeElement("E3", "d3(X, Y) :- b3(X, Y)", 10)));
+  // An element of double size needs two evictions.
+  ASSERT_TRUE(mgr.Insert(MakeElement("E4", "d4(X, Y) :- b4(X, Y)", 20)));
+  EXPECT_GE(mgr.stats().evictions, 1u);
+  size_t total = mgr.model().TotalBytes();
+  EXPECT_LE(total, budget);
+}
+
+}  // namespace
+}  // namespace braid::cms

@@ -1,0 +1,141 @@
+// Unit tests for the common substrate: Status/Result, string utilities,
+// and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace braid {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("widget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "widget");
+  EXPECT_EQ(s.ToString(), "NotFound: widget");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::NotFound("x"));
+}
+
+TEST(Status, AllCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  BRAID_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  BRAID_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = HalfOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 4);
+  EXPECT_EQ(*ok, 4);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = HalfOf(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnChains) {
+  EXPECT_EQ(QuarterOf(16).value(), 4);
+  EXPECT_FALSE(QuarterOf(2).ok());   // second division fails
+  EXPECT_FALSE(QuarterOf(3).ok());   // first division fails
+}
+
+TEST(Result, MoveOnlyValues) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(7);
+  };
+  Result<std::unique_ptr<int>> r = make();
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim(" \t\n "), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(Strings, StartsWithAndCat) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace braid

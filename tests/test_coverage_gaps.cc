@@ -1,0 +1,206 @@
+// Targeted tests for branches the mainline suites leave cold: rendering
+// paths, error branches in the RDI translation, substitution chain
+// corners, and enum-name helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/coupling_modes.h"
+#include "cms/cms.h"
+#include "ie/problem_graph.h"
+#include "ie/shaper.h"
+#include "logic/parser.h"
+#include "logic/substitution.h"
+
+namespace braid {
+namespace {
+
+using rel::Value;
+
+TEST(Rendering, PredicateForms) {
+  auto p = rel::Predicate::Or(
+      {rel::Predicate::Not(rel::Predicate::ColumnConst(
+           0, rel::CompareOp::kLe, Value::Int(3))),
+       rel::Predicate::ColumnColumn(1, rel::CompareOp::kNe, 2),
+       rel::Predicate::True()});
+  EXPECT_EQ(p->ToString(), "(NOT #0 <= 3 OR #1 != #2 OR TRUE)");
+  EXPECT_EQ(rel::Predicate::Or({})->ToString(), "()");
+}
+
+TEST(Rendering, ValueFormsAndNumeric) {
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_DOUBLE_EQ(Value::Int(4).NumericValue(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(4.5).NumericValue(), 4.5);
+  EXPECT_FALSE(Value::String("x").IsNumeric());
+  EXPECT_STREQ(rel::ValueTypeName(rel::ValueType::kNull), "NULL");
+  EXPECT_STREQ(rel::ValueTypeName(rel::ValueType::kDouble), "DOUBLE");
+}
+
+TEST(Rendering, StatusStreaming) {
+  std::ostringstream os;
+  os << Status::ParseError("boom");
+  EXPECT_EQ(os.str(), "ParseError: boom");
+}
+
+TEST(Rendering, CacheOutcomeAndCouplingNames) {
+  EXPECT_STREQ(cms::CacheOutcomeName(cms::CacheOutcome::kExact), "exact");
+  EXPECT_STREQ(cms::CacheOutcomeName(cms::CacheOutcome::kLazy), "lazy");
+  EXPECT_STREQ(cms::CacheOutcomeName(cms::CacheOutcome::kPartial),
+               "partial");
+  using baselines::CouplingMode;
+  EXPECT_STREQ(baselines::CouplingModeName(CouplingMode::kLooseCoupling),
+               "loose-coupling");
+  EXPECT_STREQ(baselines::CouplingModeName(CouplingMode::kSingleRelationCache),
+               "single-relation");
+  EXPECT_STREQ(baselines::CouplingModeName(CouplingMode::kBraid), "braid");
+}
+
+TEST(Rendering, StatsToStrings) {
+  dbms::RemoteStats rs;
+  rs.queries = 2;
+  EXPECT_NE(rs.ToString().find("queries=2"), std::string::npos);
+  cms::CmsMetrics m;
+  m.exact_hits = 3;
+  EXPECT_NE(m.ToString().find("exact=3"), std::string::npos);
+}
+
+TEST(Rendering, GeneratorElementToString) {
+  auto def = caql::ParseCaql("e(X) :- b(X)").value();
+  cms::CacheElement g("G9", def);
+  EXPECT_NE(g.ToString().find("generator"), std::string::npos);
+  cms::CacheModel model;
+  model.Register(std::make_shared<cms::CacheElement>("G9", def));
+  EXPECT_NE(model.ToString().find("G9"), std::string::npos);
+}
+
+TEST(SubstitutionEdge, ConflictingChainAndUnion) {
+  logic::Substitution s;
+  EXPECT_TRUE(s.Bind("A", logic::Term::Var("B")));
+  EXPECT_TRUE(s.Bind("C", logic::Term::Var("B")));
+  // A and C both alias B: binding A to 5 must propagate everywhere.
+  EXPECT_TRUE(s.Bind("A", logic::Term::Int(5)));
+  EXPECT_EQ(s.Apply(logic::Term::Var("C")), logic::Term::Int(5));
+  // Conflict through the chain is refused.
+  EXPECT_FALSE(s.Bind("C", logic::Term::Int(6)));
+  EXPECT_NE(s.ToString().find("="), std::string::npos);
+}
+
+TEST(SubstitutionEdge, BindVarToItselfNoop) {
+  logic::Substitution s;
+  EXPECT_TRUE(s.Bind("X", logic::Term::Var("X")));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProblemGraphEdge, RenderShowsLeafKindsAndMutex) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base b(x).
+#mutex g1, g2.
+#agg cnt(N) = count X : b(X).
+g1(X) :- b(X), X > 1.
+g2(X) :- b(X), X <= 1.
+p(X, N) :- g1(X), cnt(N).
+p(X, N) :- g2(X), cnt(N).
+top(X, N) :- p(X, N).
+)",
+                                  &kb)
+                  .ok());
+  ie::ProblemGraphExtractor ex(&kb);
+  auto g = ex.Extract(logic::ParseQueryAtom("top(X, N)").value());
+  ASSERT_TRUE(g.ok());
+  ie::ProblemGraphShaper shaper(&kb, nullptr);
+  ASSERT_TRUE(shaper.Shape(&g.value()).ok());
+  const std::string s = g->ToString();
+  EXPECT_NE(s.find("[base]"), std::string::npos);
+  EXPECT_NE(s.find("[aggregate]"), std::string::npos);
+  EXPECT_NE(s.find("[builtin]"), std::string::npos);
+  EXPECT_NE(s.find("[mutex]"), std::string::npos);
+}
+
+TEST(ProblemGraphEdge, ComparisonQueryRejected) {
+  logic::KnowledgeBase kb;
+  ie::ProblemGraphExtractor ex(&kb);
+  logic::Atom comp("<", {logic::Term::Int(1), logic::Term::Int(2)});
+  EXPECT_EQ(ex.Extract(comp).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RdiEdge, GroundFalseComparisonYieldsEmpty) {
+  dbms::Database db;
+  rel::Relation b("b", rel::Schema::FromNames({"x"}));
+  b.AppendUnchecked({Value::Int(1)});
+  (void)db.AddTable(std::move(b));
+  dbms::RemoteDbms remote(std::move(db));
+  cms::RemoteDbmsInterface rdi(&remote);
+  auto fetch = rdi.Fetch(
+      caql::ParseCaql("q(X) :- b(X) & 2 < 1").value(), {"X"});
+  ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+  EXPECT_TRUE(fetch->bindings.empty());
+  auto fetch2 = rdi.Fetch(
+      caql::ParseCaql("q(X) :- b(X) & 1 < 2").value(), {"X"});
+  ASSERT_TRUE(fetch2.ok());
+  EXPECT_EQ(fetch2->bindings.NumTuples(), 1u);
+}
+
+TEST(RdiEdge, VarVarComparisonAcrossTables) {
+  dbms::Database db;
+  rel::Relation a("a", rel::Schema::FromNames({"x"}));
+  rel::Relation b("b", rel::Schema::FromNames({"y"}));
+  for (int i = 0; i < 4; ++i) {
+    a.AppendUnchecked({Value::Int(i)});
+    b.AppendUnchecked({Value::Int(i)});
+  }
+  (void)db.AddTable(std::move(a));
+  (void)db.AddTable(std::move(b));
+  dbms::RemoteDbms remote(std::move(db));
+  cms::RemoteDbmsInterface rdi(&remote);
+  auto fetch = rdi.Fetch(
+      caql::ParseCaql("q(X, Y) :- a(X) & b(Y) & X > Y").value(), {"X", "Y"});
+  ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+  EXPECT_EQ(fetch->bindings.NumTuples(), 6u);  // strict pairs
+}
+
+TEST(RdiEdge, ComparisonOverForeignVariableRejected) {
+  dbms::Database db;
+  rel::Relation b("b", rel::Schema::FromNames({"x"}));
+  (void)db.AddTable(std::move(b));
+  dbms::RemoteDbms remote(std::move(db));
+  cms::RemoteDbmsInterface rdi(&remote);
+  caql::CaqlQuery q;
+  q.name = "bad";
+  q.head_args = {logic::Term::Var("X")};
+  q.body = {logic::Atom("b", {logic::Term::Var("X")}),
+            logic::Atom("<", {logic::Term::Var("Z"), logic::Term::Int(3)})};
+  // Z occurs in no relation atom of the subquery.
+  EXPECT_EQ(rdi.Translate(q, {"X"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShaperEdge, CullDisabledKeepsDeadBranches) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base b(x).
+p(X) :- b(X), 1 > 2.
+p(X) :- b(X).
+)",
+                                  &kb)
+                  .ok());
+  ie::ProblemGraphExtractor ex(&kb);
+  auto g = ex.Extract(logic::ParseQueryAtom("p(X)").value());
+  ASSERT_TRUE(g.ok());
+  ie::ProblemGraphShaper no_cull(&kb, nullptr,
+                                 ie::ShaperConfig{false, true});
+  ASSERT_TRUE(no_cull.Shape(&g.value()).ok());
+  EXPECT_EQ(g->root->alternatives.size(), 2u);
+}
+
+TEST(AggNames, AllFunctions) {
+  EXPECT_STREQ(logic::AggregateFnName(logic::AggregateFn::kCount), "count");
+  EXPECT_STREQ(logic::AggregateFnName(logic::AggregateFn::kSum), "sum");
+  EXPECT_STREQ(logic::AggregateFnName(logic::AggregateFn::kMin), "min");
+  EXPECT_STREQ(logic::AggregateFnName(logic::AggregateFn::kMax), "max");
+  EXPECT_STREQ(logic::AggregateFnName(logic::AggregateFn::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace braid

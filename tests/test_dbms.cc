@@ -1,0 +1,263 @@
+// Unit tests for the remote DBMS simulator: catalog, statistics, executor,
+// and cost model.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dbms/remote_dbms.h"
+#include "relational/operators.h"
+
+namespace braid::dbms {
+namespace {
+
+using rel::Tuple;
+using rel::Value;
+
+Database TwoTableDb() {
+  Database db;
+  rel::Relation r("r", rel::Schema::FromNames({"a", "b"}));
+  r.AppendUnchecked({Value::Int(1), Value::Int(10)});
+  r.AppendUnchecked({Value::Int(2), Value::Int(20)});
+  r.AppendUnchecked({Value::Int(3), Value::Int(20)});
+  rel::Relation s("s", rel::Schema::FromNames({"b", "c"}));
+  s.AppendUnchecked({Value::Int(10), Value::String("x")});
+  s.AppendUnchecked({Value::Int(20), Value::String("y")});
+  (void)db.AddTable(std::move(r));
+  (void)db.AddTable(std::move(s));
+  return db;
+}
+
+TEST(Database, CatalogAndStats) {
+  Database db = TwoTableDb();
+  EXPECT_TRUE(db.HasTable("r"));
+  EXPECT_FALSE(db.HasTable("t"));
+  const TableStats* stats = db.GetStats("r");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->cardinality, 3u);
+  EXPECT_EQ(stats->distinct[0], 3u);
+  EXPECT_EQ(stats->distinct[1], 2u);
+  EXPECT_DOUBLE_EQ(stats->EqSelectivity(1), 0.5);
+  EXPECT_EQ(db.ColumnIndex("r", "b"), 1u);
+  EXPECT_EQ(db.ColumnIndex("r", "zz"), std::nullopt);
+  EXPECT_EQ(db.TotalTuples(), 5u);
+}
+
+TEST(Database, DuplicateTableRejected) {
+  Database db = TwoTableDb();
+  rel::Relation dup("r", rel::Schema::FromNames({"a"}));
+  EXPECT_EQ(db.AddTable(std::move(dup)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Executor, SingleTableSelection) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"r"};
+  q.where.push_back(Condition{ColRef{0, 1}, rel::CompareOp::kEq, false,
+                              ColRef{}, Value::Int(20)});
+  WorkCounters work;
+  auto out = exec.Execute(q, &work);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumTuples(), 2u);
+  EXPECT_EQ(work.tuples_scanned, 3u);
+}
+
+TEST(Executor, EquiJoinWithProjection) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"r", "s"};
+  q.where.push_back(Condition{ColRef{0, 1}, rel::CompareOp::kEq, true,
+                              ColRef{1, 0}, Value()});
+  q.select = {ColRef{0, 0}, ColRef{1, 1}};
+  auto out = exec.Execute(q, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 3u);  // (1,x), (2,y), (3,y)
+  EXPECT_EQ(out->schema().size(), 2u);
+}
+
+TEST(Executor, SelfJoin) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;  // pairs of r rows sharing b
+  q.from = {"r", "r"};
+  q.where.push_back(Condition{ColRef{0, 1}, rel::CompareOp::kEq, true,
+                              ColRef{1, 1}, Value()});
+  q.where.push_back(Condition{ColRef{0, 0}, rel::CompareOp::kNe, true,
+                              ColRef{1, 0}, Value()});
+  auto out = exec.Execute(q, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 2u);  // (2,3) and (3,2) on b=20
+}
+
+TEST(Executor, CrossProductWhenDisconnected) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"r", "s"};
+  auto out = exec.Execute(q, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 6u);
+}
+
+TEST(Executor, Distinct) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"r"};
+  q.select = {ColRef{0, 1}};
+  q.distinct = true;
+  auto out = exec.Execute(q, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 2u);
+}
+
+TEST(Executor, ErrorsOnUnknownTableOrColumn) {
+  Database db = TwoTableDb();
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"missing"};
+  EXPECT_EQ(exec.Execute(q, nullptr).status().code(), StatusCode::kNotFound);
+
+  SqlQuery q2;
+  q2.from = {"r"};
+  q2.select = {ColRef{0, 5}};
+  EXPECT_EQ(exec.Execute(q2, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SqlQuery q3;
+  EXPECT_EQ(exec.Execute(q3, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SqlQuery, ToStringRendering) {
+  SqlQuery q;
+  q.from = {"r", "s"};
+  q.select = {ColRef{0, 0}};
+  q.where.push_back(Condition{ColRef{0, 1}, rel::CompareOp::kEq, true,
+                              ColRef{1, 0}, Value()});
+  q.where.push_back(Condition{ColRef{1, 1}, rel::CompareOp::kGt, false,
+                              ColRef{}, Value::Int(5)});
+  EXPECT_EQ(q.ToString(),
+            "SELECT t0.c0 FROM r t0, s t1 WHERE t0.c1 = t1.c0 AND t1.c1 > 5");
+}
+
+TEST(RemoteDbms, ChargesLatencyAndTransfer) {
+  NetworkModel net;
+  net.msg_latency_ms = 10;
+  net.per_tuple_ms = 1;
+  net.buffer_tuples = 2;
+  net.pipelining = false;
+  RemoteDbms remote(TwoTableDb(), net, DbmsCostModel{});
+  SqlQuery q;
+  q.from = {"r"};
+  auto result = remote.Execute(q);
+  ASSERT_TRUE(result.ok());
+  // 3 tuples → 2 buffers + 1 request = 3 messages.
+  EXPECT_EQ(result->cost.messages, 3u);
+  EXPECT_EQ(result->cost.tuples_shipped, 3u);
+  EXPECT_DOUBLE_EQ(result->cost.transfer_ms, 3 * 10 + 3 * 1);
+  EXPECT_GT(result->cost.server_ms, 0);
+  EXPECT_DOUBLE_EQ(result->cost.total_ms,
+                   result->cost.server_ms + result->cost.transfer_ms);
+}
+
+TEST(RemoteDbms, PipeliningOverlapsServerAndTransfer) {
+  NetworkModel net;
+  net.pipelining = true;
+  RemoteDbms remote(TwoTableDb(), net, DbmsCostModel{});
+  SqlQuery q;
+  q.from = {"r"};
+  auto result = remote.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(
+      result->cost.total_ms,
+      std::max(result->cost.server_ms, result->cost.transfer_ms) +
+          net.msg_latency_ms);
+}
+
+TEST(RemoteDbms, StatsAccumulate) {
+  RemoteDbms remote(TwoTableDb());
+  SqlQuery q;
+  q.from = {"r"};
+  ASSERT_TRUE(remote.Execute(q).ok());
+  ASSERT_TRUE(remote.Execute(q).ok());
+  EXPECT_EQ(remote.stats().queries, 2u);
+  EXPECT_EQ(remote.stats().tuples_shipped, 6u);
+  remote.ResetStats();
+  EXPECT_EQ(remote.stats().queries, 0u);
+}
+
+TEST(RemoteDbms, CardinalityEstimateInRightBallpark) {
+  RemoteDbms remote(TwoTableDb());
+  SqlQuery q;
+  q.from = {"r"};
+  q.where.push_back(Condition{ColRef{0, 0}, rel::CompareOp::kEq, false,
+                              ColRef{}, Value::Int(1)});
+  // 3 rows × 1/3 selectivity = 1.
+  EXPECT_NEAR(remote.EstimateCardinality(q), 1.0, 0.01);
+}
+
+TEST(RemoteDbms, EmptyResultStillCostsARoundTrip) {
+  RemoteDbms remote(TwoTableDb());
+  SqlQuery q;
+  q.from = {"r"};
+  q.where.push_back(Condition{ColRef{0, 0}, rel::CompareOp::kEq, false,
+                              ColRef{}, Value::Int(999)});
+  auto result = remote.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost.tuples_shipped, 0u);
+  EXPECT_EQ(result->cost.messages, 2u);  // request + empty reply
+  EXPECT_GT(result->cost.total_ms, 0);
+}
+
+// Property: executor agrees with a nested-loop reference on random
+// two-table equi-join queries.
+struct ExecCase {
+  size_t rows_a;
+  size_t rows_b;
+  int64_t domain;
+  uint64_t seed;
+};
+
+class ExecutorEquivalence : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ExecutorEquivalence, MatchesReferenceJoin) {
+  const ExecCase& c = GetParam();
+  Rng rng(c.seed);
+  Database db;
+  rel::Relation a("a", rel::Schema::FromNames({"k", "v"}));
+  for (size_t i = 0; i < c.rows_a; ++i) {
+    a.AppendUnchecked({Value::Int(rng.Uniform(0, c.domain - 1)),
+                       Value::Int(rng.Uniform(0, 50))});
+  }
+  rel::Relation b("b", rel::Schema::FromNames({"k", "w"}));
+  for (size_t i = 0; i < c.rows_b; ++i) {
+    b.AppendUnchecked({Value::Int(rng.Uniform(0, c.domain - 1)),
+                       Value::Int(rng.Uniform(0, 50))});
+  }
+  rel::Relation ref = rel::NestedLoopJoin(
+      a, b, *rel::Predicate::ColumnColumn(0, rel::CompareOp::kEq, 2));
+  (void)db.AddTable(std::move(a));
+  (void)db.AddTable(std::move(b));
+  Executor exec(&db);
+  SqlQuery q;
+  q.from = {"a", "b"};
+  q.where.push_back(Condition{ColRef{0, 0}, rel::CompareOp::kEq, true,
+                              ColRef{1, 0}, Value()});
+  auto out = exec.Execute(q, nullptr);
+  ASSERT_TRUE(out.ok());
+  std::multiset<std::string> expected, actual;
+  for (const Tuple& t : ref.tuples()) expected.insert(rel::TupleToString(t));
+  for (const Tuple& t : out->tuples()) actual.insert(rel::TupleToString(t));
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorEquivalence,
+    ::testing::Values(ExecCase{0, 5, 3, 1}, ExecCase{5, 0, 3, 2},
+                      ExecCase{10, 10, 2, 3}, ExecCase{40, 25, 8, 4},
+                      ExecCase{100, 80, 15, 5}, ExecCase{30, 30, 1, 6}));
+
+}  // namespace
+}  // namespace braid::dbms

@@ -1,0 +1,193 @@
+// Unit tests for the Execution Monitor: element-source materialization
+// (residual selections, index use), parallel-overlap accounting, and lazy
+// stream construction.
+
+#include <gtest/gtest.h>
+
+#include "caql/caql_query.h"
+#include "cms/execution_monitor.h"
+
+namespace braid::cms {
+namespace {
+
+using caql::ParseCaql;
+using rel::Tuple;
+using rel::Value;
+
+dbms::Database TestDb() {
+  dbms::Database db;
+  rel::Relation b1("b1", rel::Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 30; ++i) {
+    b1.AppendUnchecked({Value::Int(i % 6), Value::Int(i)});
+  }
+  rel::Relation b2("b2", rel::Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 30; ++i) {
+    b2.AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
+  }
+  (void)db.AddTable(std::move(b1));
+  (void)db.AddTable(std::move(b2));
+  return db;
+}
+
+class ExecutionMonitorTest : public ::testing::Test {
+ protected:
+  ExecutionMonitorTest()
+      : remote_(TestDb()),
+        rdi_(&remote_),
+        cache_(1 << 20, 4),
+        planner_(&cache_.model(), &remote_, PlannerConfig{true}) {}
+
+  /// Caches the full b1 relation as an element, optionally indexed on the
+  /// first column.
+  void CacheB1(bool indexed) {
+    auto def = ParseCaql("e(X, Y) :- b1(X, Y)").value();
+    auto ext = std::make_shared<rel::Relation>(
+        "E1", rel::Schema::FromNames({"X", "Y"}));
+    for (int i = 0; i < 30; ++i) {
+      ext->AppendUnchecked({Value::Int(i % 6), Value::Int(i)});
+    }
+    auto element = std::make_shared<CacheElement>("E1", def, ext);
+    if (indexed) element->EnsureIndex(0);
+    ASSERT_TRUE(cache_.Insert(std::move(element)));
+  }
+
+  dbms::RemoteDbms remote_;
+  RemoteDbmsInterface rdi_;
+  CacheManager cache_;
+  QueryPlanner planner_;
+};
+
+TEST_F(ExecutionMonitorTest, FullyLocalPlanTouchesNoRemote) {
+  CacheB1(false);
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto plan = planner_.PlanQuery(ParseCaql("q(Y) :- b1(3, Y)").value());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->fully_local);
+  auto outcome = monitor.ExecutePlan(*plan);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->remote_queries, 0u);
+  EXPECT_EQ(outcome->remote_ms, 0);
+  EXPECT_EQ(outcome->result.NumTuples(), 5u);  // i%6==3: 3,9,15,21,27
+  EXPECT_GT(outcome->local_ms, 0);
+}
+
+TEST_F(ExecutionMonitorTest, IndexReducesLocalWork) {
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto plan_query = ParseCaql("q(Y) :- b1(3, Y)").value();
+
+  CacheB1(false);
+  auto plan1 = planner_.PlanQuery(plan_query);
+  ASSERT_TRUE(plan1.ok());
+  auto unindexed = monitor.ExecutePlan(*plan1);
+  ASSERT_TRUE(unindexed.ok());
+
+  cache_.model().Remove("E1");
+  CacheB1(true);
+  auto plan2 = planner_.PlanQuery(plan_query);
+  ASSERT_TRUE(plan2.ok());
+  auto indexed = monitor.ExecutePlan(*plan2);
+  ASSERT_TRUE(indexed.ok());
+
+  EXPECT_EQ(indexed->result.NumTuples(), unindexed->result.NumTuples());
+  EXPECT_LT(indexed->work.tuples_processed, unindexed->work.tuples_processed);
+}
+
+TEST_F(ExecutionMonitorTest, ParallelOverlapReducesResponse) {
+  CacheB1(false);
+  auto plan = planner_.PlanQuery(
+      ParseCaql("q(Y, Z) :- b1(3, Y) & b2(Y, Z)").value());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->fully_local);
+
+  ExecutionMonitor serial(&cache_, &rdi_, 0.01, false);
+  auto s = serial.ExecutePlan(*plan);
+  ASSERT_TRUE(s.ok());
+  ExecutionMonitor parallel(&cache_, &rdi_, 0.01, true);
+  auto p = parallel.ExecutePlan(*plan);
+  ASSERT_TRUE(p.ok());
+
+  EXPECT_EQ(s->result.NumTuples(), p->result.NumTuples());
+  EXPECT_LT(p->response_ms, s->response_ms);
+  // Parallel response ≥ the larger branch alone.
+  EXPECT_GE(p->response_ms, std::max(p->remote_ms, 0.0));
+}
+
+TEST_F(ExecutionMonitorTest, MissingElementReportsNotFound) {
+  CacheB1(false);
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto plan = planner_.PlanQuery(ParseCaql("q(Y) :- b1(3, Y)").value());
+  ASSERT_TRUE(plan.ok());
+  cache_.model().Remove("E1");  // vanish between planning and execution
+  auto outcome = monitor.ExecutePlan(*plan);
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutionMonitorTest, LazyStreamProducesSameBag) {
+  CacheB1(true);
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto q = ParseCaql("q(X, Y) :- b1(X, Y) & Y > 10").value();
+  auto plan = planner_.PlanQuery(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->fully_local);
+
+  auto eager = monitor.ExecutePlan(*plan);
+  ASSERT_TRUE(eager.ok());
+  auto stream = monitor.BuildLazyStream(*plan);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  rel::Relation lazy = stream::Drain(**stream);
+
+  std::multiset<std::string> e, l;
+  for (const Tuple& t : eager->result.tuples()) {
+    e.insert(rel::TupleToString(t));
+  }
+  for (const Tuple& t : lazy.tuples()) l.insert(rel::TupleToString(t));
+  EXPECT_EQ(l, e);
+}
+
+TEST_F(ExecutionMonitorTest, LazyStreamRejectsRemotePlans) {
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto plan = planner_.PlanQuery(ParseCaql("q(Y) :- b1(3, Y)").value());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->fully_local);  // empty cache
+  EXPECT_EQ(monitor.BuildLazyStream(*plan).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExecutionMonitorTest, LazyStreamRejectsConstantHead) {
+  CacheB1(false);
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto plan = planner_.PlanQuery(ParseCaql("q(Y, 7) :- b1(7, Y)").value());
+  ASSERT_TRUE(plan.ok());
+  if (plan->fully_local) {
+    EXPECT_EQ(monitor.BuildLazyStream(*plan).status().code(),
+              StatusCode::kUnimplemented);
+  }
+}
+
+TEST_F(ExecutionMonitorTest, LazyJoinAcrossTwoElements) {
+  CacheB1(false);
+  // Cache b2 as well.
+  auto def = ParseCaql("e2(X, Y) :- b2(X, Y)").value();
+  auto ext = std::make_shared<rel::Relation>(
+      "E2", rel::Schema::FromNames({"X", "Y"}));
+  for (int i = 0; i < 30; ++i) {
+    ext->AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
+  }
+  ASSERT_TRUE(cache_.Insert(std::make_shared<CacheElement>("E2", def, ext)));
+
+  ExecutionMonitor monitor(&cache_, &rdi_, 0.01, true);
+  auto q = ParseCaql("q(X, Z) :- b1(X, Y) & b2(Y, Z)").value();
+  auto plan = planner_.PlanQuery(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->fully_local);
+  auto stream = monitor.BuildLazyStream(*plan);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  rel::Relation lazy = stream::Drain(**stream);
+  auto eager = monitor.ExecutePlan(*plan);
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(lazy.NumTuples(), eager->result.NumTuples());
+  EXPECT_EQ(lazy.NumTuples(), 30u);
+}
+
+}  // namespace
+}  // namespace braid::cms

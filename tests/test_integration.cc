@@ -1,0 +1,193 @@
+// End-to-end tests of the full BrAID stack: IE pre-analysis → advice →
+// CMS (subsumption, caching, lazy evaluation) → remote DBMS simulator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/coupling_modes.h"
+#include "braid/braid_system.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+/// The paper's Example 1 (§4.2.2): rules R1-R3 over base relations b1-b3.
+dbms::Database ExampleDatabase() {
+  dbms::Database db;
+  rel::Relation b1("b1", rel::Schema::FromNames({"a", "b"}));
+  b1.AppendUnchecked({rel::Value::String("c1"), rel::Value::Int(1)});
+  b1.AppendUnchecked({rel::Value::String("c1"), rel::Value::Int(2)});
+  b1.AppendUnchecked({rel::Value::Int(7), rel::Value::Int(3)});
+  b1.AppendUnchecked({rel::Value::Int(8), rel::Value::Int(4)});
+  rel::Relation b2("b2", rel::Schema::FromNames({"a", "b"}));
+  b2.AppendUnchecked({rel::Value::Int(10), rel::Value::Int(20)});
+  b2.AppendUnchecked({rel::Value::Int(11), rel::Value::Int(21)});
+  b2.AppendUnchecked({rel::Value::Int(12), rel::Value::Int(22)});
+  rel::Relation b3("b3", rel::Schema::FromNames({"a", "b", "c"}));
+  b3.AppendUnchecked(
+      {rel::Value::Int(20), rel::Value::String("c2"), rel::Value::Int(1)});
+  b3.AppendUnchecked(
+      {rel::Value::Int(21), rel::Value::String("c2"), rel::Value::Int(2)});
+  b3.AppendUnchecked(
+      {rel::Value::Int(22), rel::Value::String("c3"), rel::Value::Int(2)});
+  b3.AppendUnchecked(
+      {rel::Value::Int(7), rel::Value::String("c3"), rel::Value::Int(8)});
+  (void)db.AddTable(std::move(b1));
+  (void)db.AddTable(std::move(b2));
+  (void)db.AddTable(std::move(b3));
+  return db;
+}
+
+const char* kExampleKb = R"(
+#base b1(a, b).
+#base b2(a, b).
+#base b3(a, b, c).
+k1(X, Y) :- b1(c1, Y), k2(X, Y).
+k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).
+k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
+)";
+
+logic::KnowledgeBase ParseKb(const std::string& text) {
+  logic::KnowledgeBase kb;
+  Status s = logic::ParseProgram(text, &kb);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return kb;
+}
+
+std::set<std::string> SolutionSet(const rel::Relation& solutions) {
+  std::set<std::string> out;
+  for (const rel::Tuple& t : solutions.tuples()) {
+    out.insert(rel::TupleToString(t));
+  }
+  return out;
+}
+
+TEST(ExampleOne, InterpretedFindsAllSolutions) {
+  // Hand derivation: k1(X,Y) needs b1(c1,Y) → Y ∈ {1,2}.
+  //   R2: k2(X,Y) via b2(X,Z) & b3(Z,c2,Y): (10,20,→1), (11,21,→2).
+  //   R3: k2(X,Y) via b3(X,c3,Z) & b1(Z,Y): b3(22,c3,2)&b1(2,..)∅;
+  //       b3(7,c3,8)&b1(8,4) → k2(7,4) but Y=4 ∉ {1,2}.
+  // So k1 = {(10,1), (11,2)}.
+  BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb));
+  auto outcome = braid.Ask("k1(X, Y)?");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(SolutionSet(outcome->solutions),
+            (std::set<std::string>{"(10, 1)", "(11, 2)"}));
+}
+
+TEST(ExampleOne, CompiledMatchesInterpreted) {
+  BraidOptions options;
+  options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb), options);
+  auto outcome = braid.Ask("k1(X, Y)?");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(SolutionSet(outcome->solutions),
+            (std::set<std::string>{"(10, 1)", "(11, 2)"}));
+}
+
+TEST(ExampleOne, AdviceContainsViewSpecsAndPath) {
+  BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb));
+  auto pre = braid.ie().Analyze(
+      logic::ParseQueryAtom("k1(X, Y)?").value());
+  ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+  // Three view specifications: one per rule-body run (R1's b1 run plus the
+  // two k2 alternatives), matching the paper's d1, d2, d3.
+  EXPECT_GE(pre->advice.view_specs.size(), 3u);
+  EXPECT_NE(pre->advice.path_expression, nullptr);
+  std::set<std::string> bases(pre->advice.base_relations.begin(),
+                              pre->advice.base_relations.end());
+  EXPECT_EQ(bases, (std::set<std::string>{"b1", "b2", "b3"}));
+}
+
+TEST(ExampleOne, BoundQueryConstantsPropagate) {
+  BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb));
+  auto outcome = braid.Ask("k1(10, Y)?");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(SolutionSet(outcome->solutions), (std::set<std::string>{"(1)"}));
+}
+
+TEST(Genealogy, AncestorInterpretedAndCompiledAgree) {
+  workload::GenealogyParams params;
+  params.people = 120;
+  params.roots = 5;
+  logic::KnowledgeBase kb = ParseKb(workload::GenealogyKb());
+
+  BraidOptions interp;
+  BraidSystem braid_i(workload::MakeGenealogyDatabase(params), ParseKb(workload::GenealogyKb()), interp);
+  auto a = braid_i.Ask("ancestor(100, Y)?");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  BraidOptions comp;
+  comp.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid_c(workload::MakeGenealogyDatabase(params), ParseKb(workload::GenealogyKb()), comp);
+  auto b = braid_c.Ask("ancestor(100, Y)?");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(SolutionSet(a->solutions), SolutionSet(b->solutions));
+  EXPECT_FALSE(a->solutions.empty());
+}
+
+TEST(Baselines, AllModesAgreeOnSolutions) {
+  using baselines::CouplingMode;
+  const CouplingMode modes[] = {
+      CouplingMode::kLooseCoupling, CouplingMode::kExactMatchCache,
+      CouplingMode::kSingleRelationCache, CouplingMode::kBraidNoAdvice,
+      CouplingMode::kBraid};
+  std::set<std::string> reference;
+  bool first = true;
+  for (CouplingMode mode : modes) {
+    BraidOptions options;
+    options.cms = baselines::ConfigFor(mode, 8 << 20);
+    BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb), options);
+    auto outcome = braid.Ask("k1(X, Y)?");
+    ASSERT_TRUE(outcome.ok())
+        << baselines::CouplingModeName(mode) << ": "
+        << outcome.status().ToString();
+    if (first) {
+      reference = SolutionSet(outcome->solutions);
+      first = false;
+    } else {
+      EXPECT_EQ(SolutionSet(outcome->solutions), reference)
+          << baselines::CouplingModeName(mode);
+    }
+  }
+}
+
+TEST(Caching, RepeatedSessionsHitCache) {
+  BraidSystem braid(ExampleDatabase(), ParseKb(kExampleKb));
+  auto first = braid.Ask("k1(X, Y)?");
+  ASSERT_TRUE(first.ok());
+  const size_t remote_after_first = braid.remote().stats().queries;
+  auto second = braid.Ask("k1(X, Y)?");
+  ASSERT_TRUE(second.ok());
+  const size_t remote_after_second = braid.remote().stats().queries;
+  EXPECT_EQ(SolutionSet(first->solutions), SolutionSet(second->solutions));
+  // The second session should answer mostly (or wholly) from cache.
+  EXPECT_LE(remote_after_second - remote_after_first,
+            remote_after_first / 2 + 1);
+}
+
+TEST(SupplierParts, JoinsAndMutexRules) {
+  workload::SupplierParams params;
+  params.suppliers = 30;
+  params.parts = 60;
+  params.supplies = 200;
+  BraidSystem braid(workload::MakeSupplierDatabase(params),
+                    ParseKb(workload::SupplierKb()));
+  auto heavy = braid.Ask("heavy_supplier(S, P)?");
+  ASSERT_TRUE(heavy.ok()) << heavy.status().ToString();
+  auto light = braid.Ask("light_supplier(S, P)?");
+  ASSERT_TRUE(light.ok()) << light.status().ToString();
+  // Every supplies fact classifies as exactly one of heavy/light.
+  std::set<std::string> h = SolutionSet(heavy->solutions);
+  std::set<std::string> l = SolutionSet(light->solutions);
+  for (const std::string& s : h) {
+    EXPECT_EQ(l.count(s), 0u) << s;
+  }
+  EXPECT_FALSE(h.empty());
+  EXPECT_FALSE(l.empty());
+}
+
+}  // namespace
+}  // namespace braid

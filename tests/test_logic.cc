@@ -1,0 +1,262 @@
+// Unit and property tests for the logic substrate: terms, atoms,
+// substitutions, unification, knowledge base, and parser.
+
+#include <gtest/gtest.h>
+
+#include "logic/knowledge_base.h"
+#include "logic/parser.h"
+#include "logic/substitution.h"
+#include "logic/unify.h"
+
+namespace braid::logic {
+namespace {
+
+Atom A(const std::string& text) {
+  auto r = ParseQueryAtom(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.value();
+}
+
+TEST(Term, VariableVsConstant) {
+  Term v = Term::Var("X");
+  Term c = Term::Int(3);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(v.var_name(), "X");
+  EXPECT_EQ(c.value(), rel::Value::Int(3));
+  EXPECT_NE(v, c);
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Var("X"), Term::Var("Y"));
+}
+
+TEST(Atom, ParseAndRender) {
+  Atom a = A("b1(c1, Y)");
+  EXPECT_EQ(a.predicate, "b1");
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_TRUE(a.args[0].is_constant());
+  EXPECT_TRUE(a.args[1].is_variable());
+  EXPECT_EQ(a.ToString(), "b1(c1, Y)");
+}
+
+TEST(Atom, VariablesFirstOccurrenceOrder) {
+  Atom a = A("p(X, Y, X, Z)");
+  EXPECT_EQ(a.Variables(), (std::vector<std::string>{"X", "Y", "Z"}));
+}
+
+TEST(Atom, ComparisonDetection) {
+  Atom a("<", {Term::Var("X"), Term::Int(5)});
+  EXPECT_TRUE(a.IsComparison());
+  EXPECT_EQ(a.comparison_op(), rel::CompareOp::kLt);
+  EXPECT_EQ(a.ToString(), "X < 5");
+  EXPECT_FALSE(A("lt(X, Y)").IsComparison());
+}
+
+TEST(Atom, GroundCheck) {
+  EXPECT_TRUE(A("p(1, c, 'str')").IsGround());
+  EXPECT_FALSE(A("p(1, X)").IsGround());
+}
+
+TEST(Substitution, BindAndLookup) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind("X", Term::Int(1)));
+  EXPECT_EQ(s.Lookup("X"), Term::Int(1));
+  EXPECT_EQ(s.Lookup("Y"), std::nullopt);
+}
+
+TEST(Substitution, ConflictRejected) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind("X", Term::Int(1)));
+  EXPECT_FALSE(s.Bind("X", Term::Int(2)));
+  EXPECT_TRUE(s.Bind("X", Term::Int(1)));  // Re-binding same value is OK.
+}
+
+TEST(Substitution, ChainsResolveTransitively) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind("X", Term::Var("Y")));
+  EXPECT_TRUE(s.Bind("Y", Term::Int(7)));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Int(7));
+}
+
+TEST(Substitution, VariableAliasUnionFind) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind("X", Term::Var("Y")));
+  EXPECT_TRUE(s.Bind("X", Term::Int(3)));  // Must propagate to Y.
+  EXPECT_EQ(s.Apply(Term::Var("Y")), Term::Int(3));
+}
+
+TEST(Substitution, ApplyAtom) {
+  Substitution s;
+  s.Bind("X", Term::Int(1));
+  Atom out = s.Apply(A("p(X, Y)"));
+  EXPECT_EQ(out.ToString(), "p(1, Y)");
+}
+
+TEST(Unify, IdenticalAtoms) {
+  auto mgu = UnifyAtoms(A("p(X, Y)"), A("p(X, Y)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_TRUE(mgu->empty());
+}
+
+TEST(Unify, BindsVariablesBothDirections) {
+  auto mgu = UnifyAtoms(A("p(X, 2)"), A("p(1, Y)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Lookup("X"), Term::Int(1));
+  EXPECT_EQ(mgu->Lookup("Y"), Term::Int(2));
+}
+
+TEST(Unify, FailsOnConstantMismatch) {
+  EXPECT_FALSE(UnifyAtoms(A("p(1)"), A("p(2)")).has_value());
+  EXPECT_FALSE(UnifyAtoms(A("p(1)"), A("q(1)")).has_value());
+  EXPECT_FALSE(UnifyAtoms(A("p(1)"), A("p(1, 2)")).has_value());
+}
+
+TEST(Unify, RepeatedVariablesConstrain) {
+  // p(X, X) with p(1, 2) must fail; with p(3, 3) must succeed.
+  EXPECT_FALSE(UnifyAtoms(A("p(X, X)"), A("p(1, 2)")).has_value());
+  auto ok = UnifyAtoms(A("p(X, X)"), A("p(3, 3)"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->Lookup("X"), Term::Int(3));
+}
+
+TEST(Unify, MguMakesAtomsEqualProperty) {
+  const char* pairs[][2] = {
+      {"p(X, Y)", "p(1, 2)"},      {"p(X, X)", "p(Y, 3)"},
+      {"p(X, b, Z)", "p(a, Y, Z)"}, {"q(X, Y, X)", "q(Z, Z, 4)"},
+  };
+  for (const auto& pair : pairs) {
+    auto mgu = UnifyAtoms(A(pair[0]), A(pair[1]));
+    ASSERT_TRUE(mgu.has_value()) << pair[0] << " ~ " << pair[1];
+    EXPECT_EQ(mgu->Apply(A(pair[0])), mgu->Apply(A(pair[1])))
+        << pair[0] << " ~ " << pair[1] << " via " << mgu->ToString();
+  }
+}
+
+TEST(MatchOneWay, ConstantInSpecificMatchesVariableInGeneral) {
+  auto m = MatchOneWay(A("b(X, Y)"), A("b(1, Z)"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->Lookup("X"), Term::Int(1));
+  EXPECT_EQ(m->Lookup("Y"), Term::Var("Z"));
+}
+
+TEST(MatchOneWay, ConstantInGeneralRequiresSameConstant) {
+  EXPECT_TRUE(MatchOneWay(A("b(1, X)"), A("b(1, 2)")).has_value());
+  EXPECT_FALSE(MatchOneWay(A("b(1, X)"), A("b(2, 2)")).has_value());
+  // Variable in specific cannot match constant in general.
+  EXPECT_FALSE(MatchOneWay(A("b(1)"), A("b(X)")).has_value());
+}
+
+TEST(MatchOneWay, RepeatedGeneralVariableNeedsConsistency) {
+  EXPECT_TRUE(MatchOneWay(A("b(X, X)"), A("b(3, 3)")).has_value());
+  EXPECT_FALSE(MatchOneWay(A("b(X, X)"), A("b(3, 4)")).has_value());
+}
+
+TEST(RenameVariables, OnlyVariablesChange) {
+  Atom renamed = RenameVariables(A("p(X, c, Y)"), "_1");
+  EXPECT_EQ(renamed.ToString(), "p(X_1, c, Y_1)");
+}
+
+TEST(Parser, ProgramWithAllDirectives) {
+  KnowledgeBase kb;
+  Status s = ParseProgram(R"(
+% comment line
+#base edge(src, dst).
+#mutex p, q.
+#fd edge: 0 -> 1.
+#closure reach = edge.
+reach(X, Y) :- edge(X, Y).          // another comment
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+p(X) :- edge(X, Y), Y > 3.
+q(X) :- edge(X, Y), Y <= 3.
+)",
+                          &kb);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(kb.IsBaseRelation("edge"));
+  EXPECT_TRUE(kb.IsUserDefined("reach"));
+  EXPECT_EQ(kb.RulesFor("reach").size(), 2u);
+  EXPECT_TRUE(kb.AreMutuallyExclusive("p", "q"));
+  EXPECT_TRUE(kb.AreMutuallyExclusive("q", "p"));
+  EXPECT_FALSE(kb.AreMutuallyExclusive("p", "reach"));
+  EXPECT_EQ(kb.ClosureBaseOf("reach"), "edge");
+  EXPECT_EQ(kb.fd_soas().size(), 1u);
+  EXPECT_EQ(kb.fd_soas()[0].determinant, (std::vector<size_t>{0}));
+}
+
+TEST(Parser, RuleIdsAssignedInOrder) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(ParseProgram("a(X) :- b(X). a(X) :- c(X).", &kb).ok());
+  EXPECT_EQ(kb.rules()[0].id, "R1");
+  EXPECT_EQ(kb.rules()[1].id, "R2");
+}
+
+TEST(Parser, LiteralKinds) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(ParseProgram(
+      "r(X, W) :- b(X, -4, 2.5, 'quoted str'), X != 3, plus(X, 1, W).", &kb)
+                  .ok());
+  const Rule& rule = kb.rules()[0];
+  EXPECT_EQ(rule.body.size(), 3u);
+  EXPECT_EQ(rule.body[0].args[1], Term::Int(-4));
+  EXPECT_EQ(rule.body[0].args[2],
+            Term::Const(rel::Value::Double(2.5)));
+  EXPECT_EQ(rule.body[0].args[3], Term::Str("quoted str"));
+  EXPECT_TRUE(rule.body[1].IsComparison());
+}
+
+TEST(Parser, Errors) {
+  KnowledgeBase kb;
+  EXPECT_EQ(ParseProgram("p(X :- q(X).", &kb).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseProgram("p(X) :- q(X)", &kb).code(),
+            StatusCode::kParseError);  // missing '.'
+  EXPECT_EQ(ParseProgram("#nonsense p.", &kb).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseProgram("p('unterminated).", &kb).code(),
+            StatusCode::kParseError);
+}
+
+TEST(Parser, QueryAtomTrailingMarkers) {
+  EXPECT_TRUE(ParseQueryAtom("k1(X, Y)?").ok());
+  EXPECT_TRUE(ParseQueryAtom("k1(X, Y).").ok());
+  EXPECT_TRUE(ParseQueryAtom("k1(X, Y)").ok());
+  EXPECT_FALSE(ParseQueryAtom("k1(X, Y)? extra").ok());
+}
+
+TEST(KnowledgeBase, RejectsRuleForBaseRelation) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.DeclareBaseRelation("b", {"x"}).ok());
+  Rule r;
+  r.head = A("b(X)");
+  EXPECT_EQ(kb.AddRule(r).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeBase, RejectsBaseForDefinedPredicate) {
+  KnowledgeBase kb;
+  Rule r;
+  r.head = A("p(X)");
+  r.body = {A("q(X)")};
+  ASSERT_TRUE(kb.AddRule(r).ok());
+  EXPECT_EQ(kb.DeclareBaseRelation("p", {"x"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeBase, ToStringRoundTrips) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(ParseProgram(R"(
+#base e(a, b).
+#mutex p, q.
+#closure r = e.
+r(X, Y) :- e(X, Y).
+p(X) :- e(X, Y), Y > 1.
+q(X) :- e(X, Y), Y <= 1.
+)",
+                           &kb)
+                  .ok());
+  KnowledgeBase kb2;
+  Status s = ParseProgram(kb.ToString(), &kb2);
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << kb.ToString();
+  EXPECT_EQ(kb.rules().size(), kb2.rules().size());
+  EXPECT_EQ(kb.ToString(), kb2.ToString());
+}
+
+}  // namespace
+}  // namespace braid::logic

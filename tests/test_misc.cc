@@ -1,0 +1,108 @@
+// Small-surface tests: rendering caps, cost estimates, and other odds and
+// ends not reached by the mainline suites.
+
+#include <gtest/gtest.h>
+
+#include "advice/advice.h"
+#include "dbms/remote_dbms.h"
+#include "relational/relation.h"
+
+namespace braid {
+namespace {
+
+using rel::Value;
+
+TEST(RelationRender, TruncatesAtMaxRows) {
+  rel::Relation r("r", rel::Schema::FromNames({"x"}));
+  for (int i = 0; i < 10; ++i) r.AppendUnchecked({Value::Int(i)});
+  const std::string s = r.ToString(3);
+  EXPECT_NE(s.find("[10 tuples]"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_EQ(s.find("(9)"), std::string::npos);
+}
+
+TEST(RelationRender, ByteSizeGrowsWithData) {
+  rel::Relation r("r", rel::Schema::FromNames({"x"}));
+  const size_t empty = r.ByteSize();
+  r.AppendUnchecked({Value::String(std::string(200, 'x'))});
+  EXPECT_GT(r.ByteSize(), empty + 200);
+}
+
+TEST(RemoteEstimates, ServerMsScalesWithTables) {
+  dbms::Database db;
+  rel::Relation small("small", rel::Schema::FromNames({"x"}));
+  small.AppendUnchecked({Value::Int(1)});
+  rel::Relation big("big", rel::Schema::FromNames({"x"}));
+  for (int i = 0; i < 5000; ++i) big.AppendUnchecked({Value::Int(i)});
+  (void)db.AddTable(std::move(small));
+  (void)db.AddTable(std::move(big));
+  dbms::RemoteDbms remote(std::move(db));
+
+  dbms::SqlQuery q_small;
+  q_small.from = {"small"};
+  dbms::SqlQuery q_big;
+  q_big.from = {"big"};
+  EXPECT_LT(remote.EstimateServerMs(q_small), remote.EstimateServerMs(q_big));
+  EXPECT_GT(remote.EstimateServerMs(q_small), 0);
+}
+
+TEST(RemoteEstimates, CardinalityDropsWithSelections) {
+  dbms::Database db;
+  rel::Relation t("t", rel::Schema::FromNames({"x", "y"}));
+  for (int i = 0; i < 100; ++i) {
+    t.AppendUnchecked({Value::Int(i % 10), Value::Int(i)});
+  }
+  (void)db.AddTable(std::move(t));
+  dbms::RemoteDbms remote(std::move(db));
+
+  dbms::SqlQuery scan;
+  scan.from = {"t"};
+  dbms::SqlQuery filtered = scan;
+  filtered.where.push_back(dbms::Condition{dbms::ColRef{0, 0},
+                                           rel::CompareOp::kEq, false,
+                                           dbms::ColRef{}, Value::Int(3)});
+  EXPECT_LT(remote.EstimateCardinality(filtered),
+            remote.EstimateCardinality(scan));
+  EXPECT_NEAR(remote.EstimateCardinality(filtered), 10.0, 0.5);
+}
+
+TEST(AdviceRender, PathAndViewsInOneDump) {
+  advice::AdviceSet advice;
+  advice::ViewSpec v;
+  v.id = "d1";
+  v.head = {advice::AnnotatedVar{"X", advice::Binding::kConsumer}};
+  v.body = {logic::Atom("b", {logic::Term::Var("X")})};
+  advice.view_specs.push_back(v);
+  advice.path_expression = advice::PathExpr::Sequence(
+      {advice::PathExpr::Pattern("d1", v.head)}, advice::RepBound::Fixed(1),
+      advice::RepBound::Fixed(1));
+  const std::string s = advice.ToString();
+  EXPECT_NE(s.find("d1(X?)"), std::string::npos);
+  EXPECT_NE(s.find("path: (d1(X?))<1,1>"), std::string::npos);
+}
+
+TEST(NetworkModel, BufferSizeChangesMessageCount) {
+  dbms::Database db;
+  rel::Relation t("t", rel::Schema::FromNames({"x"}));
+  for (int i = 0; i < 100; ++i) t.AppendUnchecked({Value::Int(i)});
+  (void)db.AddTable(std::move(t));
+
+  dbms::NetworkModel tiny;
+  tiny.buffer_tuples = 10;
+  dbms::RemoteDbms remote_tiny(db, tiny, dbms::DbmsCostModel{});
+  dbms::NetworkModel huge;
+  huge.buffer_tuples = 1000;
+  dbms::RemoteDbms remote_huge(std::move(db), huge, dbms::DbmsCostModel{});
+
+  dbms::SqlQuery q;
+  q.from = {"t"};
+  auto a = remote_tiny.Execute(q);
+  auto b = remote_huge.Execute(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cost.messages, 11u);  // 10 buffers + request
+  EXPECT_EQ(b->cost.messages, 2u);   // 1 buffer + request
+}
+
+}  // namespace
+}  // namespace braid

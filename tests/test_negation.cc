@@ -1,0 +1,237 @@
+// Tests for CAQL's NOT (paper §5: "logical connectives (AND, OR, NOT)"):
+// safe negation in CAQL queries evaluated by anti-join, negation-as-failure
+// in the interpreted strategy, and stratified evaluation in the compiled
+// strategy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "braid/braid_system.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "cms/query_processor.h"
+#include "logic/parser.h"
+
+namespace braid {
+namespace {
+
+using rel::Value;
+
+dbms::Database TestDb() {
+  dbms::Database db;
+  rel::Relation node("node", rel::Schema::FromNames({"id"}));
+  for (int i = 0; i < 6; ++i) node.AppendUnchecked({Value::Int(i)});
+  rel::Relation edge("edge", rel::Schema::FromNames({"src", "dst"}));
+  edge.AppendUnchecked({Value::Int(0), Value::Int(1)});
+  edge.AppendUnchecked({Value::Int(1), Value::Int(2)});
+  edge.AppendUnchecked({Value::Int(3), Value::Int(4)});
+  (void)db.AddTable(std::move(node));
+  (void)db.AddTable(std::move(edge));
+  return db;
+}
+
+std::set<std::string> Rows(const rel::Relation& r) {
+  std::set<std::string> out;
+  for (const rel::Tuple& t : r.tuples()) out.insert(rel::TupleToString(t));
+  return out;
+}
+
+TEST(NegationParsing, NotPrefixSetsFlag) {
+  auto q = caql::ParseCaql("sink(X) :- node(X) & not edge(X, Y)");
+  // Unsafe: Y occurs only in the negated literal.
+  EXPECT_FALSE(q.ok());
+
+  auto q2 = caql::ParseCaql("noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q2->NegatedAtoms().size(), 1u);
+  EXPECT_EQ(q2->RelationAtoms().size(), 2u);
+  EXPECT_TRUE(q2->NegatedAtoms()[0].negated);
+  EXPECT_EQ(q2->ToString(),
+            "noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+}
+
+TEST(NegationParsing, PredicateNamedNotStillParses) {
+  logic::KnowledgeBase kb;
+  Status s = logic::ParseProgram("#base not(x).\np(X) :- not(X).", &kb);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(kb.rules()[0].body[0].negated);
+}
+
+TEST(NegationParsing, CanonicalKeyDistinguishesPolarity) {
+  auto pos = caql::ParseCaql("q(X, Y) :- node(X) & node(Y) & edge(X, Y)");
+  auto neg = caql::ParseCaql("q(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(neg.ok());
+  EXPECT_NE(pos->CanonicalKey(), neg->CanonicalKey());
+}
+
+TEST(NegationQueryProcessor, AntiJoinFiltersMatches) {
+  auto node = std::make_shared<rel::Relation>("node",
+                                              rel::Schema::FromNames({"id"}));
+  for (int i = 0; i < 4; ++i) node->AppendUnchecked({Value::Int(i)});
+  auto edge = std::make_shared<rel::Relation>(
+      "edge", rel::Schema::FromNames({"s", "d"}));
+  edge->AppendUnchecked({Value::Int(0), Value::Int(1)});
+  edge->AppendUnchecked({Value::Int(2), Value::Int(3)});
+
+  cms::QueryProcessor::AtomResolver resolver =
+      [&](const logic::Atom& a) -> std::shared_ptr<const rel::Relation> {
+    if (a.predicate == "node") return node;
+    if (a.predicate == "edge") return edge;
+    return nullptr;
+  };
+  // Sources: nodes with no outgoing edge.
+  auto q = caql::ParseCaql("sink(X) :- node(X) & not edge(X, X2)");
+  // Unsafe (X2 unbound) — use the two-var safe form instead.
+  EXPECT_FALSE(q.ok());
+  auto q2 = caql::ParseCaql(
+      "noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+  ASSERT_TRUE(q2.ok());
+  cms::LocalWork work;
+  auto out = cms::QueryProcessor::Evaluate(q2.value(), resolver, &work);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // 4x4 pairs minus the two edges.
+  EXPECT_EQ(out->NumTuples(), 14u);
+}
+
+TEST(NegationQueryProcessor, AntiJoinWithConstants) {
+  auto edge = std::make_shared<rel::Relation>(
+      "edge", rel::Schema::FromNames({"s", "d"}));
+  edge->AppendUnchecked({Value::Int(0), Value::Int(1)});
+  auto node = std::make_shared<rel::Relation>("node",
+                                              rel::Schema::FromNames({"id"}));
+  node->AppendUnchecked({Value::Int(0)});
+  node->AppendUnchecked({Value::Int(5)});
+  cms::QueryProcessor::AtomResolver resolver =
+      [&](const logic::Atom& a) -> std::shared_ptr<const rel::Relation> {
+    if (a.predicate == "node") return node;
+    if (a.predicate == "edge") return edge;
+    return nullptr;
+  };
+  // Nodes with no edge to 1.
+  auto q = caql::ParseCaql("q(X) :- node(X) & not edge(X, 1)");
+  ASSERT_TRUE(q.ok());
+  cms::LocalWork work;
+  auto out = cms::QueryProcessor::Evaluate(q.value(), resolver, &work);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), (std::set<std::string>{"(5)"}));
+}
+
+TEST(NegationCms, PlansAntiSourceRemotely) {
+  dbms::RemoteDbms remote(TestDb());
+  cms::Cms cms(&remote, cms::CmsConfig{});
+  auto q = caql::ParseCaql(
+      "noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+  ASSERT_TRUE(q.ok());
+  auto a = cms.Query(q.value());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->relation->NumTuples(), 36u - 3u);
+}
+
+TEST(NegationCms, AntiSourceUsesCacheWhenAvailable) {
+  dbms::RemoteDbms remote(TestDb());
+  cms::Cms cms(&remote, cms::CmsConfig{});
+  // Prime both relations.
+  (void)cms.Query(caql::ParseCaql("alln(X) :- node(X)").value());
+  (void)cms.Query(caql::ParseCaql("alle(X, Y) :- edge(X, Y)").value());
+  const size_t remote_before = remote.stats().queries;
+  auto a = cms.Query(
+      caql::ParseCaql("noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)")
+          .value());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(remote.stats().queries, remote_before);  // fully local
+  EXPECT_EQ(a->relation->NumTuples(), 33u);
+  EXPECT_EQ(a->outcome, cms::CacheOutcome::kFullLocal);
+}
+
+const char* kNegKb = R"(
+#base node(id).
+#base edge(src, dst).
+linked(X) :- edge(X, Y).
+linked(X) :- edge(Y, X).
+isolated(X) :- node(X), not linked(X).
+sink(X) :- node(X), linked(X), not source(X).
+source(X) :- edge(X, Y).
+)";
+
+TEST(NegationIe, InterpretedNegationAsFailure) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(kNegKb, &kb).ok());
+  BraidSystem braid(TestDb(), std::move(kb));
+  auto isolated = braid.Ask("isolated(X)?");
+  ASSERT_TRUE(isolated.ok()) << isolated.status().ToString();
+  // Nodes 0..5; edges touch 0,1,2,3,4 → isolated = {5}.
+  EXPECT_EQ(Rows(isolated->solutions), (std::set<std::string>{"(5)"}));
+
+  auto sinks = braid.Ask("sink(X)?");
+  ASSERT_TRUE(sinks.ok()) << sinks.status().ToString();
+  // linked minus sources {0,1,3} → {2, 4}.
+  EXPECT_EQ(Rows(sinks->solutions), (std::set<std::string>{"(2)", "(4)"}));
+}
+
+TEST(NegationIe, CompiledStratifiedMatchesInterpreted) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(kNegKb, &kb).ok());
+  BraidOptions options;
+  options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid(TestDb(), std::move(kb), options);
+  auto isolated = braid.Ask("isolated(X)?");
+  ASSERT_TRUE(isolated.ok()) << isolated.status().ToString();
+  EXPECT_EQ(Rows(isolated->solutions), (std::set<std::string>{"(5)"}));
+  auto sinks = braid.Ask("sink(X)?");
+  ASSERT_TRUE(sinks.ok());
+  EXPECT_EQ(Rows(sinks->solutions), (std::set<std::string>{"(2)", "(4)"}));
+}
+
+TEST(NegationIe, UnstratifiableKbRejectedByCompiled) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base node(id).
+p(X) :- node(X), not q(X).
+q(X) :- node(X), not p(X).
+)",
+                                  &kb)
+                  .ok());
+  BraidOptions options;
+  options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid(TestDb(), std::move(kb), options);
+  auto out = braid.Ask("p(X)?");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NegationIe, NegatedBaseAtomInRule) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base node(id).
+#base edge(src, dst).
+nonadjacent(X, Y) :- node(X), node(Y), not edge(X, Y), X != Y.
+)",
+                                  &kb)
+                  .ok());
+  BraidSystem braid(TestDb(), std::move(kb));
+  auto out = braid.Ask("nonadjacent(0, Y)?");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Y in 1..5 minus edge(0,1) → {2,3,4,5}.
+  EXPECT_EQ(Rows(out->solutions),
+            (std::set<std::string>{"(2)", "(3)", "(4)", "(5)"}));
+}
+
+TEST(NegationSubsumption, NegatedDefinitionOnlyReusedExactly) {
+  auto def = caql::ParseCaql(
+      "d(X, Y) :- node(X) & node(Y) & not edge(X, Y)");
+  auto same = caql::ParseCaql(
+      "d(A, B) :- node(A) & node(B) & not edge(A, B)");
+  auto narrower = caql::ParseCaql("q(A, B) :- node(A) & node(B)");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(same.ok());
+  ASSERT_TRUE(narrower.ok());
+  EXPECT_TRUE(cms::ComputeSubsumption(def.value(), same.value()).has_value());
+  // A negated definition must not answer a query without the negation.
+  EXPECT_FALSE(
+      cms::ComputeSubsumption(def.value(), narrower.value()).has_value());
+}
+
+}  // namespace
+}  // namespace braid

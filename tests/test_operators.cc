@@ -1,0 +1,299 @@
+// Unit and property tests for the relational operators, predicates, and
+// hash indexes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "relational/index.h"
+#include "relational/operators.h"
+#include "relational/predicate.h"
+
+namespace braid::rel {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& cols,
+                      std::vector<Tuple> tuples) {
+  Relation r(name, Schema::FromNames(cols));
+  for (Tuple& t : tuples) r.AppendUnchecked(std::move(t));
+  return r;
+}
+
+Relation SmallR() {
+  return MakeRelation("r", {"a", "b"},
+                      {{Value::Int(1), Value::Int(10)},
+                       {Value::Int(2), Value::Int(20)},
+                       {Value::Int(3), Value::Int(30)},
+                       {Value::Int(2), Value::Int(25)}});
+}
+
+Relation SmallS() {
+  return MakeRelation("s", {"b", "c"},
+                      {{Value::Int(10), Value::String("x")},
+                       {Value::Int(20), Value::String("y")},
+                       {Value::Int(20), Value::String("z")},
+                       {Value::Int(99), Value::String("w")}});
+}
+
+std::multiset<std::string> Rows(const Relation& r) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : r.tuples()) out.insert(TupleToString(t));
+  return out;
+}
+
+TEST(Predicate, ColumnConstEval) {
+  auto p = Predicate::ColumnConst(0, CompareOp::kGt, Value::Int(1));
+  EXPECT_TRUE(p->Eval({Value::Int(2)}));
+  EXPECT_FALSE(p->Eval({Value::Int(1)}));
+}
+
+TEST(Predicate, ColumnColumnEval) {
+  auto p = Predicate::ColumnColumn(0, CompareOp::kEq, 1);
+  EXPECT_TRUE(p->Eval({Value::Int(3), Value::Int(3)}));
+  EXPECT_FALSE(p->Eval({Value::Int(3), Value::Int(4)}));
+}
+
+TEST(Predicate, BooleanCombinators) {
+  auto lt = Predicate::ColumnConst(0, CompareOp::kLt, Value::Int(5));
+  auto gt = Predicate::ColumnConst(0, CompareOp::kGt, Value::Int(1));
+  auto band = Predicate::And({lt, gt});
+  EXPECT_TRUE(band->Eval({Value::Int(3)}));
+  EXPECT_FALSE(band->Eval({Value::Int(0)}));
+  auto bor = Predicate::Or({Predicate::ColumnConst(0, CompareOp::kEq,
+                                                   Value::Int(0)),
+                            Predicate::ColumnConst(0, CompareOp::kEq,
+                                                   Value::Int(9))});
+  EXPECT_TRUE(bor->Eval({Value::Int(9)}));
+  EXPECT_FALSE(bor->Eval({Value::Int(5)}));
+  auto bnot = Predicate::Not(lt);
+  EXPECT_TRUE(bnot->Eval({Value::Int(6)}));
+}
+
+TEST(Predicate, EmptyAndIsTrue) {
+  auto p = Predicate::And({});
+  EXPECT_EQ(p->kind(), Predicate::Kind::kTrue);
+  EXPECT_TRUE(p->Eval({}));
+}
+
+TEST(Predicate, ComparisonsWithNullAreFalseExceptEquality) {
+  EXPECT_FALSE(EvalCompare(CompareOp::kLt, Value::Null(), Value::Int(1)));
+  EXPECT_FALSE(EvalCompare(CompareOp::kGe, Value::Int(1), Value::Null()));
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, Value::Null(), Value::Null()));
+}
+
+TEST(ReverseOp, AllCases) {
+  EXPECT_EQ(ReverseCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(ReverseCompareOp(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(ReverseCompareOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(ReverseCompareOp(CompareOp::kNe), CompareOp::kNe);
+}
+
+TEST(Select, FiltersRows) {
+  Relation out = Select(
+      SmallR(), *Predicate::ColumnConst(0, CompareOp::kEq, Value::Int(2)));
+  EXPECT_EQ(out.NumTuples(), 2u);
+}
+
+TEST(Project, ReordersAndDuplicatesColumns) {
+  Relation out = Project(SmallR(), {1, 0, 1});
+  EXPECT_EQ(out.schema().size(), 3u);
+  EXPECT_EQ(out.tuple(0), (Tuple{Value::Int(10), Value::Int(1),
+                                 Value::Int(10)}));
+}
+
+TEST(HashJoin, MatchesExpectedPairs) {
+  Relation out = HashJoin(SmallR(), SmallS(), {JoinKey{1, 0}});
+  // b=10 matches once; b=20 twice (r row (2,20) with s y,z); b=25,30 none.
+  EXPECT_EQ(out.NumTuples(), 3u);
+}
+
+TEST(HashJoin, EmptyKeyIsCrossProduct) {
+  Relation out = HashJoin(SmallR(), SmallS(), {});
+  EXPECT_EQ(out.NumTuples(), SmallR().NumTuples() * SmallS().NumTuples());
+}
+
+TEST(HashJoin, ResidualFilters) {
+  auto residual =
+      Predicate::ColumnConst(3, CompareOp::kEq, Value::String("y"));
+  Relation out = HashJoin(SmallR(), SmallS(), {JoinKey{1, 0}}, residual);
+  EXPECT_EQ(out.NumTuples(), 1u);
+}
+
+TEST(Union, ConcatenatesBags) {
+  auto out = Union(SmallR(), SmallR());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 8u);
+}
+
+TEST(Union, ArityMismatchRejected) {
+  auto out = Union(SmallR(), SmallS());
+  EXPECT_TRUE(out.ok());  // Same arity (2) — allowed.
+  Relation one_col = MakeRelation("t", {"x"}, {{Value::Int(1)}});
+  auto bad = Union(SmallR(), one_col);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Difference, RespectsMultiplicity) {
+  Relation left = MakeRelation(
+      "l", {"x"}, {{Value::Int(1)}, {Value::Int(1)}, {Value::Int(2)}});
+  Relation right = MakeRelation("r", {"x"}, {{Value::Int(1)}});
+  auto out = Difference(left, right);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Rows(*out),
+            (std::multiset<std::string>{"(1)", "(2)"}));
+}
+
+TEST(Distinct, RemovesDuplicatesKeepsFirstOrder) {
+  Relation in = MakeRelation(
+      "d", {"x"}, {{Value::Int(2)}, {Value::Int(1)}, {Value::Int(2)}});
+  Relation out = Distinct(in);
+  ASSERT_EQ(out.NumTuples(), 2u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(2));
+  EXPECT_EQ(out.tuple(1)[0], Value::Int(1));
+}
+
+TEST(Sort, LexicographicByColumns) {
+  Relation out = Sort(SmallR(), {0, 1});
+  for (size_t i = 1; i < out.NumTuples(); ++i) {
+    EXPECT_LE(out.tuple(i - 1)[0].Compare(out.tuple(i)[0]), 0);
+  }
+  // Secondary key: rows with a=2 sorted by b.
+  EXPECT_EQ(out.tuple(1)[1], Value::Int(20));
+  EXPECT_EQ(out.tuple(2)[1], Value::Int(25));
+}
+
+TEST(Aggregate, GroupByWithCountAndSum) {
+  Relation out = Aggregate(SmallR(), {0},
+                           {AggSpec{AggFn::kCount, 0, "n"},
+                            AggSpec{AggFn::kSum, 1, "total"}});
+  // Groups: a=1 (1 row), a=2 (2 rows), a=3 (1 row).
+  EXPECT_EQ(out.NumTuples(), 3u);
+  for (const Tuple& t : out.tuples()) {
+    if (t[0] == Value::Int(2)) {
+      EXPECT_EQ(t[1], Value::Int(2));
+      EXPECT_EQ(t[2], Value::Double(45.0));
+    }
+  }
+}
+
+TEST(Aggregate, GlobalOverEmptyInputYieldsCountZero) {
+  Relation empty("e", Schema::FromNames({"x"}));
+  Relation out = Aggregate(empty, {}, {AggSpec{AggFn::kCount, 0, "n"},
+                                       AggSpec{AggFn::kMin, 0, "m"}});
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(0));
+  EXPECT_TRUE(out.tuple(0)[1].is_null());
+}
+
+TEST(Aggregate, MinMaxAvg) {
+  Relation out = Aggregate(SmallR(), {},
+                           {AggSpec{AggFn::kMin, 1, "lo"},
+                            AggSpec{AggFn::kMax, 1, "hi"},
+                            AggSpec{AggFn::kAvg, 1, "mean"}});
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(10));
+  EXPECT_EQ(out.tuple(0)[1], Value::Int(30));
+  EXPECT_EQ(out.tuple(0)[2], Value::Double(85.0 / 4));
+}
+
+TEST(HashIndex, LookupFindsAllRows) {
+  Relation r = SmallR();
+  HashIndex index(r, 0);
+  EXPECT_EQ(index.Lookup(Value::Int(2)).size(), 2u);
+  EXPECT_EQ(index.Lookup(Value::Int(99)).size(), 0u);
+  EXPECT_EQ(index.NumDistinctKeys(), 3u);
+}
+
+TEST(Relation, AppendChecksArity) {
+  Relation r("t", Schema::FromNames({"a", "b"}));
+  EXPECT_TRUE(r.Append({Value::Int(1), Value::Int(2)}).ok());
+  Status bad = r.Append({Value::Int(1)});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: HashJoin agrees with NestedLoopJoin on random inputs.
+
+struct JoinCase {
+  size_t left_rows;
+  size_t right_rows;
+  int64_t key_domain;
+  uint64_t seed;
+};
+
+class JoinEquivalence : public ::testing::TestWithParam<JoinCase> {};
+
+Relation RandomRelation(const std::string& name, size_t rows,
+                        int64_t key_domain, Rng* rng) {
+  Relation r(name, Schema::FromNames({"k", "v"}));
+  for (size_t i = 0; i < rows; ++i) {
+    r.AppendUnchecked(Tuple{Value::Int(rng->Uniform(0, key_domain - 1)),
+                            Value::Int(rng->Uniform(0, 1000))});
+  }
+  return r;
+}
+
+TEST_P(JoinEquivalence, HashJoinMatchesNestedLoop) {
+  const JoinCase& c = GetParam();
+  Rng rng(c.seed);
+  Relation left = RandomRelation("l", c.left_rows, c.key_domain, &rng);
+  Relation right = RandomRelation("r", c.right_rows, c.key_domain, &rng);
+
+  Relation hash = HashJoin(left, right, {JoinKey{0, 0}});
+  Relation nested = NestedLoopJoin(
+      left, right, *Predicate::ColumnColumn(0, CompareOp::kEq, 2));
+  EXPECT_EQ(Rows(hash), Rows(nested));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinEquivalence,
+    ::testing::Values(JoinCase{0, 10, 5, 1}, JoinCase{10, 0, 5, 2},
+                      JoinCase{1, 1, 1, 3}, JoinCase{20, 20, 3, 4},
+                      JoinCase{50, 30, 10, 5}, JoinCase{100, 100, 7, 6},
+                      JoinCase{64, 256, 64, 7}, JoinCase{200, 50, 1, 8}));
+
+// Property: Select distributes over Union.
+TEST(Property, SelectDistributesOverUnion) {
+  Rng rng(11);
+  Relation a = RandomRelation("a", 40, 10, &rng);
+  Relation b = RandomRelation("b", 30, 10, &rng);
+  auto pred = Predicate::ColumnConst(0, CompareOp::kLt, Value::Int(5));
+  auto u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  Relation lhs = Select(*u, *pred);
+  auto rhs = Union(Select(a, *pred), Select(b, *pred));
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_EQ(Rows(lhs), Rows(*rhs));
+}
+
+// Property: Distinct is idempotent.
+TEST(Property, DistinctIdempotent) {
+  Rng rng(12);
+  Relation a = RandomRelation("a", 60, 5, &rng);
+  Relation once = Distinct(a);
+  Relation twice = Distinct(once);
+  EXPECT_EQ(Rows(once), Rows(twice));
+}
+
+// Property: index lookup equals scan filter.
+TEST(Property, IndexLookupMatchesScan) {
+  Rng rng(13);
+  Relation a = RandomRelation("a", 150, 12, &rng);
+  HashIndex index(a, 0);
+  for (int64_t key = 0; key < 12; ++key) {
+    const auto& rows = index.Lookup(Value::Int(key));
+    size_t scan_count = 0;
+    for (const Tuple& t : a.tuples()) {
+      if (t[0] == Value::Int(key)) ++scan_count;
+    }
+    EXPECT_EQ(rows.size(), scan_count) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace braid::rel

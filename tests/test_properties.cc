@@ -1,0 +1,319 @@
+// Cross-layer property tests: randomized differential checks that the
+// architecture's optimizations never change answers.
+//
+//  P1. Every coupling mode (loose / exact-match / single-relation /
+//      BrAID±advice) returns the same bag of answers for the same random
+//      query session — caching, subsumption, generalization, prefetching,
+//      indexing, and replacement are transparent.
+//  P2. A full subsumption match derives exactly the answer that direct
+//      evaluation produces, for random elements and queries.
+//  P3. Interpreted and compiled strategies agree on random non-recursive
+//      knowledge bases.
+//  P4. The cache never exceeds its byte budget, under any query sequence.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/coupling_modes.h"
+#include "braid/braid_system.h"
+#include "cms/cms.h"
+#include "cms/query_processor.h"
+#include "cms/subsumption.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace braid {
+namespace {
+
+using caql::CaqlQuery;
+using logic::Atom;
+using logic::Term;
+using rel::Tuple;
+using rel::Value;
+
+dbms::Database RandomDatabase(Rng* rng, size_t rows_per_table) {
+  dbms::Database db;
+  for (int t = 1; t <= 3; ++t) {
+    rel::Relation table(StrCat("b", t), rel::Schema::FromNames({"a", "b"}));
+    for (size_t i = 0; i < rows_per_table; ++i) {
+      table.AppendUnchecked(
+          {Value::Int(rng->Uniform(0, 7)), Value::Int(rng->Uniform(0, 7))});
+    }
+    (void)db.AddTable(std::move(table));
+  }
+  return db;
+}
+
+/// A random safe conjunctive query over b1..b3 with 1-3 atoms, occasional
+/// constants, repeated variables, and comparisons.
+CaqlQuery RandomQuery(Rng* rng, int name_tag) {
+  static const char* kVars[] = {"V0", "V1", "V2", "V3"};
+  CaqlQuery q;
+  q.name = StrCat("q", name_tag);
+  const size_t num_atoms = static_cast<size_t>(rng->Uniform(1, 3));
+  std::set<std::string> used_vars;
+  for (size_t a = 0; a < num_atoms; ++a) {
+    std::vector<Term> args;
+    for (int pos = 0; pos < 2; ++pos) {
+      if (rng->Bernoulli(0.25)) {
+        args.push_back(Term::Int(rng->Uniform(0, 7)));
+      } else {
+        const char* v = kVars[rng->Uniform(0, 3)];
+        args.push_back(Term::Var(v));
+        used_vars.insert(v);
+      }
+    }
+    q.body.push_back(Atom(StrCat("b", rng->Uniform(1, 3)), std::move(args)));
+  }
+  if (rng->Bernoulli(0.3) && !used_vars.empty()) {
+    auto it = used_vars.begin();
+    q.body.push_back(Atom("<", {Term::Var(*it),
+                                Term::Int(rng->Uniform(0, 7))}));
+  }
+  for (const std::string& v : used_vars) {
+    q.head_args.push_back(Term::Var(v));
+  }
+  if (q.head_args.empty()) {
+    // Fully ground query: keep it as an existence check.
+  }
+  return q;
+}
+
+std::multiset<std::string> AnswerBag(cms::Cms* cms, const CaqlQuery& q) {
+  auto a = cms->Query(q);
+  EXPECT_TRUE(a.ok()) << q.ToString() << ": " << a.status().ToString();
+  std::multiset<std::string> out;
+  if (!a.ok()) return out;
+  rel::Relation r = a->relation != nullptr ? *a->relation
+                                           : stream::Drain(*a->stream);
+  for (const Tuple& t : r.tuples()) out.insert(rel::TupleToString(t));
+  return out;
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModeEquivalence, AllCouplingModesAgreeOnRandomSessions) {
+  const uint64_t seed = GetParam();
+  using baselines::CouplingMode;
+  const CouplingMode modes[] = {
+      CouplingMode::kLooseCoupling, CouplingMode::kExactMatchCache,
+      CouplingMode::kSingleRelationCache, CouplingMode::kBraidNoAdvice,
+      CouplingMode::kBraid};
+
+  // Generate one session of queries (shared across modes).
+  Rng qrng(seed);
+  std::vector<CaqlQuery> session;
+  for (int i = 0; i < 12; ++i) {
+    session.push_back(RandomQuery(&qrng, i));
+    // Occasionally repeat an earlier query to exercise the exact path.
+    if (i > 2 && qrng.Bernoulli(0.3)) {
+      CaqlQuery repeat = session[static_cast<size_t>(qrng.Uniform(0, i - 1))];
+      repeat.name = StrCat("r", i);
+      session.push_back(std::move(repeat));
+    }
+  }
+
+  std::vector<std::multiset<std::string>> reference;
+  bool first = true;
+  for (CouplingMode mode : modes) {
+    Rng drng(seed + 1000);
+    dbms::RemoteDbms remote(RandomDatabase(&drng, 40));
+    cms::Cms cms(&remote, baselines::ConfigFor(mode, 8 << 20));
+    std::vector<std::multiset<std::string>> answers;
+    for (const CaqlQuery& q : session) {
+      answers.push_back(AnswerBag(&cms, q));
+    }
+    if (first) {
+      reference = std::move(answers);
+      first = false;
+    } else {
+      for (size_t i = 0; i < session.size(); ++i) {
+        EXPECT_EQ(answers[i], reference[i])
+            << baselines::CouplingModeName(mode) << " query "
+            << session[i].ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModeEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+class SubsumptionDerivation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubsumptionDerivation, FullMatchDerivesDirectAnswer) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  dbms::Database db = RandomDatabase(&rng, 50);
+
+  auto resolver = [&db](const Atom& atom)
+      -> std::shared_ptr<const rel::Relation> {
+    const rel::Relation* t = db.GetTable(atom.predicate);
+    if (t == nullptr) return nullptr;
+    return std::shared_ptr<const rel::Relation>(t, [](const rel::Relation*) {});
+  };
+
+  size_t checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    // Element: random all-variable generalization of a random query.
+    CaqlQuery query = RandomQuery(&rng, trial);
+    if (query.RelationAtoms().empty()) continue;
+    // The element generalizes every constant to a fresh variable.
+    CaqlQuery def;
+    def.name = "e";
+    int fresh = 0;
+    for (const Atom& a : query.body) {
+      if (a.IsComparison()) continue;  // keep definitions PSJ-pure
+      Atom g = a;
+      for (Term& t : g.args) {
+        if (t.is_constant()) t = Term::Var(StrCat("G", fresh++));
+      }
+      def.body.push_back(g);
+    }
+    std::set<std::string> dv;
+    logic::CollectVariables(def.body, &dv);
+    for (const std::string& v : dv) def.head_args.push_back(Term::Var(v));
+    CaqlQuery pure = query;
+    pure.body = query.RelationAtoms();  // drop comparisons for this check
+
+    auto match = cms::ComputeSubsumption(def, pure);
+    if (!match.has_value() || !match->full) continue;
+    ++checked;
+
+    cms::LocalWork work;
+    auto direct = cms::QueryProcessor::Evaluate(pure, resolver, &work);
+    ASSERT_TRUE(direct.ok()) << pure.ToString();
+
+    // Derive via the element: evaluate the definition, apply residuals,
+    // project through var_to_column.
+    auto ext = cms::QueryProcessor::Evaluate(def, resolver, &work);
+    ASSERT_TRUE(ext.ok());
+    rel::Relation derived("derived", ext->schema());
+    for (const Tuple& t : ext->tuples()) {
+      bool keep = true;
+      for (const cms::ResidualSelection& s : match->selections) {
+        const Value rhs = s.rhs_is_column ? t[s.rhs_column] : s.constant;
+        if (!rel::EvalCompare(s.op, t[s.column], rhs)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) derived.AppendUnchecked(t);
+    }
+    std::vector<size_t> cols;
+    for (const Term& h : pure.head_args) {
+      ASSERT_TRUE(h.is_variable());
+      auto it = match->var_to_column.find(h.var_name());
+      ASSERT_NE(it, match->var_to_column.end()) << h.var_name();
+      cols.push_back(it->second);
+    }
+    rel::Relation projected = rel::Project(derived, cols);
+
+    std::multiset<std::string> want, got;
+    for (const Tuple& t : direct->tuples()) {
+      want.insert(rel::TupleToString(t));
+    }
+    for (const Tuple& t : projected.tuples()) {
+      got.insert(rel::TupleToString(t));
+    }
+    EXPECT_EQ(got, want) << "def " << def.ToString() << " query "
+                         << pure.ToString();
+  }
+  EXPECT_GT(checked, 0u) << "no full matches generated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsumptionDerivation,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class StrategyEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyEquivalence, InterpretedMatchesCompiledOnRandomKbs) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Random non-recursive layered KB: layer-1 predicates over base atoms,
+  // layer-2 over layer-1 and base.
+  std::string program = R"(
+#base b1(a, b).
+#base b2(a, b).
+#base b3(a, b).
+)";
+  static const char* kVars[] = {"X", "Y", "Z"};
+  auto random_body_atom = [&rng](int max_layer) {
+    std::string pred = max_layer >= 1 && rng.Bernoulli(0.4)
+                           ? StrCat("p", rng.Uniform(1, 2))
+                           : StrCat("b", rng.Uniform(1, 3));
+    std::string a1 = rng.Bernoulli(0.2) ? std::to_string(rng.Uniform(0, 7))
+                                        : kVars[rng.Uniform(0, 2)];
+    std::string a2 = rng.Bernoulli(0.2) ? std::to_string(rng.Uniform(0, 7))
+                                        : kVars[rng.Uniform(0, 2)];
+    return pred + "(" + a1 + ", " + a2 + ")";
+  };
+  for (int p = 1; p <= 2; ++p) {
+    const int num_rules = static_cast<int>(rng.Uniform(1, 2));
+    for (int r = 0; r < num_rules; ++r) {
+      // Head p<p>(X, Y), body mentions X and Y somewhere plus one more
+      // atom for variety.
+      program += StrCat("p", p, "(X, Y) :- b", rng.Uniform(1, 3),
+                        "(X, Y), ", random_body_atom(0), ".\n");
+    }
+  }
+  program += "top(X, Y) :- p1(X, Z), p2(Z, Y).\n";
+
+  logic::KnowledgeBase kb1, kb2;
+  ASSERT_TRUE(logic::ParseProgram(program, &kb1).ok()) << program;
+  ASSERT_TRUE(logic::ParseProgram(program, &kb2).ok());
+
+  Rng drng(seed + 5000);
+  dbms::Database db = RandomDatabase(&drng, 30);
+  Rng drng2(seed + 5000);
+  dbms::Database db2 = RandomDatabase(&drng2, 30);
+
+  BraidOptions interp_options;
+  BraidSystem interp(std::move(db), std::move(kb1), interp_options);
+  BraidOptions compiled_options;
+  compiled_options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem compiled(std::move(db2), std::move(kb2), compiled_options);
+
+  auto a = interp.Ask("top(X, Y)?");
+  auto b = compiled.Ask("top(X, Y)?");
+  ASSERT_TRUE(a.ok()) << a.status().ToString() << "\n" << program;
+  ASSERT_TRUE(b.ok()) << b.status().ToString() << "\n" << program;
+
+  std::set<std::string> sa, sb;  // distinct solutions agree
+  for (const Tuple& t : a->solutions.tuples()) {
+    sa.insert(rel::TupleToString(t));
+  }
+  for (const Tuple& t : b->solutions.tuples()) {
+    sb.insert(rel::TupleToString(t));
+  }
+  EXPECT_EQ(sa, sb) << program;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyEquivalence,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 87));
+
+class BudgetInvariant : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BudgetInvariant, CacheNeverExceedsBudget) {
+  const size_t budget = GetParam();
+  Rng rng(99);
+  dbms::RemoteDbms remote(RandomDatabase(&rng, 60));
+  cms::CmsConfig config;
+  config.cache_budget_bytes = budget;
+  cms::Cms cms(&remote, config);
+  for (int i = 0; i < 25; ++i) {
+    CaqlQuery q = RandomQuery(&rng, i);
+    auto a = cms.Query(q);
+    ASSERT_TRUE(a.ok()) << q.ToString() << ": " << a.status().ToString();
+    EXPECT_LE(cms.cache().model().TotalBytes(), budget)
+        << "after query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BudgetInvariant,
+                         ::testing::Values(1024, 4096, 16384, 262144));
+
+}  // namespace
+}  // namespace braid

@@ -1,0 +1,247 @@
+// Unit tests for the CMS Query Processor: conjunctive evaluation over
+// binding relations, evaluable functions, aggregation support, and the
+// transitive-closure fixed-point operator.
+
+#include <gtest/gtest.h>
+
+#include "caql/caql_query.h"
+#include "cms/query_processor.h"
+#include "common/rng.h"
+
+namespace braid::cms {
+namespace {
+
+using caql::ParseCaql;
+using rel::Tuple;
+using rel::Value;
+
+std::shared_ptr<rel::Relation> MakeRel(const std::string& name,
+                                       const std::vector<std::string>& cols,
+                                       std::vector<Tuple> tuples) {
+  auto r = std::make_shared<rel::Relation>(name,
+                                           rel::Schema::FromNames(cols));
+  for (Tuple& t : tuples) r->AppendUnchecked(std::move(t));
+  return r;
+}
+
+class QueryProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sources_["b1"] = MakeRel("b1", {"a", "b"},
+                             {{Value::Int(1), Value::Int(10)},
+                              {Value::Int(2), Value::Int(20)},
+                              {Value::Int(3), Value::Int(30)}});
+    sources_["b2"] = MakeRel("b2", {"a", "b"},
+                             {{Value::Int(10), Value::Int(100)},
+                              {Value::Int(20), Value::Int(200)},
+                              {Value::Int(20), Value::Int(201)}});
+  }
+
+  QueryProcessor::AtomResolver Resolver() {
+    return [this](const logic::Atom& atom)
+               -> std::shared_ptr<const rel::Relation> {
+      auto it = sources_.find(atom.predicate);
+      return it == sources_.end() ? nullptr : it->second;
+    };
+  }
+
+  rel::Relation Eval(const std::string& text) {
+    auto q = ParseCaql(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto out = QueryProcessor::Evaluate(q.value(), Resolver(), &work_);
+    EXPECT_TRUE(out.ok()) << text << ": " << out.status().ToString();
+    return out.ok() ? out.value() : rel::Relation();
+  }
+
+  std::map<std::string, std::shared_ptr<rel::Relation>> sources_;
+  LocalWork work_;
+};
+
+TEST_F(QueryProcessorTest, SingleAtomScan) {
+  rel::Relation out = Eval("q(X, Y) :- b1(X, Y)");
+  EXPECT_EQ(out.NumTuples(), 3u);
+  EXPECT_EQ(out.schema().column(0).name, "X");
+}
+
+TEST_F(QueryProcessorTest, ConstantSelection) {
+  rel::Relation out = Eval("q(Y) :- b1(2, Y)");
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(20));
+}
+
+TEST_F(QueryProcessorTest, JoinAcrossAtoms) {
+  rel::Relation out = Eval("q(X, Z) :- b1(X, Y) & b2(Y, Z)");
+  EXPECT_EQ(out.NumTuples(), 3u);  // (1,100), (2,200), (2,201)
+}
+
+TEST_F(QueryProcessorTest, ComparisonFilters) {
+  rel::Relation out = Eval("q(X) :- b1(X, Y) & Y > 15");
+  EXPECT_EQ(out.NumTuples(), 2u);
+}
+
+TEST_F(QueryProcessorTest, ComparisonBetweenVariables) {
+  sources_["p"] = MakeRel("p", {"a", "b"},
+                          {{Value::Int(1), Value::Int(2)},
+                           {Value::Int(5), Value::Int(3)}});
+  rel::Relation out = Eval("q(X, Y) :- p(X, Y) & X < Y");
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(1));
+}
+
+TEST_F(QueryProcessorTest, RepeatedVariableInAtom) {
+  sources_["s"] = MakeRel("s", {"a", "b"},
+                          {{Value::Int(4), Value::Int(4)},
+                           {Value::Int(4), Value::Int(5)}});
+  rel::Relation out = Eval("q(X) :- s(X, X)");
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[0], Value::Int(4));
+}
+
+TEST_F(QueryProcessorTest, ConstantInHead) {
+  rel::Relation out = Eval("q(X, 99) :- b1(X, 10)");
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.tuple(0)[1], Value::Int(99));
+}
+
+TEST_F(QueryProcessorTest, EvaluableBindsNewVariable) {
+  rel::Relation out = Eval("q(X, W) :- b1(X, Y) & plus(Y, 1, W)");
+  ASSERT_EQ(out.NumTuples(), 3u);
+  EXPECT_EQ(out.tuple(0)[1], Value::Int(11));
+}
+
+TEST_F(QueryProcessorTest, EvaluableAsFilter) {
+  rel::Relation out = Eval("q(X) :- b1(X, Y) & times(X, 10, Y)");
+  EXPECT_EQ(out.NumTuples(), 3u);  // all rows satisfy y = 10x
+  rel::Relation none = Eval("q(X) :- b1(X, Y) & times(X, 11, Y)");
+  EXPECT_EQ(none.NumTuples(), 0u);
+}
+
+TEST_F(QueryProcessorTest, ChainedEvaluables) {
+  rel::Relation out = Eval(
+      "q(X, V) :- b1(X, Y) & plus(Y, 1, W) & times(W, 2, V)");
+  ASSERT_EQ(out.NumTuples(), 3u);
+  EXPECT_EQ(out.tuple(0)[1], Value::Int(22));
+}
+
+TEST_F(QueryProcessorTest, ComparisonOnEvaluableOutput) {
+  rel::Relation out = Eval(
+      "q(X) :- b1(X, Y) & plus(Y, 5, W) & W > 20");
+  EXPECT_EQ(out.NumTuples(), 2u);  // 15, 25, 35 → 25 and 35
+}
+
+TEST_F(QueryProcessorTest, DivisionByZeroError) {
+  auto q = ParseCaql("q(W) :- b1(X, Y) & div(Y, 0, W)");
+  auto out = QueryProcessor::Evaluate(q.value(), Resolver(), &work_);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(QueryProcessorTest, MissingSourceIsNotFound) {
+  auto q = ParseCaql("q(X) :- zz(X)");
+  auto out = QueryProcessor::Evaluate(q.value(), Resolver(), &work_);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryProcessorTest, GroundBuiltinOnlyQuery) {
+  auto q = ParseCaql("check() :- 1 < 2");
+  auto out = QueryProcessor::Evaluate(q.value(), Resolver(), &work_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumTuples(), 1u);  // succeeds once
+  auto q2 = ParseCaql("check() :- 2 < 1");
+  auto out2 = QueryProcessor::Evaluate(q2.value(), Resolver(), &work_);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->NumTuples(), 0u);
+}
+
+TEST_F(QueryProcessorTest, WorkCounterGrowsWithData) {
+  LocalWork small_work, big_work;
+  auto q = ParseCaql("q(X, Y) :- b1(X, Y)").value();
+  ASSERT_TRUE(QueryProcessor::Evaluate(q, Resolver(), &small_work).ok());
+  std::vector<Tuple> many;
+  for (int i = 0; i < 500; ++i) {
+    many.push_back({Value::Int(i), Value::Int(i)});
+  }
+  sources_["b1"] = MakeRel("b1", {"a", "b"}, std::move(many));
+  ASSERT_TRUE(QueryProcessor::Evaluate(q, Resolver(), &big_work).ok());
+  EXPECT_GT(big_work.tuples_processed, small_work.tuples_processed);
+}
+
+TEST(NaturalJoin, SharedColumnsJoined) {
+  auto l = MakeRel("l", {"X", "Y"}, {{Value::Int(1), Value::Int(2)},
+                                     {Value::Int(3), Value::Int(4)}});
+  auto r = MakeRel("r", {"Y", "Z"}, {{Value::Int(2), Value::Int(5)}});
+  LocalWork work;
+  rel::Relation out = QueryProcessor::NaturalJoin(*l, *r, &work);
+  ASSERT_EQ(out.NumTuples(), 1u);
+  EXPECT_EQ(out.schema().size(), 3u);  // X, Y, Z — no duplicate Y
+  EXPECT_EQ(out.tuple(0), (Tuple{Value::Int(1), Value::Int(2),
+                                 Value::Int(5)}));
+}
+
+TEST(NaturalJoin, NoSharedColumnsIsCrossProduct) {
+  auto l = MakeRel("l", {"X"}, {{Value::Int(1)}, {Value::Int(2)}});
+  auto r = MakeRel("r", {"Y"}, {{Value::Int(3)}});
+  LocalWork work;
+  rel::Relation out = QueryProcessor::NaturalJoin(*l, *r, &work);
+  EXPECT_EQ(out.NumTuples(), 2u);
+}
+
+TEST(TransitiveClosure, ChainGraph) {
+  auto edges = MakeRel("e", {"s", "d"},
+                       {{Value::Int(1), Value::Int(2)},
+                        {Value::Int(2), Value::Int(3)},
+                        {Value::Int(3), Value::Int(4)}});
+  LocalWork work;
+  rel::Relation tc = QueryProcessor::TransitiveClosure(*edges, 0, 1, &work);
+  EXPECT_EQ(tc.NumTuples(), 6u);  // 12 13 14 23 24 34
+}
+
+TEST(TransitiveClosure, HandlesCycles) {
+  auto edges = MakeRel("e", {"s", "d"},
+                       {{Value::Int(1), Value::Int(2)},
+                        {Value::Int(2), Value::Int(1)}});
+  LocalWork work;
+  rel::Relation tc = QueryProcessor::TransitiveClosure(*edges, 0, 1, &work);
+  EXPECT_EQ(tc.NumTuples(), 4u);  // 12 21 11 22
+}
+
+TEST(TransitiveClosure, EmptyEdges) {
+  auto edges = MakeRel("e", {"s", "d"}, {});
+  LocalWork work;
+  EXPECT_EQ(QueryProcessor::TransitiveClosure(*edges, 0, 1, &work).NumTuples(),
+            0u);
+}
+
+TEST(TransitiveClosure, MatchesNaiveClosureOnRandomGraph) {
+  Rng rng(5);
+  std::vector<Tuple> e;
+  for (int i = 0; i < 60; ++i) {
+    e.push_back({Value::Int(rng.Uniform(0, 14)),
+                 Value::Int(rng.Uniform(0, 14))});
+  }
+  auto edges = MakeRel("e", {"s", "d"}, std::move(e));
+  LocalWork work;
+  rel::Relation tc = QueryProcessor::TransitiveClosure(*edges, 0, 1, &work);
+
+  // Reference: Floyd-Warshall reachability.
+  bool reach[15][15] = {};
+  for (const Tuple& t : edges->tuples()) {
+    reach[t[0].AsInt()][t[1].AsInt()] = true;
+  }
+  for (int k = 0; k < 15; ++k) {
+    for (int i = 0; i < 15; ++i) {
+      for (int j = 0; j < 15; ++j) {
+        reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+      }
+    }
+  }
+  size_t expected = 0;
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 15; ++j) {
+      if (reach[i][j]) ++expected;
+    }
+  }
+  EXPECT_EQ(tc.NumTuples(), expected);
+}
+
+}  // namespace
+}  // namespace braid::cms

@@ -1,0 +1,226 @@
+// Tests for CAQL's second-order predicates (paper §5: "BAGOF, SETOF, AGG"):
+// the SETOF distinct flag on CAQL queries and #agg aggregate rules in the
+// knowledge base, under both inference strategies.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "braid/braid_system.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "logic/parser.h"
+
+namespace braid {
+namespace {
+
+using rel::Value;
+
+dbms::Database TestDb() {
+  dbms::Database db;
+  rel::Relation supplies("supplies",
+                         rel::Schema::FromNames({"sid", "pid", "qty"}));
+  supplies.AppendUnchecked({Value::Int(1), Value::Int(10), Value::Int(5)});
+  supplies.AppendUnchecked({Value::Int(1), Value::Int(11), Value::Int(7)});
+  supplies.AppendUnchecked({Value::Int(1), Value::Int(12), Value::Int(3)});
+  supplies.AppendUnchecked({Value::Int(2), Value::Int(10), Value::Int(9)});
+  supplies.AppendUnchecked({Value::Int(2), Value::Int(11), Value::Int(1)});
+  supplies.AppendUnchecked({Value::Int(3), Value::Int(12), Value::Int(4)});
+  (void)db.AddTable(std::move(supplies));
+  return db;
+}
+
+const char* kAggKb = R"(
+#base supplies(sid, pid, qty).
+#agg num_parts(S, N) = count P : supplies(S, P, Q).
+#agg total_qty(S, T) = sum Q : supplies(S, P, Q).
+#agg max_qty(M) = max Q : supplies(S, P, Q).
+big_supplier(S) :- num_parts(S, N), N >= 3.
+)";
+
+std::set<std::string> Rows(const rel::Relation& r) {
+  std::set<std::string> out;
+  for (const rel::Tuple& t : r.tuples()) out.insert(rel::TupleToString(t));
+  return out;
+}
+
+TEST(AggParsing, DirectiveParsesAndRendersRoundTrip) {
+  logic::KnowledgeBase kb;
+  Status s = logic::ParseProgram(kAggKb, &kb);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(kb.IsAggregate("num_parts"));
+  const logic::AggregateRule* agg = kb.AggregateRuleFor("total_qty");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->fn, logic::AggregateFn::kSum);
+  EXPECT_EQ(agg->group_vars, (std::vector<std::string>{"S"}));
+  EXPECT_EQ(agg->agg_var, "Q");
+  EXPECT_EQ(agg->HeadArity(), 2u);
+
+  logic::KnowledgeBase kb2;
+  Status s2 = logic::ParseProgram(kb.ToString(), &kb2);
+  ASSERT_TRUE(s2.ok()) << s2.ToString() << "\n" << kb.ToString();
+  EXPECT_EQ(kb.ToString(), kb2.ToString());
+}
+
+TEST(AggParsing, Errors) {
+  logic::KnowledgeBase kb;
+  // Unknown function.
+  EXPECT_EQ(logic::ParseProgram(
+                "#base b(x).\n#agg f(N) = median X : b(X).", &kb)
+                .code(),
+            StatusCode::kParseError);
+  // Group var not in body.
+  logic::KnowledgeBase kb2;
+  EXPECT_EQ(logic::ParseProgram(
+                "#base b(x).\n#agg f(Z, N) = count X : b(X).", &kb2)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Redefinition.
+  logic::KnowledgeBase kb3;
+  EXPECT_EQ(logic::ParseProgram(
+                "#base b(x).\n#agg b(N) = count X : b(X).", &kb3)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(AggInterpreted, CountSumMax) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(kAggKb, &kb).ok());
+  BraidSystem braid(TestDb(), std::move(kb));
+
+  auto counts = braid.Ask("num_parts(S, N)?");
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_EQ(Rows(counts->solutions),
+            (std::set<std::string>{"(1, 3)", "(2, 2)", "(3, 1)"}));
+
+  auto totals = braid.Ask("total_qty(1, T)?");
+  ASSERT_TRUE(totals.ok());
+  ASSERT_EQ(totals->solutions.NumTuples(), 1u);
+  EXPECT_EQ(totals->solutions.tuple(0)[0], Value::Double(15.0));
+
+  auto max = braid.Ask("max_qty(M)?");
+  ASSERT_TRUE(max.ok());
+  ASSERT_EQ(max->solutions.NumTuples(), 1u);
+  EXPECT_EQ(max->solutions.tuple(0)[0], Value::Int(9));
+}
+
+TEST(AggInterpreted, AggregateFeedsOrdinaryRule) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(kAggKb, &kb).ok());
+  BraidSystem braid(TestDb(), std::move(kb));
+  auto big = braid.Ask("big_supplier(S)?");
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(Rows(big->solutions), (std::set<std::string>{"(1)"}));
+}
+
+TEST(AggCompiled, MatchesInterpreted) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(kAggKb, &kb).ok());
+  BraidOptions options;
+  options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid(TestDb(), std::move(kb), options);
+
+  auto counts = braid.Ask("num_parts(S, N)?");
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_EQ(Rows(counts->solutions),
+            (std::set<std::string>{"(1, 3)", "(2, 2)", "(3, 1)"}));
+
+  auto big = braid.Ask("big_supplier(S)?");
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(Rows(big->solutions), (std::set<std::string>{"(1)"}));
+}
+
+TEST(AggCompiled, AggregateOverDerivedPredicate) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base supplies(sid, pid, qty).
+big(S, P) :- supplies(S, P, Q), Q > 4.
+#agg num_big(S, N) = count P : big(S, P).
+)",
+                                  &kb)
+                  .ok());
+  BraidOptions options;
+  options.ie.strategy = ie::StrategyKind::kCompiled;
+  BraidSystem braid(TestDb(), std::move(kb), options);
+  auto out = braid.Ask("num_big(S, N)?");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Rows with qty > 4: (1,10,5), (1,11,7), (2,10,9) → counts 1:2, 2:1.
+  EXPECT_EQ(Rows(out->solutions),
+            (std::set<std::string>{"(1, 2)", "(2, 1)"}));
+
+  // Interpreted agrees.
+  logic::KnowledgeBase kb2;
+  ASSERT_TRUE(logic::ParseProgram(R"(
+#base supplies(sid, pid, qty).
+big(S, P) :- supplies(S, P, Q), Q > 4.
+#agg num_big(S, N) = count P : big(S, P).
+)",
+                                  &kb2)
+                  .ok());
+  BraidSystem braid2(TestDb(), std::move(kb2));
+  auto out2 = braid2.Ask("num_big(S, N)?");
+  ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+  EXPECT_EQ(Rows(out2->solutions), Rows(out->solutions));
+}
+
+TEST(Setof, DistinctFlagDedupesCmsAnswers) {
+  dbms::Database db;
+  rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
+  b.AppendUnchecked({Value::Int(1), Value::Int(10)});
+  b.AppendUnchecked({Value::Int(1), Value::Int(20)});
+  b.AppendUnchecked({Value::Int(2), Value::Int(30)});
+  (void)db.AddTable(std::move(b));
+  dbms::RemoteDbms remote(std::move(db));
+  cms::Cms cms(&remote, cms::CmsConfig{});
+
+  auto bagof = caql::ParseCaql("bag(X) :- b(X, Y)").value();
+  auto a1 = cms.Query(bagof);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->relation->NumTuples(), 3u);  // bag: X=1 twice
+
+  caql::CaqlQuery setof = bagof;
+  setof.name = "set";
+  setof.distinct = true;
+  auto a2 = cms.Query(setof);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->relation->NumTuples(), 2u);  // set: {1, 2}
+}
+
+TEST(Setof, DistinctChangesCanonicalKey) {
+  auto bag = caql::ParseCaql("q(X) :- b(X, Y)").value();
+  caql::CaqlQuery set = bag;
+  set.distinct = true;
+  EXPECT_NE(bag.CanonicalKey(), set.CanonicalKey());
+}
+
+TEST(Setof, LazyStreamAlsoDedupes) {
+  dbms::Database db;
+  rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
+  b.AppendUnchecked({Value::Int(1), Value::Int(10)});
+  b.AppendUnchecked({Value::Int(1), Value::Int(20)});
+  (void)db.AddTable(std::move(b));
+  dbms::RemoteDbms remote(std::move(db));
+  cms::Cms cms(&remote, cms::CmsConfig{});
+  advice::AdviceSet advice;
+  advice::ViewSpec v;
+  v.id = "setview";
+  v.head = {advice::AnnotatedVar{"X", advice::Binding::kProducer}};
+  v.body = {logic::Atom("b", {logic::Term::Var("X"), logic::Term::Var("Y")})};
+  advice.view_specs.push_back(v);
+  cms.BeginSession(advice);
+  // Prime so the lazy plan is fully local.
+  (void)cms.Query(caql::ParseCaql("warm(X, Y) :- b(X, Y)").value());
+  caql::CaqlQuery q = caql::ParseCaql("setview(X) :- b(X, Y)").value();
+  q.distinct = true;
+  auto a = cms.Query(q);
+  ASSERT_TRUE(a.ok());
+  if (a->lazy) {
+    rel::Relation out = stream::Drain(*a->stream);
+    EXPECT_EQ(out.NumTuples(), 1u);
+  } else {
+    EXPECT_EQ(a->relation->NumTuples(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace braid

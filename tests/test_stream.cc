@@ -1,0 +1,248 @@
+// Unit and property tests for the pull-based tuple streams (generators).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/operators.h"
+#include "stream/stream_ops.h"
+
+namespace braid::stream {
+namespace {
+
+using rel::Tuple;
+using rel::Value;
+
+std::shared_ptr<rel::Relation> MakeRel(const std::string& name,
+                                       const std::vector<std::string>& cols,
+                                       std::vector<Tuple> tuples) {
+  auto r = std::make_shared<rel::Relation>(name,
+                                           rel::Schema::FromNames(cols));
+  for (Tuple& t : tuples) r->AppendUnchecked(std::move(t));
+  return r;
+}
+
+TEST(ScanStream, ProducesAllTuplesInOrder) {
+  auto r = MakeRel("r", {"a"}, {{Value::Int(1)}, {Value::Int(2)}});
+  ScanStream s(r);
+  EXPECT_EQ(s.Next(), (Tuple{Value::Int(1)}));
+  EXPECT_EQ(s.Next(), (Tuple{Value::Int(2)}));
+  EXPECT_EQ(s.Next(), std::nullopt);
+  EXPECT_EQ(s.Next(), std::nullopt);  // Stable at end.
+  EXPECT_EQ(s.produced(), 2u);
+}
+
+TEST(SelectStream, LazyFilter) {
+  auto r = MakeRel("r", {"a"},
+                   {{Value::Int(1)}, {Value::Int(5)}, {Value::Int(9)}});
+  SelectStream s(std::make_unique<ScanStream>(r),
+                 rel::Predicate::ColumnConst(0, rel::CompareOp::kGt,
+                                             Value::Int(3)));
+  EXPECT_EQ(s.Next(), (Tuple{Value::Int(5)}));
+  EXPECT_EQ(s.Next(), (Tuple{Value::Int(9)}));
+  EXPECT_EQ(s.Next(), std::nullopt);
+}
+
+TEST(ProjectStream, ColumnsReordered) {
+  auto r = MakeRel("r", {"a", "b"}, {{Value::Int(1), Value::Int(2)}});
+  ProjectStream s(std::make_unique<ScanStream>(r), {1, 0});
+  EXPECT_EQ(s.schema().column(0).name, "b");
+  EXPECT_EQ(s.Next(), (Tuple{Value::Int(2), Value::Int(1)}));
+}
+
+TEST(IndexJoinStream, JoinsViaIndex) {
+  auto left = MakeRel("l", {"k"}, {{Value::Int(1)}, {Value::Int(2)}});
+  auto right = MakeRel("r", {"k", "v"},
+                       {{Value::Int(1), Value::String("a")},
+                        {Value::Int(1), Value::String("b")},
+                        {Value::Int(3), Value::String("c")}});
+  auto index = std::make_shared<rel::HashIndex>(*right, 0);
+  IndexJoinStream join(std::make_unique<ScanStream>(left), right,
+                       {rel::JoinKey{0, 0}}, index);
+  rel::Relation out = Drain(join);
+  EXPECT_EQ(out.NumTuples(), 2u);  // k=1 matches twice, k=2 none
+  EXPECT_EQ(out.schema().size(), 3u);
+}
+
+TEST(IndexJoinStream, NoIndexFallsBackToScan) {
+  auto left = MakeRel("l", {"k"}, {{Value::Int(1)}});
+  auto right = MakeRel("r", {"k"}, {{Value::Int(1)}, {Value::Int(2)}});
+  IndexJoinStream join(std::make_unique<ScanStream>(left), right,
+                       {rel::JoinKey{0, 0}});
+  rel::Relation out = Drain(join);
+  EXPECT_EQ(out.NumTuples(), 1u);
+}
+
+TEST(IndexJoinStream, EmptyKeysIsCrossProduct) {
+  auto left = MakeRel("l", {"a"}, {{Value::Int(1)}, {Value::Int(2)}});
+  auto right = MakeRel("r", {"b"}, {{Value::Int(3)}, {Value::Int(4)}});
+  IndexJoinStream join(std::make_unique<ScanStream>(left), right, {});
+  EXPECT_EQ(Drain(join).NumTuples(), 4u);
+}
+
+TEST(DistinctStream, SuppressesDuplicates) {
+  auto r = MakeRel("r", {"a"},
+                   {{Value::Int(1)}, {Value::Int(1)}, {Value::Int(2)}});
+  DistinctStream s(std::make_unique<ScanStream>(r));
+  EXPECT_EQ(Drain(s).NumTuples(), 2u);
+}
+
+TEST(ConcatStream, ChainsInputs) {
+  auto a = MakeRel("a", {"x"}, {{Value::Int(1)}});
+  auto b = MakeRel("b", {"x"}, {{Value::Int(2)}, {Value::Int(3)}});
+  std::vector<TupleStreamPtr> inputs;
+  inputs.push_back(std::make_unique<ScanStream>(a));
+  inputs.push_back(std::make_unique<ScanStream>(b));
+  ConcatStream s(std::move(inputs));
+  EXPECT_EQ(Drain(s).NumTuples(), 3u);
+}
+
+TEST(Laziness, EarlyStopDoesLessWork) {
+  // 1000-row scan through a filter: pulling one tuple must not scan
+  // everything.
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 1000; ++i) tuples.push_back({Value::Int(i)});
+  auto r = MakeRel("big", {"a"}, std::move(tuples));
+  SelectStream s(std::make_unique<ScanStream>(r),
+                 rel::Predicate::ColumnConst(0, rel::CompareOp::kGe,
+                                             Value::Int(10)));
+  ASSERT_TRUE(s.Next().has_value());
+  EXPECT_LT(s.WorkDone(), 50u);
+}
+
+// Property: a lazy pipeline (scan → select → project) equals the eager
+// operator composition on random inputs.
+struct PipelineCase {
+  size_t rows;
+  int64_t domain;
+  uint64_t seed;
+};
+
+class PipelineEquivalence : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquivalence, LazyEqualsEager) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < c.rows; ++i) {
+    tuples.push_back({Value::Int(rng.Uniform(0, c.domain - 1)),
+                      Value::Int(rng.Uniform(0, 100))});
+  }
+  auto r = MakeRel("r", {"k", "v"}, std::move(tuples));
+  auto pred =
+      rel::Predicate::ColumnConst(1, rel::CompareOp::kLt, Value::Int(50));
+
+  rel::Relation eager = rel::Project(rel::Select(*r, *pred), {0});
+
+  SelectStream sel(std::make_unique<ScanStream>(r), pred);
+  ProjectStream proj(
+      std::make_unique<SelectStream>(std::make_unique<ScanStream>(r), pred),
+      {0});
+  rel::Relation lazy = Drain(proj);
+
+  ASSERT_EQ(lazy.NumTuples(), eager.NumTuples());
+  for (size_t i = 0; i < lazy.NumTuples(); ++i) {
+    EXPECT_EQ(lazy.tuple(i), eager.tuple(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineEquivalence,
+                         ::testing::Values(PipelineCase{0, 3, 1},
+                                           PipelineCase{1, 1, 2},
+                                           PipelineCase{50, 5, 3},
+                                           PipelineCase{200, 10, 4},
+                                           PipelineCase{500, 2, 5}));
+
+// Property: lazy index join equals eager hash join (same bag).
+TEST(Property, LazyJoinEqualsEagerJoin) {
+  Rng rng(77);
+  std::vector<Tuple> lt, rt;
+  for (int i = 0; i < 80; ++i) {
+    lt.push_back({Value::Int(rng.Uniform(0, 9))});
+    rt.push_back({Value::Int(rng.Uniform(0, 9)), Value::Int(i)});
+  }
+  auto left = MakeRel("l", {"k"}, std::move(lt));
+  auto right = MakeRel("r", {"k", "v"}, std::move(rt));
+
+  rel::Relation eager = rel::HashJoin(*left, *right, {rel::JoinKey{0, 0}});
+
+  auto index = std::make_shared<rel::HashIndex>(*right, 0);
+  IndexJoinStream join(std::make_unique<ScanStream>(left), right,
+                       {rel::JoinKey{0, 0}}, index);
+  rel::Relation lazy = Drain(join);
+
+  std::multiset<std::string> e, l;
+  for (const Tuple& t : eager.tuples()) e.insert(rel::TupleToString(t));
+  for (const Tuple& t : lazy.tuples()) l.insert(rel::TupleToString(t));
+  EXPECT_EQ(l, e);
+}
+
+}  // namespace
+}  // namespace braid::stream
+
+#include "stream/remote_stream.h"
+
+namespace braid::stream {
+namespace {
+
+std::shared_ptr<rel::Relation> BigResult(size_t n) {
+  auto r = std::make_shared<rel::Relation>("r",
+                                           rel::Schema::FromNames({"a"}));
+  for (size_t i = 0; i < n; ++i) {
+    r->AppendUnchecked({rel::Value::Int(static_cast<int64_t>(i))});
+  }
+  return r;
+}
+
+TEST(BufferedRemoteStream, ArrivalTimesAreMonotonic) {
+  RemoteStreamTiming timing;
+  timing.server_ms = 50;
+  timing.msg_latency_ms = 5;
+  timing.per_tuple_ms = 0.1;
+  timing.buffer_tuples = 16;
+  timing.pipelining = true;
+  BufferedRemoteStream s(BigResult(100), timing);
+  EXPECT_EQ(s.NumBuffers(), 7u);
+  for (size_t i = 1; i < 100; ++i) {
+    EXPECT_LE(s.ArrivalMs(i - 1), s.ArrivalMs(i));
+  }
+  EXPECT_DOUBLE_EQ(s.CompletionMs(), s.ArrivalMs(99));
+}
+
+TEST(BufferedRemoteStream, PipeliningCutsTimeToFirstTuple) {
+  RemoteStreamTiming pipelined;
+  pipelined.server_ms = 100;
+  pipelined.msg_latency_ms = 5;
+  pipelined.per_tuple_ms = 0.05;
+  pipelined.buffer_tuples = 8;
+  pipelined.pipelining = true;
+  RemoteStreamTiming serial = pipelined;
+  serial.pipelining = false;
+
+  BufferedRemoteStream fast(BigResult(64), pipelined);
+  BufferedRemoteStream slow(BigResult(64), serial);
+  // The paper's §5.5 claim: with pipelining "the DBMS starts returning
+  // the data before the complete result ... has been processed".
+  EXPECT_LT(fast.ArrivalMs(0), slow.ArrivalMs(0));
+  EXPECT_LT(fast.ArrivalMs(0), pipelined.server_ms);
+}
+
+TEST(BufferedRemoteStream, TuplesAllDelivered) {
+  RemoteStreamTiming timing;
+  timing.buffer_tuples = 4;
+  BufferedRemoteStream s(BigResult(10), timing);
+  rel::Relation out = Drain(s);
+  EXPECT_EQ(out.NumTuples(), 10u);
+  EXPECT_EQ(s.WorkDone(), 10u);
+}
+
+TEST(BufferedRemoteStream, EmptyResultStillHasACompletionTime) {
+  RemoteStreamTiming timing;
+  timing.server_ms = 7;
+  timing.msg_latency_ms = 3;
+  BufferedRemoteStream s(BigResult(0), timing);
+  EXPECT_EQ(s.Next(), std::nullopt);
+  EXPECT_DOUBLE_EQ(s.CompletionMs(), 10.0);
+}
+
+}  // namespace
+}  // namespace braid::stream

@@ -1,0 +1,147 @@
+// Unit and property tests for rel::Value, Schema, and Tuple.
+
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace braid::rel {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(Value, TypedConstruction) {
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+}
+
+TEST(Value, IntDoubleCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_GT(Value::Double(3.5), Value::Int(3));
+}
+
+TEST(Value, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(Value, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, NumericSortsBeforeString) {
+  EXPECT_LT(Value::Int(999), Value::String("0"));
+  EXPECT_LT(Value::Double(1e18), Value::String("a"));
+}
+
+TEST(Value, StringOrdering) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_LT(Value::String(""), Value::String("a"));
+  EXPECT_EQ(Value::String("z"), Value::String("z"));
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(Value, ByteSizeTracksStringLength) {
+  EXPECT_GT(Value::String(std::string(100, 'x')).ByteSize(),
+            Value::String("x").ByteSize());
+  EXPECT_EQ(Value::Int(1).ByteSize(), 8u);
+}
+
+/// Property: Compare defines a total order (antisymmetry + transitivity on
+/// a fixed sample).
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Value> SampleValues() {
+  return {Value::Null(),        Value::Int(-5),      Value::Int(0),
+          Value::Int(7),        Value::Double(-5.0), Value::Double(6.9),
+          Value::Double(7.0),   Value::String(""),   Value::String("a"),
+          Value::String("abc"), Value::Int(1000000), Value::Double(0.0)};
+}
+
+TEST(ValueOrder, AntisymmetryOverSample) {
+  auto values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      EXPECT_EQ(a.Compare(b) < 0, b.Compare(a) > 0)
+          << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(a.Compare(b) == 0, b.Compare(a) == 0);
+    }
+  }
+}
+
+TEST(ValueOrder, TransitivityOverSample) {
+  auto values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      for (const Value& c : values) {
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0)
+              << a.ToString() << " " << b.ToString() << " " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueOrder, HashConsistentWithEquality) {
+  auto values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      if (a == b) EXPECT_EQ(a.Hash(), b.Hash());
+    }
+  }
+}
+
+TEST(Schema, ColumnIndexFindsFirst) {
+  Schema s = Schema::FromNames({"a", "b", "c"});
+  EXPECT_EQ(s.ColumnIndex("b"), 1u);
+  EXPECT_EQ(s.ColumnIndex("missing"), std::nullopt);
+}
+
+TEST(Schema, ConcatAndProject) {
+  Schema s1 = Schema::FromNames({"a", "b"});
+  Schema s2 = Schema::FromNames({"c"});
+  Schema both = s1.Concat(s2);
+  EXPECT_EQ(both.size(), 3u);
+  EXPECT_EQ(both.column(2).name, "c");
+  Schema proj = both.Project({2, 0});
+  EXPECT_EQ(proj.column(0).name, "c");
+  EXPECT_EQ(proj.column(1).name, "a");
+}
+
+TEST(Schema, ToStringIncludesTypes) {
+  Schema s({Column{"id", ValueType::kInt}, Column{"name", ValueType::kNull}});
+  EXPECT_EQ(s.ToString(), "(id:INT, name)");
+}
+
+TEST(Tuple, HashDistinguishesOrder) {
+  Tuple t1{Value::Int(1), Value::Int(2)};
+  Tuple t2{Value::Int(2), Value::Int(1)};
+  EXPECT_NE(TupleHash()(t1), TupleHash()(t2));
+}
+
+TEST(Tuple, ToStringRendersValues) {
+  Tuple t{Value::Int(1), Value::String("x"), Value::Null()};
+  EXPECT_EQ(TupleToString(t), "(1, 'x', NULL)");
+}
+
+}  // namespace
+}  // namespace braid::rel

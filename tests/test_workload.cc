@@ -1,0 +1,132 @@
+// Tests for the synthetic workload generators: determinism, structural
+// invariants, and parsability of the bundled knowledge bases.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "logic/parser.h"
+#include "workload/generators.h"
+
+namespace braid::workload {
+namespace {
+
+TEST(Genealogy, DeterministicForSameSeed) {
+  GenealogyParams params;
+  params.people = 100;
+  dbms::Database a = MakeGenealogyDatabase(params);
+  dbms::Database b = MakeGenealogyDatabase(params);
+  ASSERT_EQ(a.TotalTuples(), b.TotalTuples());
+  const rel::Relation* pa = a.GetTable("parent");
+  const rel::Relation* pb = b.GetTable("parent");
+  ASSERT_EQ(pa->NumTuples(), pb->NumTuples());
+  for (size_t i = 0; i < pa->NumTuples(); ++i) {
+    EXPECT_EQ(pa->tuple(i), pb->tuple(i));
+  }
+}
+
+TEST(Genealogy, DifferentSeedDiffers) {
+  GenealogyParams a, b;
+  a.people = b.people = 100;
+  b.seed = a.seed + 1;
+  dbms::Database da = MakeGenealogyDatabase(a);
+  dbms::Database db = MakeGenealogyDatabase(b);
+  const rel::Relation* pa = da.GetTable("parent");
+  const rel::Relation* pb = db.GetTable("parent");
+  bool any_diff = false;
+  for (size_t i = 0; i < pa->NumTuples() && i < pb->NumTuples(); ++i) {
+    if (pa->tuple(i) != pb->tuple(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Genealogy, ForestInvariants) {
+  GenealogyParams params;
+  params.people = 200;
+  params.roots = 10;
+  dbms::Database db = MakeGenealogyDatabase(params);
+  const rel::Relation* parent = db.GetTable("parent");
+  ASSERT_NE(parent, nullptr);
+  // Every non-root has exactly one parent, and the parent has a smaller
+  // id (acyclic by construction).
+  std::set<int64_t> children;
+  for (const rel::Tuple& t : parent->tuples()) {
+    const int64_t child = t[0].AsInt();
+    const int64_t par = t[1].AsInt();
+    EXPECT_TRUE(children.insert(child).second) << "duplicate child " << child;
+    EXPECT_LT(par, child);
+    EXPECT_GE(child, static_cast<int64_t>(params.roots));
+  }
+  EXPECT_EQ(children.size(), params.people - params.roots);
+  EXPECT_EQ(db.GetTable("person")->NumTuples(), params.people);
+}
+
+TEST(Genealogy, KbParsesAndDeclaresSchema) {
+  logic::KnowledgeBase kb;
+  Status s = logic::ParseProgram(GenealogyKb(), &kb);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(kb.IsBaseRelation("parent"));
+  EXPECT_TRUE(kb.IsBaseRelation("person"));
+  EXPECT_TRUE(kb.IsUserDefined("ancestor"));
+  EXPECT_EQ(kb.ClosureBaseOf("ancestor"), "parent");
+  EXPECT_FALSE(kb.fd_soas().empty());
+}
+
+TEST(Supplier, SchemaAndBounds) {
+  SupplierParams params;
+  params.suppliers = 40;
+  params.parts = 70;
+  params.supplies = 200;
+  dbms::Database db = MakeSupplierDatabase(params);
+  EXPECT_EQ(db.GetTable("supplier")->NumTuples(), params.suppliers);
+  EXPECT_EQ(db.GetTable("part")->NumTuples(), params.parts);
+  EXPECT_EQ(db.GetTable("supplies")->NumTuples(), params.supplies);
+  for (const rel::Tuple& t : db.GetTable("supplies")->tuples()) {
+    EXPECT_GE(t[0].AsInt(), 0);
+    EXPECT_LT(t[0].AsInt(), static_cast<int64_t>(params.suppliers));
+    EXPECT_GE(t[1].AsInt(), 0);
+    EXPECT_LT(t[1].AsInt(), static_cast<int64_t>(params.parts));
+    EXPECT_GE(t[2].AsInt(), 1);
+  }
+}
+
+TEST(Supplier, KbParsesWithMutexSoa) {
+  logic::KnowledgeBase kb;
+  Status s = logic::ParseProgram(SupplierKb(), &kb);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(kb.AreMutuallyExclusive("heavy_part", "light_part"));
+  EXPECT_TRUE(kb.IsUserDefined("second_source"));
+}
+
+TEST(Graph, AcyclicEdgesRespectOrdering) {
+  GraphParams params;
+  params.nodes = 50;
+  params.edges = 200;
+  params.acyclic = true;
+  dbms::Database db = MakeGraphDatabase(params);
+  for (const rel::Tuple& t : db.GetTable("edge")->tuples()) {
+    EXPECT_LT(t[0].AsInt(), t[1].AsInt());
+  }
+}
+
+TEST(Graph, CyclicModeAllowsBackEdges) {
+  GraphParams params;
+  params.nodes = 50;
+  params.edges = 400;
+  params.acyclic = false;
+  dbms::Database db = MakeGraphDatabase(params);
+  bool any_back = false;
+  for (const rel::Tuple& t : db.GetTable("edge")->tuples()) {
+    if (t[0].AsInt() > t[1].AsInt()) any_back = true;
+  }
+  EXPECT_TRUE(any_back);
+}
+
+TEST(Graph, KbParsesWithClosure) {
+  logic::KnowledgeBase kb;
+  ASSERT_TRUE(logic::ParseProgram(GraphKb(), &kb).ok());
+  EXPECT_EQ(kb.ClosureBaseOf("reachable"), "edge");
+}
+
+}  // namespace
+}  // namespace braid::workload
