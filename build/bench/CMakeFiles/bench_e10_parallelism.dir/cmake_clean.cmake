@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_parallelism.dir/bench_e10_parallelism.cc.o"
+  "CMakeFiles/bench_e10_parallelism.dir/bench_e10_parallelism.cc.o.d"
+  "bench_e10_parallelism"
+  "bench_e10_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

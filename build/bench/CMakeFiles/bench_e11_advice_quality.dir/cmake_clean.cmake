@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_advice_quality.dir/bench_e11_advice_quality.cc.o"
+  "CMakeFiles/bench_e11_advice_quality.dir/bench_e11_advice_quality.cc.o.d"
+  "bench_e11_advice_quality"
+  "bench_e11_advice_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_advice_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

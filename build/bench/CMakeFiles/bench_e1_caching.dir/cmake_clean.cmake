@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_caching.dir/bench_e1_caching.cc.o"
+  "CMakeFiles/bench_e1_caching.dir/bench_e1_caching.cc.o.d"
+  "bench_e1_caching"
+  "bench_e1_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

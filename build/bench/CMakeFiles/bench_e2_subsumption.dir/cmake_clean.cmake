@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_subsumption.dir/bench_e2_subsumption.cc.o"
+  "CMakeFiles/bench_e2_subsumption.dir/bench_e2_subsumption.cc.o.d"
+  "bench_e2_subsumption"
+  "bench_e2_subsumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

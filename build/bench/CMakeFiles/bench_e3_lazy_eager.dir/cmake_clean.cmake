@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_lazy_eager.dir/bench_e3_lazy_eager.cc.o"
+  "CMakeFiles/bench_e3_lazy_eager.dir/bench_e3_lazy_eager.cc.o.d"
+  "bench_e3_lazy_eager"
+  "bench_e3_lazy_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_lazy_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_prefetch.dir/bench_e4_prefetch.cc.o"
+  "CMakeFiles/bench_e4_prefetch.dir/bench_e4_prefetch.cc.o.d"
+  "bench_e4_prefetch"
+  "bench_e4_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

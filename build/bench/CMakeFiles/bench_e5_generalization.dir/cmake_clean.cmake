@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_generalization.dir/bench_e5_generalization.cc.o"
+  "CMakeFiles/bench_e5_generalization.dir/bench_e5_generalization.cc.o.d"
+  "bench_e5_generalization"
+  "bench_e5_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_indexing.dir/bench_e6_indexing.cc.o"
+  "CMakeFiles/bench_e6_indexing.dir/bench_e6_indexing.cc.o.d"
+  "bench_e6_indexing"
+  "bench_e6_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_replacement.dir/bench_e7_replacement.cc.o"
+  "CMakeFiles/bench_e7_replacement.dir/bench_e7_replacement.cc.o.d"
+  "bench_e7_replacement"
+  "bench_e7_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_ic_range.dir/bench_e8_ic_range.cc.o"
+  "CMakeFiles/bench_e8_ic_range.dir/bench_e8_ic_range.cc.o.d"
+  "bench_e8_ic_range"
+  "bench_e8_ic_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_ic_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

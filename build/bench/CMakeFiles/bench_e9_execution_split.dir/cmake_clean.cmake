@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_execution_split.dir/bench_e9_execution_split.cc.o"
+  "CMakeFiles/bench_e9_execution_split.dir/bench_e9_execution_split.cc.o.d"
+  "bench_e9_execution_split"
+  "bench_e9_execution_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_execution_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

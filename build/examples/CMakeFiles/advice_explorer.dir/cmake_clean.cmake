@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advice_explorer.dir/advice_explorer.cpp.o"
+  "CMakeFiles/advice_explorer.dir/advice_explorer.cpp.o.d"
+  "advice_explorer"
+  "advice_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advice_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bom_navigator.dir/bom_navigator.cpp.o"
+  "CMakeFiles/bom_navigator.dir/bom_navigator.cpp.o.d"
+  "bom_navigator"
+  "bom_navigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bom_navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bom_navigator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_shell.dir/braid_shell.cpp.o"
+  "CMakeFiles/braid_shell.dir/braid_shell.cpp.o.d"
+  "braid_shell"
+  "braid_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genealogy_advisor.dir/genealogy_advisor.cpp.o"
+  "CMakeFiles/genealogy_advisor.dir/genealogy_advisor.cpp.o.d"
+  "genealogy_advisor"
+  "genealogy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genealogy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

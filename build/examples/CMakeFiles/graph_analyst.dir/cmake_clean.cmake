@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analyst.dir/graph_analyst.cpp.o"
+  "CMakeFiles/graph_analyst.dir/graph_analyst.cpp.o.d"
+  "graph_analyst"
+  "graph_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

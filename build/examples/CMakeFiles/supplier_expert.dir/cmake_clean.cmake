@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplier_expert.dir/supplier_expert.cpp.o"
+  "CMakeFiles/supplier_expert.dir/supplier_expert.cpp.o.d"
+  "supplier_expert"
+  "supplier_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplier_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

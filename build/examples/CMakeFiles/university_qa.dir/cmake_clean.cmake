@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_qa.dir/university_qa.cpp.o"
+  "CMakeFiles/university_qa.dir/university_qa.cpp.o.d"
+  "university_qa"
+  "university_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("logic")
+subdirs("stream")
+subdirs("caql")
+subdirs("dbms")
+subdirs("advice")
+subdirs("cms")
+subdirs("ie")
+subdirs("baselines")
+subdirs("workload")
+subdirs("braid")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advice/advice.cc" "src/advice/CMakeFiles/braid_advice.dir/advice.cc.o" "gcc" "src/advice/CMakeFiles/braid_advice.dir/advice.cc.o.d"
+  "/root/repo/src/advice/path_expr.cc" "src/advice/CMakeFiles/braid_advice.dir/path_expr.cc.o" "gcc" "src/advice/CMakeFiles/braid_advice.dir/path_expr.cc.o.d"
+  "/root/repo/src/advice/path_tracker.cc" "src/advice/CMakeFiles/braid_advice.dir/path_tracker.cc.o" "gcc" "src/advice/CMakeFiles/braid_advice.dir/path_tracker.cc.o.d"
+  "/root/repo/src/advice/view_spec.cc" "src/advice/CMakeFiles/braid_advice.dir/view_spec.cc.o" "gcc" "src/advice/CMakeFiles/braid_advice.dir/view_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/braid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/caql/CMakeFiles/braid_caql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_advice.dir/advice.cc.o"
+  "CMakeFiles/braid_advice.dir/advice.cc.o.d"
+  "CMakeFiles/braid_advice.dir/path_expr.cc.o"
+  "CMakeFiles/braid_advice.dir/path_expr.cc.o.d"
+  "CMakeFiles/braid_advice.dir/path_tracker.cc.o"
+  "CMakeFiles/braid_advice.dir/path_tracker.cc.o.d"
+  "CMakeFiles/braid_advice.dir/view_spec.cc.o"
+  "CMakeFiles/braid_advice.dir/view_spec.cc.o.d"
+  "libbraid_advice.a"
+  "libbraid_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

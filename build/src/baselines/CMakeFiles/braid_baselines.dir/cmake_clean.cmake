@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_baselines.dir/coupling_modes.cc.o"
+  "CMakeFiles/braid_baselines.dir/coupling_modes.cc.o.d"
+  "libbraid_baselines.a"
+  "libbraid_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caql/caql_query.cc" "src/caql/CMakeFiles/braid_caql.dir/caql_query.cc.o" "gcc" "src/caql/CMakeFiles/braid_caql.dir/caql_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/braid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_caql.dir/caql_query.cc.o"
+  "CMakeFiles/braid_caql.dir/caql_query.cc.o.d"
+  "libbraid_caql.a"
+  "libbraid_caql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_caql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

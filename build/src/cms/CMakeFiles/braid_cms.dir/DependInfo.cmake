@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cms/advice_manager.cc" "src/cms/CMakeFiles/braid_cms.dir/advice_manager.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/advice_manager.cc.o.d"
+  "/root/repo/src/cms/cache_element.cc" "src/cms/CMakeFiles/braid_cms.dir/cache_element.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/cache_element.cc.o.d"
+  "/root/repo/src/cms/cache_manager.cc" "src/cms/CMakeFiles/braid_cms.dir/cache_manager.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/cache_manager.cc.o.d"
+  "/root/repo/src/cms/cache_model.cc" "src/cms/CMakeFiles/braid_cms.dir/cache_model.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/cache_model.cc.o.d"
+  "/root/repo/src/cms/cms.cc" "src/cms/CMakeFiles/braid_cms.dir/cms.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/cms.cc.o.d"
+  "/root/repo/src/cms/execution_monitor.cc" "src/cms/CMakeFiles/braid_cms.dir/execution_monitor.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/execution_monitor.cc.o.d"
+  "/root/repo/src/cms/planner.cc" "src/cms/CMakeFiles/braid_cms.dir/planner.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/planner.cc.o.d"
+  "/root/repo/src/cms/query_processor.cc" "src/cms/CMakeFiles/braid_cms.dir/query_processor.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/query_processor.cc.o.d"
+  "/root/repo/src/cms/remote_interface.cc" "src/cms/CMakeFiles/braid_cms.dir/remote_interface.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/remote_interface.cc.o.d"
+  "/root/repo/src/cms/subsumption.cc" "src/cms/CMakeFiles/braid_cms.dir/subsumption.cc.o" "gcc" "src/cms/CMakeFiles/braid_cms.dir/subsumption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/braid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/caql/CMakeFiles/braid_caql.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/braid_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/advice/CMakeFiles/braid_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbms/CMakeFiles/braid_dbms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_cms.dir/advice_manager.cc.o"
+  "CMakeFiles/braid_cms.dir/advice_manager.cc.o.d"
+  "CMakeFiles/braid_cms.dir/cache_element.cc.o"
+  "CMakeFiles/braid_cms.dir/cache_element.cc.o.d"
+  "CMakeFiles/braid_cms.dir/cache_manager.cc.o"
+  "CMakeFiles/braid_cms.dir/cache_manager.cc.o.d"
+  "CMakeFiles/braid_cms.dir/cache_model.cc.o"
+  "CMakeFiles/braid_cms.dir/cache_model.cc.o.d"
+  "CMakeFiles/braid_cms.dir/cms.cc.o"
+  "CMakeFiles/braid_cms.dir/cms.cc.o.d"
+  "CMakeFiles/braid_cms.dir/execution_monitor.cc.o"
+  "CMakeFiles/braid_cms.dir/execution_monitor.cc.o.d"
+  "CMakeFiles/braid_cms.dir/planner.cc.o"
+  "CMakeFiles/braid_cms.dir/planner.cc.o.d"
+  "CMakeFiles/braid_cms.dir/query_processor.cc.o"
+  "CMakeFiles/braid_cms.dir/query_processor.cc.o.d"
+  "CMakeFiles/braid_cms.dir/remote_interface.cc.o"
+  "CMakeFiles/braid_cms.dir/remote_interface.cc.o.d"
+  "CMakeFiles/braid_cms.dir/subsumption.cc.o"
+  "CMakeFiles/braid_cms.dir/subsumption.cc.o.d"
+  "libbraid_cms.a"
+  "libbraid_cms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

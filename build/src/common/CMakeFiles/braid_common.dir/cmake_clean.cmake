@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_common.dir/status.cc.o"
+  "CMakeFiles/braid_common.dir/status.cc.o.d"
+  "CMakeFiles/braid_common.dir/strings.cc.o"
+  "CMakeFiles/braid_common.dir/strings.cc.o.d"
+  "libbraid_common.a"
+  "libbraid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbms/database.cc" "src/dbms/CMakeFiles/braid_dbms.dir/database.cc.o" "gcc" "src/dbms/CMakeFiles/braid_dbms.dir/database.cc.o.d"
+  "/root/repo/src/dbms/executor.cc" "src/dbms/CMakeFiles/braid_dbms.dir/executor.cc.o" "gcc" "src/dbms/CMakeFiles/braid_dbms.dir/executor.cc.o.d"
+  "/root/repo/src/dbms/remote_dbms.cc" "src/dbms/CMakeFiles/braid_dbms.dir/remote_dbms.cc.o" "gcc" "src/dbms/CMakeFiles/braid_dbms.dir/remote_dbms.cc.o.d"
+  "/root/repo/src/dbms/sql.cc" "src/dbms/CMakeFiles/braid_dbms.dir/sql.cc.o" "gcc" "src/dbms/CMakeFiles/braid_dbms.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

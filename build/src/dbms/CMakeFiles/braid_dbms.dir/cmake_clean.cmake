@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_dbms.dir/database.cc.o"
+  "CMakeFiles/braid_dbms.dir/database.cc.o.d"
+  "CMakeFiles/braid_dbms.dir/executor.cc.o"
+  "CMakeFiles/braid_dbms.dir/executor.cc.o.d"
+  "CMakeFiles/braid_dbms.dir/remote_dbms.cc.o"
+  "CMakeFiles/braid_dbms.dir/remote_dbms.cc.o.d"
+  "CMakeFiles/braid_dbms.dir/sql.cc.o"
+  "CMakeFiles/braid_dbms.dir/sql.cc.o.d"
+  "libbraid_dbms.a"
+  "libbraid_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

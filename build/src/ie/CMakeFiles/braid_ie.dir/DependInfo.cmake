@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ie/compiled_strategy.cc" "src/ie/CMakeFiles/braid_ie.dir/compiled_strategy.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/compiled_strategy.cc.o.d"
+  "/root/repo/src/ie/inference_engine.cc" "src/ie/CMakeFiles/braid_ie.dir/inference_engine.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/inference_engine.cc.o.d"
+  "/root/repo/src/ie/interpreted_strategy.cc" "src/ie/CMakeFiles/braid_ie.dir/interpreted_strategy.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/interpreted_strategy.cc.o.d"
+  "/root/repo/src/ie/path_creator.cc" "src/ie/CMakeFiles/braid_ie.dir/path_creator.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/path_creator.cc.o.d"
+  "/root/repo/src/ie/problem_graph.cc" "src/ie/CMakeFiles/braid_ie.dir/problem_graph.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/problem_graph.cc.o.d"
+  "/root/repo/src/ie/shaper.cc" "src/ie/CMakeFiles/braid_ie.dir/shaper.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/shaper.cc.o.d"
+  "/root/repo/src/ie/view_specifier.cc" "src/ie/CMakeFiles/braid_ie.dir/view_specifier.cc.o" "gcc" "src/ie/CMakeFiles/braid_ie.dir/view_specifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/braid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/caql/CMakeFiles/braid_caql.dir/DependInfo.cmake"
+  "/root/repo/build/src/advice/CMakeFiles/braid_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cms/CMakeFiles/braid_cms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbms/CMakeFiles/braid_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/braid_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

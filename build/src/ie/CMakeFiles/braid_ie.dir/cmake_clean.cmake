@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_ie.dir/compiled_strategy.cc.o"
+  "CMakeFiles/braid_ie.dir/compiled_strategy.cc.o.d"
+  "CMakeFiles/braid_ie.dir/inference_engine.cc.o"
+  "CMakeFiles/braid_ie.dir/inference_engine.cc.o.d"
+  "CMakeFiles/braid_ie.dir/interpreted_strategy.cc.o"
+  "CMakeFiles/braid_ie.dir/interpreted_strategy.cc.o.d"
+  "CMakeFiles/braid_ie.dir/path_creator.cc.o"
+  "CMakeFiles/braid_ie.dir/path_creator.cc.o.d"
+  "CMakeFiles/braid_ie.dir/problem_graph.cc.o"
+  "CMakeFiles/braid_ie.dir/problem_graph.cc.o.d"
+  "CMakeFiles/braid_ie.dir/shaper.cc.o"
+  "CMakeFiles/braid_ie.dir/shaper.cc.o.d"
+  "CMakeFiles/braid_ie.dir/view_specifier.cc.o"
+  "CMakeFiles/braid_ie.dir/view_specifier.cc.o.d"
+  "libbraid_ie.a"
+  "libbraid_ie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_ie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

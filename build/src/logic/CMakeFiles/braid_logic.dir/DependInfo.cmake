@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/atom.cc" "src/logic/CMakeFiles/braid_logic.dir/atom.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/atom.cc.o.d"
+  "/root/repo/src/logic/knowledge_base.cc" "src/logic/CMakeFiles/braid_logic.dir/knowledge_base.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/braid_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/rule.cc" "src/logic/CMakeFiles/braid_logic.dir/rule.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/rule.cc.o.d"
+  "/root/repo/src/logic/substitution.cc" "src/logic/CMakeFiles/braid_logic.dir/substitution.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/substitution.cc.o.d"
+  "/root/repo/src/logic/term.cc" "src/logic/CMakeFiles/braid_logic.dir/term.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/term.cc.o.d"
+  "/root/repo/src/logic/unify.cc" "src/logic/CMakeFiles/braid_logic.dir/unify.cc.o" "gcc" "src/logic/CMakeFiles/braid_logic.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

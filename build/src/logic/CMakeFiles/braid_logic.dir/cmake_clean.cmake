@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_logic.dir/atom.cc.o"
+  "CMakeFiles/braid_logic.dir/atom.cc.o.d"
+  "CMakeFiles/braid_logic.dir/knowledge_base.cc.o"
+  "CMakeFiles/braid_logic.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/braid_logic.dir/parser.cc.o"
+  "CMakeFiles/braid_logic.dir/parser.cc.o.d"
+  "CMakeFiles/braid_logic.dir/rule.cc.o"
+  "CMakeFiles/braid_logic.dir/rule.cc.o.d"
+  "CMakeFiles/braid_logic.dir/substitution.cc.o"
+  "CMakeFiles/braid_logic.dir/substitution.cc.o.d"
+  "CMakeFiles/braid_logic.dir/term.cc.o"
+  "CMakeFiles/braid_logic.dir/term.cc.o.d"
+  "CMakeFiles/braid_logic.dir/unify.cc.o"
+  "CMakeFiles/braid_logic.dir/unify.cc.o.d"
+  "libbraid_logic.a"
+  "libbraid_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_relational.dir/index.cc.o"
+  "CMakeFiles/braid_relational.dir/index.cc.o.d"
+  "CMakeFiles/braid_relational.dir/operators.cc.o"
+  "CMakeFiles/braid_relational.dir/operators.cc.o.d"
+  "CMakeFiles/braid_relational.dir/predicate.cc.o"
+  "CMakeFiles/braid_relational.dir/predicate.cc.o.d"
+  "CMakeFiles/braid_relational.dir/relation.cc.o"
+  "CMakeFiles/braid_relational.dir/relation.cc.o.d"
+  "CMakeFiles/braid_relational.dir/schema.cc.o"
+  "CMakeFiles/braid_relational.dir/schema.cc.o.d"
+  "CMakeFiles/braid_relational.dir/value.cc.o"
+  "CMakeFiles/braid_relational.dir/value.cc.o.d"
+  "libbraid_relational.a"
+  "libbraid_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_stream.dir/stream_ops.cc.o"
+  "CMakeFiles/braid_stream.dir/stream_ops.cc.o.d"
+  "libbraid_stream.a"
+  "libbraid_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

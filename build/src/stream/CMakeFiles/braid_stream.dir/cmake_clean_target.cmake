@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbraid_stream.a"
+)

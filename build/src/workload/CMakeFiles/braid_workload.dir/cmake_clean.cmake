@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braid_workload.dir/generators.cc.o"
+  "CMakeFiles/braid_workload.dir/generators.cc.o.d"
+  "CMakeFiles/braid_workload.dir/loader.cc.o"
+  "CMakeFiles/braid_workload.dir/loader.cc.o.d"
+  "libbraid_workload.a"
+  "libbraid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

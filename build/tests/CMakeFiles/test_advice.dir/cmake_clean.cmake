@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice.dir/test_advice.cc.o"
+  "CMakeFiles/test_advice.dir/test_advice.cc.o.d"
+  "test_advice"
+  "test_advice.pdb"
+  "test_advice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

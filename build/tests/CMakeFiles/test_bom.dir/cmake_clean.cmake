@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bom.dir/test_bom.cc.o"
+  "CMakeFiles/test_bom.dir/test_bom.cc.o.d"
+  "test_bom"
+  "test_bom.pdb"
+  "test_bom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

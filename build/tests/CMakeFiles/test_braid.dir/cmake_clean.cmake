@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_braid.dir/test_braid.cc.o"
+  "CMakeFiles/test_braid.dir/test_braid.cc.o.d"
+  "test_braid"
+  "test_braid.pdb"
+  "test_braid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_braid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

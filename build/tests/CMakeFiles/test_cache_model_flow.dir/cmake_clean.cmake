@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_model_flow.dir/test_cache_model_flow.cc.o"
+  "CMakeFiles/test_cache_model_flow.dir/test_cache_model_flow.cc.o.d"
+  "test_cache_model_flow"
+  "test_cache_model_flow.pdb"
+  "test_cache_model_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_model_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

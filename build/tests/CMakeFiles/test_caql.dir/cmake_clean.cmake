@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caql.dir/test_caql.cc.o"
+  "CMakeFiles/test_caql.dir/test_caql.cc.o.d"
+  "test_caql"
+  "test_caql.pdb"
+  "test_caql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

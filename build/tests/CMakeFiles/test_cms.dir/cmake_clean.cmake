@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cms.dir/test_cms.cc.o"
+  "CMakeFiles/test_cms.dir/test_cms.cc.o.d"
+  "test_cms"
+  "test_cms.pdb"
+  "test_cms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbms.dir/test_dbms.cc.o"
+  "CMakeFiles/test_dbms.dir/test_dbms.cc.o.d"
+  "test_dbms"
+  "test_dbms.pdb"
+  "test_dbms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_monitor.dir/test_execution_monitor.cc.o"
+  "CMakeFiles/test_execution_monitor.dir/test_execution_monitor.cc.o.d"
+  "test_execution_monitor"
+  "test_execution_monitor.pdb"
+  "test_execution_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

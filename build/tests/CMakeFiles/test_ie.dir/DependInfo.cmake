@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ie.cc" "tests/CMakeFiles/test_ie.dir/test_ie.cc.o" "gcc" "tests/CMakeFiles/test_ie.dir/test_ie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/braid_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/braid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ie/CMakeFiles/braid_ie.dir/DependInfo.cmake"
+  "/root/repo/build/src/cms/CMakeFiles/braid_cms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbms/CMakeFiles/braid_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/braid_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/advice/CMakeFiles/braid_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/caql/CMakeFiles/braid_caql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/braid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/braid_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/braid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

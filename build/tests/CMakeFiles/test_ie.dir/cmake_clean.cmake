@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ie.dir/test_ie.cc.o"
+  "CMakeFiles/test_ie.dir/test_ie.cc.o.d"
+  "test_ie"
+  "test_ie.pdb"
+  "test_ie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

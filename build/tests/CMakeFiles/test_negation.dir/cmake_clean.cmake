@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negation.dir/test_negation.cc.o"
+  "CMakeFiles/test_negation.dir/test_negation.cc.o.d"
+  "test_negation"
+  "test_negation.pdb"
+  "test_negation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

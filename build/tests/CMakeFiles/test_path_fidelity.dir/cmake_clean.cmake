@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_fidelity.dir/test_path_fidelity.cc.o"
+  "CMakeFiles/test_path_fidelity.dir/test_path_fidelity.cc.o.d"
+  "test_path_fidelity"
+  "test_path_fidelity.pdb"
+  "test_path_fidelity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

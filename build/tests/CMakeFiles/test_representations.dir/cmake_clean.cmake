@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_representations.dir/test_representations.cc.o"
+  "CMakeFiles/test_representations.dir/test_representations.cc.o.d"
+  "test_representations"
+  "test_representations.pdb"
+  "test_representations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

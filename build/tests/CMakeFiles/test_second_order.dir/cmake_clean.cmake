@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_second_order.dir/test_second_order.cc.o"
+  "CMakeFiles/test_second_order.dir/test_second_order.cc.o.d"
+  "test_second_order"
+  "test_second_order.pdb"
+  "test_second_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_second_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subsumption.dir/test_subsumption.cc.o"
+  "CMakeFiles/test_subsumption.dir/test_subsumption.cc.o.d"
+  "test_subsumption"
+  "test_subsumption.pdb"
+  "test_subsumption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
