@@ -1,14 +1,26 @@
 // M1-M4 — google-benchmark micro-benchmarks for the substrate operations
 // the architecture leans on: unification, the subsumption test, hash
-// joins, canonical-key computation, and path-tracker advances.
+// joins, canonical-key computation, and path-tracker advances. Also the
+// morsel-parallel operator variants (exec::) at several worker counts,
+// with threads=0 rows running the serial rel:: baseline.
+//
+// Results are written to BENCH_micro.json by default; pass `--json <path>`
+// (or any --benchmark_out=... flag) to override.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "advice/path_tracker.h"
 #include "caql/caql_query.h"
 #include "cms/query_processor.h"
 #include "cms/subsumption.h"
 #include "common/rng.h"
+#include "exec/parallel_ops.h"
+#include "exec/thread_pool.h"
 #include "logic/parser.h"
 #include "logic/unify.h"
 #include "relational/operators.h"
@@ -119,6 +131,76 @@ void BM_TransitiveClosure(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitiveClosure)->Arg(64)->Arg(256);
 
+// Builds the same join inputs as BM_HashJoin for the parallel variants.
+void MakeJoinInputs(int64_t rows, rel::Relation* left, rel::Relation* right) {
+  Rng rng(42);
+  *left = rel::Relation("l", rel::Schema::FromNames({"k", "v"}));
+  *right = rel::Relation("r", rel::Schema::FromNames({"k", "w"}));
+  for (int64_t i = 0; i < rows; ++i) {
+    left->AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 4 + 1)),
+                           rel::Value::Int(i)});
+    right->AppendUnchecked({rel::Value::Int(rng.Uniform(0, rows / 4 + 1)),
+                            rel::Value::Int(i)});
+  }
+}
+
+// threads == 0 runs the serial rel:: operator as the baseline; otherwise a
+// pool with `threads` workers and a zero threshold forces the parallel
+// path regardless of input size.
+void BM_ParallelHashJoin(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t threads = state.range(1);
+  rel::Relation left("l", {}), right("r", {});
+  MakeJoinInputs(rows, &left, &right);
+  std::unique_ptr<exec::ThreadPool> pool;
+  exec::ExecContext ctx;
+  if (threads > 0) {
+    pool = std::make_unique<exec::ThreadPool>(static_cast<size_t>(threads));
+    ctx.pool = pool.get();
+    ctx.parallel_threshold = 0;
+  }
+  for (auto _ : state) {
+    rel::Relation out =
+        threads > 0
+            ? exec::HashJoin(ctx, left, right, {rel::JoinKey{0, 0}})
+            : rel::HashJoin(left, right, {rel::JoinKey{0, 0}});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ParallelHashJoin)
+    ->ArgsProduct({{4096, 65536}, {0, 1, 2, 4, 8}});
+
+void BM_ParallelAggregate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t threads = state.range(1);
+  Rng rng(13);
+  rel::Relation input("in", rel::Schema::FromNames({"g", "v"}));
+  for (int64_t i = 0; i < rows; ++i) {
+    input.AppendUnchecked({rel::Value::Int(rng.Uniform(0, 255)),
+                           rel::Value::Int(rng.Uniform(0, 1000))});
+  }
+  const std::vector<size_t> group_by = {0};
+  const std::vector<rel::AggSpec> aggs = {
+      {rel::AggFn::kSum, 1, "sum_v"}, {rel::AggFn::kCount, 0, "n"}};
+  std::unique_ptr<exec::ThreadPool> pool;
+  exec::ExecContext ctx;
+  if (threads > 0) {
+    pool = std::make_unique<exec::ThreadPool>(static_cast<size_t>(threads));
+    ctx.pool = pool.get();
+    ctx.parallel_threshold = 0;
+  }
+  for (auto _ : state) {
+    rel::Relation out = threads > 0
+                            ? exec::Aggregate(ctx, input, group_by, aggs)
+                            : rel::Aggregate(input, group_by, aggs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ParallelAggregate)
+    ->ArgsProduct({{4096, 65536}, {0, 1, 2, 4, 8}});
+
 void BM_PathTrackerAdvance(benchmark::State& state) {
   using advice::PathExpr;
   using advice::RepBound;
@@ -144,4 +226,36 @@ BENCHMARK(BM_PathTrackerAdvance);
 }  // namespace
 }  // namespace braid
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus JSON output to BENCH_micro.json by default.
+// `--json <path>` is translated to google-benchmark's --benchmark_out;
+// an explicit --benchmark_out flag wins; `--json ""` disables the file.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path = "BENCH_micro.json";
+  bool explicit_out = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      explicit_out = true;
+    }
+    args.emplace_back(argv[i]);
+  }
+  if (!explicit_out && !json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  ::benchmark::Initialize(&argc2, argv2.data());
+  if (::benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

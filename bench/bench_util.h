@@ -2,6 +2,8 @@
 #define BRAID_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -9,6 +11,18 @@
 #include <vector>
 
 namespace braid::benchutil {
+
+/// Returns the value following a `--json` flag in argv, or `fallback` when
+/// the flag is absent. Pass an empty fallback to make JSON opt-in; pass a
+/// default filename (e.g. "BENCH_e10.json") to make it opt-out via
+/// `--json ""`.
+inline std::string JsonPathFromArgs(int argc, char** argv,
+                                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return fallback;
+}
 
 /// Fixed-width console table used by the experiment harnesses so every
 /// bench prints the same style of rows the EXPERIMENTS.md index refers to.
@@ -51,7 +65,57 @@ class Table {
     std::cout.flush();
   }
 
+  /// Writes the table as a JSON document: {"title": ..., "rows": [{col:
+  /// cell, ...}, ...]}. Cells that parse as numbers are emitted unquoted so
+  /// downstream tooling (plot scripts, regression checks) can consume them
+  /// without coercion. A no-op when `path` is empty.
+  void WriteJson(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_util: cannot open " << path << " for writing\n";
+      return;
+    }
+    out << "{\n  \"title\": " << JsonString(title_) << ",\n  \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      const auto& row = rows_[r];
+      for (size_t i = 0; i < row.size() && i < columns_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << JsonString(columns_[i]) << ": " << JsonValue(row[i]);
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
  private:
+  static std::string JsonString(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// Numeric-looking cells are emitted bare; everything else as a string.
+  static std::string JsonValue(const std::string& s) {
+    if (!s.empty()) {
+      char* end = nullptr;
+      std::strtod(s.c_str(), &end);
+      if (end != nullptr && *end == '\0') return s;
+    }
+    return JsonString(s);
+  }
+
   static std::string ToCell(const std::string& s) { return s; }
   static std::string ToCell(const char* s) { return s; }
   static std::string ToCell(double v) {

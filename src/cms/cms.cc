@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "common/strings.h"
+#include "exec/parallel_ops.h"
 
 namespace braid::cms {
 
@@ -16,6 +18,19 @@ using logic::Term;
 /// definition (every consumer constant replaced by its variable).
 CaqlQuery GeneralizedForm(const advice::ViewSpec& view) {
   return view.AsCaql();
+}
+
+/// Worker-thread count for the execution engine's pool, or nullptr for a
+/// serial CMS. The calling thread always joins morsel loops, so the
+/// default saturates the machine at hardware_concurrency total lanes.
+std::unique_ptr<exec::ThreadPool> MakePool(const CmsConfig& config) {
+  if (!config.enable_parallel) return nullptr;
+  size_t workers = config.num_threads;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 1 ? hw - 1 : 1;
+  }
+  return std::make_unique<exec::ThreadPool>(workers);
 }
 
 }  // namespace
@@ -55,8 +70,10 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
       planner_(&cache_.model(), remote,
                PlannerConfig{config.enable_subsumption &&
                              config.enable_caching}),
+      pool_(MakePool(config)),
       monitor_(&cache_, &rdi_, config.local_per_tuple_ms,
-               config.enable_parallel) {
+               config.enable_parallel,
+               exec::ExecContext{pool_.get(), config.parallel_threshold}) {
   // Replacement advice: the tracker's predicted distance for the
   // element's origin view; when the tracker has no prediction, the
   // simplest advice form (the relevant-base-relation list) still protects
@@ -328,10 +345,10 @@ Result<rel::Relation> Cms::Aggregate(const CaqlQuery& query,
     }
     agg_col = *col;
   }
-  return rel::Aggregate(input, group_cols,
-                        {rel::AggSpec{fn, agg_col, agg_var.empty()
-                                                       ? std::string("agg")
-                                                       : agg_var}});
+  return exec::Aggregate(exec_context(), input, group_cols,
+                         {rel::AggSpec{fn, agg_col, agg_var.empty()
+                                                        ? std::string("agg")
+                                                        : agg_var}});
 }
 
 Result<rel::Relation> Cms::QuerySorted(
@@ -408,7 +425,7 @@ Result<rel::Relation> Cms::QueryUnion(
     }
   }
   if (distinct) {
-    rel::Relation deduped = rel::Distinct(result);
+    rel::Relation deduped = exec::Distinct(exec_context(), result);
     deduped.set_name(result.name());
     return deduped;
   }

@@ -14,6 +14,8 @@
 #include "cms/remote_interface.h"
 #include "common/status.h"
 #include "dbms/remote_dbms.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
 #include "stream/stream_ops.h"
 
 namespace braid::cms {
@@ -35,6 +37,15 @@ struct CmsConfig {
   bool enable_parallel = true;
   size_t replacement_horizon = 4;    // advice-protection window (queries)
   double local_per_tuple_ms = 0.002; // workstation per-tuple cost
+
+  /// Worker threads of the execution engine's pool (the calling thread
+  /// always participates in morsel loops, so total parallelism is
+  /// num_threads + 1). 0 = one less than the hardware concurrency, at
+  /// least 1. Only consulted when enable_parallel is set; with parallel
+  /// execution off the CMS runs poolless and fully serial.
+  size_t num_threads = 0;
+  /// Operator inputs below this many tuples skip the morsel machinery.
+  size_t parallel_threshold = 4096;
 };
 
 /// How a query was answered.
@@ -134,6 +145,12 @@ class Cms {
   CmsMetrics& metrics() { return metrics_; }
   void ResetMetrics() { metrics_ = CmsMetrics{}; }
 
+  /// Execution policy for operators run on behalf of this CMS (null pool
+  /// when parallel execution is disabled).
+  exec::ExecContext exec_context() const {
+    return exec::ExecContext{pool_.get(), config_.parallel_threshold};
+  }
+
  private:
   struct EagerExec {
     rel::Relation result;
@@ -177,6 +194,7 @@ class Cms {
   AdviceManager advice_;
   RemoteDbmsInterface rdi_;
   QueryPlanner planner_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // before monitor_: it borrows it
   ExecutionMonitor monitor_;
   CmsMetrics metrics_;
 };

@@ -1,9 +1,12 @@
 #include "cms/execution_monitor.h"
 
 #include <algorithm>
+#include <future>
+#include <iterator>
 #include <map>
 
 #include "common/strings.h"
+#include "exec/parallel_ops.h"
 
 namespace braid::cms {
 
@@ -99,10 +102,12 @@ Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
       if (pred->Eval(t)) selected.AppendUnchecked(t);
     }
   } else {
+    // Full scan of the extension: the hot cache-side preparation path,
+    // morsel-parallel over large extensions (the simulated cost charged
+    // stays the serial tuple count — parallelism is a wall-clock win).
     if (work != nullptr) work->tuples_processed += ext->NumTuples();
-    for (const rel::Tuple& t : ext->tuples()) {
-      if (pred->Eval(t)) selected.AppendUnchecked(t);
-    }
+    selected.mutable_tuples() =
+        std::move(exec::Select(exec_ctx_, *ext, *pred).mutable_tuples());
   }
 
   // Project the needed variables and name columns after them.
@@ -112,7 +117,7 @@ Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
     cols.push_back(col);
     names.push_back(rel::Column{var, rel::ValueType::kNull});
   }
-  rel::Relation projected = rel::Project(selected, cols);
+  rel::Relation projected = exec::Project(exec_ctx_, selected, cols);
   rel::Relation out(element->id(), rel::Schema(std::move(names)));
   out.mutable_tuples() = std::move(projected.mutable_tuples());
   return out;
@@ -122,46 +127,80 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
   ExecutionOutcome outcome;
   LocalWork prep_work;
 
-  std::vector<rel::Relation> bindings;
-  for (const PlanSource& source : plan.sources) {
-    if (source.kind == PlanSource::Kind::kElement) {
-      BRAID_ASSIGN_OR_RETURN(rel::Relation b,
-                             MaterializeElementSource(source, &prep_work));
-      bindings.push_back(std::move(b));
-    } else {
-      BRAID_ASSIGN_OR_RETURN(
-          RemoteFetch fetch,
-          rdi_->Fetch(source.remote_query, source.remote_vars));
-      outcome.remote_ms += fetch.cost.total_ms;
-      ++outcome.remote_queries;
-      bindings.push_back(std::move(fetch.bindings));
+  // Positive and anti sources (negated literals; the latter applied as
+  // anti-joins during assembly) share one materialization pass, indexed
+  // over the concatenation so remote results land in deterministic
+  // plan-source order regardless of completion order.
+  const size_t num_positive = plan.sources.size();
+  const size_t num_total = num_positive + plan.anti_sources.size();
+  auto source_at = [&plan, num_positive](size_t i) -> const PlanSource& {
+    return i < num_positive ? plan.sources[i]
+                            : plan.anti_sources[i - num_positive];
+  };
+
+  // Launch every remote subquery as a pool task before any cache-side
+  // work, so the fetches are in flight while this thread prepares the
+  // element sources — the paper's §5 parallelism made physical.
+  const bool concurrent_remote = parallel_ && exec_ctx_.pool != nullptr &&
+                                 exec_ctx_.pool->num_workers() > 0;
+  std::vector<std::future<Result<RemoteFetch>>> fetches(num_total);
+  if (concurrent_remote) {
+    for (size_t i = 0; i < num_total; ++i) {
+      const PlanSource& source = source_at(i);
+      if (source.kind != PlanSource::Kind::kRemote) continue;
+      fetches[i] = exec_ctx_.pool->Submit([this, &source] {
+        return rdi_->Fetch(source.remote_query, source.remote_vars);
+      });
     }
   }
 
-  // Anti sources (negated literals): fetched like positive sources but
-  // applied as anti-joins during assembly.
-  std::vector<rel::Relation> anti_bindings;
-  for (const PlanSource& source : plan.anti_sources) {
-    if (source.kind == PlanSource::Kind::kElement) {
-      BRAID_ASSIGN_OR_RETURN(rel::Relation b,
-                             MaterializeElementSource(source, &prep_work));
-      anti_bindings.push_back(std::move(b));
-    } else {
-      BRAID_ASSIGN_OR_RETURN(
-          RemoteFetch fetch,
-          rdi_->Fetch(source.remote_query, source.remote_vars));
-      outcome.remote_ms += fetch.cost.total_ms;
-      ++outcome.remote_queries;
-      anti_bindings.push_back(std::move(fetch.bindings));
+  // Cache-side preparation on the calling thread. Errors are deferred, not
+  // returned, until every in-flight fetch has been joined — a pool task
+  // holds references into `plan`, which must outlive it.
+  Status first_error = Status::Ok();
+  std::vector<rel::Relation> materialized(num_total);
+  for (size_t i = 0; i < num_total; ++i) {
+    const PlanSource& source = source_at(i);
+    if (source.kind != PlanSource::Kind::kElement) continue;
+    Result<rel::Relation> b = MaterializeElementSource(source, &prep_work);
+    if (!b.ok()) {
+      if (first_error.ok()) first_error = b.status();
+      continue;
     }
+    materialized[i] = std::move(*b);
   }
+
+  for (size_t i = 0; i < num_total; ++i) {
+    const PlanSource& source = source_at(i);
+    if (source.kind != PlanSource::Kind::kRemote) continue;
+    Result<RemoteFetch> fetch =
+        concurrent_remote
+            ? fetches[i].get()
+            : rdi_->Fetch(source.remote_query, source.remote_vars);
+    if (!fetch.ok()) {
+      if (first_error.ok()) first_error = fetch.status();
+      continue;
+    }
+    outcome.remote_ms += fetch->cost.total_ms;
+    ++outcome.remote_queries;
+    materialized[i] = std::move(fetch->bindings);
+  }
+  if (!first_error.ok()) return first_error;
+
+  std::vector<rel::Relation> bindings(
+      std::make_move_iterator(materialized.begin()),
+      std::make_move_iterator(materialized.begin() + num_positive));
+  std::vector<rel::Relation> anti_bindings(
+      std::make_move_iterator(materialized.begin() + num_positive),
+      std::make_move_iterator(materialized.end()));
 
   LocalWork assembly_work;
   BRAID_ASSIGN_OR_RETURN(
       outcome.result,
       QueryProcessor::Assemble(plan.query, std::move(bindings),
                                plan.residual_comparisons, plan.evaluables,
-                               &assembly_work, std::move(anti_bindings)));
+                               &assembly_work, std::move(anti_bindings),
+                               &exec_ctx_));
 
   const double prep_ms = prep_work.tuples_processed * local_per_tuple_ms_;
   const double assembly_ms =

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "exec/parallel_ops.h"
 #include "relational/index.h"
 
 namespace braid::cms {
@@ -84,7 +85,8 @@ Result<rel::Relation> QueryProcessor::BindAtom(const Atom& atom,
 
 rel::Relation QueryProcessor::NaturalJoin(const rel::Relation& left,
                                           const rel::Relation& right,
-                                          LocalWork* work) {
+                                          LocalWork* work,
+                                          const exec::ExecContext* ctx) {
   // Shared column names become join keys.
   std::vector<rel::JoinKey> keys;
   std::vector<bool> right_shared(right.schema().size(), false);
@@ -95,7 +97,9 @@ rel::Relation QueryProcessor::NaturalJoin(const rel::Relation& left,
       right_shared[rc] = true;
     }
   }
-  rel::Relation joined = rel::HashJoin(left, right, keys);
+  rel::Relation joined = ctx != nullptr
+                             ? exec::HashJoin(*ctx, left, right, keys)
+                             : rel::HashJoin(left, right, keys);
   Charge(work, left.NumTuples() + right.NumTuples() + joined.NumTuples());
   // Drop the right-side duplicates of shared columns.
   std::vector<size_t> keep;
@@ -103,7 +107,8 @@ rel::Relation QueryProcessor::NaturalJoin(const rel::Relation& left,
   for (size_t rc = 0; rc < right.schema().size(); ++rc) {
     if (!right_shared[rc]) keep.push_back(left.schema().size() + rc);
   }
-  rel::Relation out = rel::Project(joined, keep);
+  rel::Relation out = ctx != nullptr ? exec::Project(*ctx, joined, keep)
+                                     : rel::Project(joined, keep);
   out.set_name(StrCat(left.name(), "*", right.name()));
   return out;
 }
@@ -348,7 +353,8 @@ rel::Relation QueryProcessor::AntiJoin(const rel::Relation& input,
 Result<rel::Relation> QueryProcessor::Assemble(
     const CaqlQuery& query, std::vector<rel::Relation> bindings,
     const std::vector<Atom>& comparisons, const std::vector<Atom>& evaluables,
-    LocalWork* work, std::vector<rel::Relation> anti_bindings) {
+    LocalWork* work, std::vector<rel::Relation> anti_bindings,
+    const exec::ExecContext* ctx) {
   std::vector<bool> comp_done(comparisons.size(), false);
   std::vector<bool> eval_done(evaluables.size(), false);
 
@@ -389,7 +395,8 @@ Result<rel::Relation> QueryProcessor::Assemble(
           best_connected = connected;
         }
       }
-      current = NaturalJoin(current, bindings[static_cast<size_t>(best)], work);
+      current =
+          NaturalJoin(current, bindings[static_cast<size_t>(best)], work, ctx);
       used[static_cast<size_t>(best)] = true;
 
       // Eagerly apply any now-applicable comparisons to shrink
@@ -457,7 +464,8 @@ Result<rel::Relation> QueryProcessor::Assemble(
                          ProjectHead(current, query));
   if (query.distinct) {
     Charge(work, projected.NumTuples());
-    rel::Relation deduped = rel::Distinct(projected);
+    rel::Relation deduped = ctx != nullptr ? exec::Distinct(*ctx, projected)
+                                           : rel::Distinct(projected);
     deduped.set_name(projected.name());
     return deduped;
   }

@@ -6,6 +6,7 @@
 
 #include "caql/caql_query.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "relational/operators.h"
 #include "relational/relation.h"
 
@@ -47,12 +48,16 @@ class QueryProcessor {
   /// variables become bound, applies each anti binding (rows with a match
   /// in an anti binding on its shared columns are removed — the NOT of
   /// CAQL), and projects onto the query head. This is the assembly step
-  /// the Execution Monitor runs over plan-source outputs.
+  /// the Execution Monitor runs over plan-source outputs. With a non-null
+  /// `ctx`, the joins, projections, and the final duplicate elimination
+  /// run morsel-parallel on large inputs (results are unchanged; see
+  /// `exec::` operator contracts).
   static Result<rel::Relation> Assemble(
       const caql::CaqlQuery& query, std::vector<rel::Relation> bindings,
       const std::vector<logic::Atom>& comparisons,
       const std::vector<logic::Atom>& evaluables, LocalWork* work,
-      std::vector<rel::Relation> anti_bindings = {});
+      std::vector<rel::Relation> anti_bindings = {},
+      const exec::ExecContext* ctx = nullptr);
 
   /// Anti-join: rows of `input` with no counterpart in `anti` agreeing on
   /// every column name the two share. With no shared columns the result
@@ -70,9 +75,10 @@ class QueryProcessor {
 
   /// Natural join on identically named columns (cross product when none
   /// are shared). Right-side duplicates of shared columns are dropped.
+  /// With a non-null `ctx` the join and projection are morsel-parallel.
   static rel::Relation NaturalJoin(const rel::Relation& left,
-                                   const rel::Relation& right,
-                                   LocalWork* work);
+                                   const rel::Relation& right, LocalWork* work,
+                                   const exec::ExecContext* ctx = nullptr);
 
   /// Applies a comparison atom; every variable must name a column.
   static Result<rel::Relation> ApplyComparison(const rel::Relation& input,

@@ -1,8 +1,10 @@
 #include "dbms/remote_dbms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 namespace braid::dbms {
 
@@ -44,12 +46,20 @@ Result<RemoteResult> RemoteDbms::Execute(const SqlQuery& query) {
     cost.total_ms = cost.server_ms + cost.transfer_ms;
   }
 
-  stats_.queries += 1;
-  stats_.messages += cost.messages;
-  stats_.tuples_shipped += cost.tuples_shipped;
-  stats_.bytes_shipped += cost.bytes_shipped;
-  stats_.server_ms += cost.server_ms;
-  stats_.total_ms += cost.total_ms;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries += 1;
+    stats_.messages += cost.messages;
+    stats_.tuples_shipped += cost.tuples_shipped;
+    stats_.bytes_shipped += cost.bytes_shipped;
+    stats_.server_ms += cost.server_ms;
+    stats_.total_ms += cost.total_ms;
+  }
+
+  if (network_.wall_clock_scale > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        cost.total_ms * network_.wall_clock_scale));
+  }
 
   return RemoteResult{std::move(result), cost};
 }

@@ -1,6 +1,7 @@
 #ifndef BRAID_DBMS_REMOTE_DBMS_H_
 #define BRAID_DBMS_REMOTE_DBMS_H_
 
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -21,6 +22,11 @@ struct NetworkModel {
   double per_byte_ms = 0.0;     // optional bandwidth term
   size_t buffer_tuples = 64;    // result tuples per transfer message
   bool pipelining = true;       // server production overlaps transfer
+  /// When > 0, Execute() also sleeps for total_ms * wall_clock_scale real
+  /// milliseconds, making the simulated link physically observable so the
+  /// Execution Monitor's remote/local overlap can be validated against
+  /// wall-clock time (bench E10, test_exec).
+  double wall_clock_scale = 0.0;
 };
 
 /// Per-tuple cost coefficients of the simulated server.
@@ -79,7 +85,9 @@ class RemoteDbms {
       : RemoteDbms(std::move(database), NetworkModel{}, DbmsCostModel{}) {}
 
   /// Executes `query`, returning the result and charging its cost to the
-  /// session statistics.
+  /// session statistics. Thread-safe: the Execution Monitor issues
+  /// concurrent subqueries from pool workers; execution reads the
+  /// immutable database and the statistics update is mutex-guarded.
   Result<RemoteResult> Execute(const SqlQuery& query);
 
   /// Estimated server-side cost of `query` without executing it, derived
@@ -95,13 +103,17 @@ class RemoteDbms {
   const DbmsCostModel& costs() const { return costs_; }
 
   const RemoteStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RemoteStats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = RemoteStats{};
+  }
 
  private:
   Database database_;
   NetworkModel network_;
   DbmsCostModel costs_;
   Executor executor_;
+  std::mutex stats_mu_;
   RemoteStats stats_;
 };
 

@@ -1,0 +1,36 @@
+#ifndef BRAID_EXEC_EXEC_CONTEXT_H_
+#define BRAID_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+
+#include "exec/thread_pool.h"
+
+namespace braid::exec {
+
+/// Execution policy handed to the parallel operators and the Execution
+/// Monitor. A default-constructed context (null pool) is a fully serial
+/// executor, so call sites can take an ExecContext unconditionally; the
+/// operators fall back to their single-threaded implementations whenever
+/// `ShouldParallelize` says the input is too small to amortize the
+/// fan-out, keeping the morsel machinery off the small-query hot path.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  /// Inputs below this many tuples run on the caller's thread.
+  size_t parallel_threshold = 4096;
+  /// Tuples per morsel claimed from the shared cursor.
+  size_t morsel_tuples = 1024;
+
+  bool ShouldParallelize(size_t num_tuples) const {
+    return pool != nullptr && pool->num_workers() > 0 &&
+           num_tuples >= parallel_threshold;
+  }
+
+  /// Parallel fan-out of a loop, counting the participating caller.
+  size_t Lanes() const {
+    return pool == nullptr ? 1 : pool->num_workers() + 1;
+  }
+};
+
+}  // namespace braid::exec
+
+#endif  // BRAID_EXEC_EXEC_CONTEXT_H_

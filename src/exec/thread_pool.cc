@@ -1,0 +1,115 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace braid::exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor. Helper tasks may outlive the call (a
+/// busy worker can pick one up after the caller has drained every morsel),
+/// so the state is heap-allocated and the helpers only touch it through a
+/// shared_ptr; such late helpers see an exhausted cursor and return
+/// immediately.
+struct LoopState {
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> completed{0};
+  size_t n = 0;
+  size_t grain = 1;
+  size_t morsels = 0;
+  std::function<void(size_t, size_t)> fn;
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception wins; guarded by mu
+
+  void Drain() {
+    for (;;) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(begin + grain, n);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == morsels) {
+        std::lock_guard<std::mutex> lock(mu);  // pair with the waiter
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             std::function<void(size_t, size_t)> fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->morsels = (n + grain - 1) / grain;
+  state->fn = std::move(fn);
+
+  // One helper per worker, capped at morsels-1 (the caller takes at least
+  // one). Futures are deliberately discarded: completion is tracked by the
+  // morsel counter, never by task execution, so a saturated pool cannot
+  // deadlock a nested loop.
+  const size_t helpers =
+      std::min(workers_.size(), state->morsels > 0 ? state->morsels - 1 : 0);
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < helpers; ++i) {
+        queue_.emplace_back([state] { state->Drain(); });
+      }
+    }
+    cv_.notify_all();
+  }
+
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&state] {
+      return state->completed.load(std::memory_order_acquire) ==
+             state->morsels;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace braid::exec

@@ -1,0 +1,82 @@
+#ifndef BRAID_EXEC_THREAD_POOL_H_
+#define BRAID_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace braid::exec {
+
+/// Fixed-size worker pool with a shared FIFO task queue, in the style of
+/// morsel-driven in-memory executors. Two entry points:
+///
+///  - `Submit`: enqueue an arbitrary task, get a future (used by the
+///    Execution Monitor to overlap remote subqueries with cache-side
+///    preparation).
+///  - `ParallelFor`: split a tuple range into fixed-size morsels that the
+///    workers *and the calling thread* claim from a shared cursor, so load
+///    imbalance self-corrects without work stealing. The caller always
+///    participates, which makes nested use deadlock-free: a loop never
+///    blocks on queue capacity, only on morsels that some live thread is
+///    already executing.
+///
+/// With zero workers every operation degenerates to running inline on the
+/// caller, so a `ThreadPool(0)` is a valid serial executor.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on a worker and returns a future for its
+  /// result. With zero workers `fn` runs inline before Submit returns.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Morsel-driven loop over [0, n): chunks of `grain` indices are claimed
+  /// from a shared cursor by up to num_workers() pool threads plus the
+  /// caller, each invoking `fn(begin, end)` with begin % grain == 0 (so
+  /// the morsel index is begin / grain). Returns once every index has been
+  /// processed; the first exception thrown by `fn` is rethrown on the
+  /// caller.
+  void ParallelFor(size_t n, size_t grain,
+                   std::function<void(size_t, size_t)> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace braid::exec
+
+#endif  // BRAID_EXEC_THREAD_POOL_H_

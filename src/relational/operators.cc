@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
 #include "relational/index.h"
@@ -10,6 +11,7 @@ namespace braid::rel {
 
 Relation Select(const Relation& input, const Predicate& pred) {
   Relation out(StrCat("select(", input.name(), ")"), input.schema());
+  out.mutable_tuples().reserve(input.NumTuples());
   for (const Tuple& t : input.tuples()) {
     if (pred.Eval(t)) out.AppendUnchecked(t);
   }
@@ -19,6 +21,7 @@ Relation Select(const Relation& input, const Predicate& pred) {
 Relation Project(const Relation& input, const std::vector<size_t>& columns) {
   Relation out(StrCat("project(", input.name(), ")"),
                input.schema().Project(columns));
+  out.mutable_tuples().reserve(input.NumTuples());
   for (const Tuple& t : input.tuples()) {
     Tuple projected;
     projected.reserve(columns.size());
@@ -28,21 +31,21 @@ Relation Project(const Relation& input, const std::vector<size_t>& columns) {
   return out;
 }
 
+Tuple JoinKeyTuple(const Tuple& t, const std::vector<JoinKey>& keys,
+                   bool left_side) {
+  Tuple key;
+  key.reserve(keys.size());
+  for (const JoinKey& k : keys) {
+    key.push_back(t[left_side ? k.left_col : k.right_col]);
+  }
+  return key;
+}
+
 Relation HashJoin(const Relation& left, const Relation& right,
                   const std::vector<JoinKey>& keys,
                   const PredicatePtr& residual) {
   Relation out(StrCat("join(", left.name(), ",", right.name(), ")"),
                left.schema().Concat(right.schema()));
-
-  auto emit_if_match = [&](const Tuple& lt, const Tuple& rt) {
-    for (size_t k = 1; k < keys.size(); ++k) {
-      if (lt[keys[k].left_col] != rt[keys[k].right_col]) return;
-    }
-    Tuple combined = lt;
-    combined.insert(combined.end(), rt.begin(), rt.end());
-    if (residual != nullptr && !residual->Eval(combined)) return;
-    out.AppendUnchecked(std::move(combined));
-  };
 
   if (keys.empty()) {
     // Cross product with optional residual filter.
@@ -58,16 +61,30 @@ Relation HashJoin(const Relation& left, const Relation& right,
     return out;
   }
 
-  // Build on the smaller side to bound hash-table size.
+  // Build on the smaller side to bound hash-table size. The table is keyed
+  // on the full composite key, so every bucket holds true matches only —
+  // no per-candidate filtering on the remaining key columns, which on a
+  // skewed first column used to degrade toward a cross product.
   const bool build_left = left.NumTuples() <= right.NumTuples();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
-  const size_t build_col = build_left ? keys[0].left_col : keys[0].right_col;
-  const size_t probe_col = build_left ? keys[0].right_col : keys[0].left_col;
 
-  HashIndex index(build, build_col);
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> index;
+  index.reserve(build.NumTuples());
+  for (size_t row = 0; row < build.NumTuples(); ++row) {
+    index[JoinKeyTuple(build.tuple(row), keys, build_left)].push_back(row);
+  }
+
+  auto emit_if_match = [&](const Tuple& lt, const Tuple& rt) {
+    Tuple combined = lt;
+    combined.insert(combined.end(), rt.begin(), rt.end());
+    if (residual != nullptr && !residual->Eval(combined)) return;
+    out.AppendUnchecked(std::move(combined));
+  };
   for (const Tuple& pt : probe.tuples()) {
-    for (size_t row : index.Lookup(pt[probe_col])) {
+    auto it = index.find(JoinKeyTuple(pt, keys, !build_left));
+    if (it == index.end()) continue;
+    for (size_t row : it->second) {
       const Tuple& bt = build.tuple(row);
       if (build_left) {
         emit_if_match(bt, pt);
@@ -101,6 +118,7 @@ Result<Relation> Union(const Relation& left, const Relation& right) {
   }
   Relation out(StrCat("union(", left.name(), ",", right.name(), ")"),
                left.schema());
+  out.mutable_tuples().reserve(left.NumTuples() + right.NumTuples());
   for (const Tuple& t : left.tuples()) out.AppendUnchecked(t);
   for (const Tuple& t : right.tuples()) out.AppendUnchecked(t);
   return out;
@@ -129,9 +147,10 @@ Result<Relation> Difference(const Relation& left, const Relation& right) {
 
 Relation Distinct(const Relation& input) {
   Relation out(StrCat("distinct(", input.name(), ")"), input.schema());
-  std::unordered_map<Tuple, bool, TupleHash> seen;
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(input.NumTuples());
   for (const Tuple& t : input.tuples()) {
-    if (!seen.emplace(t, true).second) continue;
+    if (!seen.insert(t).second) continue;
     out.AppendUnchecked(t);
   }
   return out;
@@ -151,44 +170,41 @@ Relation Sort(const Relation& input, const std::vector<size_t>& columns) {
   return out;
 }
 
-namespace {
+void AggState::Add(const Value& v) {
+  ++count;
+  if (v.is_null()) return;
+  if (v.IsNumeric()) sum += v.NumericValue();
+  if (!any || v < min) min = v;
+  if (!any || v > max) max = v;
+  any = true;
+}
 
-/// Running state for one aggregate within one group.
-struct AggState {
-  int64_t count = 0;
-  double sum = 0;
-  bool any = false;
-  Value min;
-  Value max;
-
-  void Add(const Value& v) {
-    ++count;
-    if (v.is_null()) return;
-    if (v.IsNumeric()) sum += v.NumericValue();
-    if (!any || v < min) min = v;
-    if (!any || v > max) max = v;
+void AggState::Merge(const AggState& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.any) {
+    if (!any || other.min < min) min = other.min;
+    if (!any || other.max > max) max = other.max;
     any = true;
   }
+}
 
-  Value Finish(AggFn fn) const {
-    switch (fn) {
-      case AggFn::kCount:
-        return Value::Int(count);
-      case AggFn::kSum:
-        return Value::Double(sum);
-      case AggFn::kMin:
-        return any ? min : Value::Null();
-      case AggFn::kMax:
-        return any ? max : Value::Null();
-      case AggFn::kAvg:
-        return count > 0 ? Value::Double(sum / static_cast<double>(count))
-                         : Value::Null();
-    }
-    return Value::Null();
+Value AggState::Finish(AggFn fn) const {
+  switch (fn) {
+    case AggFn::kCount:
+      return Value::Int(count);
+    case AggFn::kSum:
+      return Value::Double(sum);
+    case AggFn::kMin:
+      return any ? min : Value::Null();
+    case AggFn::kMax:
+      return any ? max : Value::Null();
+    case AggFn::kAvg:
+      return count > 0 ? Value::Double(sum / static_cast<double>(count))
+                       : Value::Null();
   }
-};
-
-}  // namespace
+  return Value::Null();
+}
 
 Relation Aggregate(const Relation& input, const std::vector<size_t>& group_by,
                    const std::vector<AggSpec>& aggs) {

@@ -17,6 +17,11 @@ struct JoinKey {
   size_t right_col;
 };
 
+/// Projection of `t` onto the left (or right) columns of `keys` — the
+/// composite join key that HashJoin and its parallel variant hash on.
+Tuple JoinKeyTuple(const Tuple& t, const std::vector<JoinKey>& keys,
+                   bool left_side);
+
 /// σ: tuples of `input` satisfying `pred`.
 Relation Select(const Relation& input, const Predicate& pred);
 
@@ -24,9 +29,12 @@ Relation Select(const Relation& input, const Predicate& pred);
 /// semantics — no duplicate elimination.
 Relation Project(const Relation& input, const std::vector<size_t>& columns);
 
-/// Equi-join via hashing on the first key; remaining keys and `residual`
-/// (over the concatenated tuple) are checked per candidate pair. With no
-/// keys this degrades to a filtered cross product.
+/// Equi-join via hashing on the full composite key (all key columns feed
+/// the hash, so a skewed first column cannot degrade the build to a few
+/// giant buckets); `residual` (over the concatenated tuple) is checked per
+/// matching pair. With no keys this degrades to a filtered cross product.
+/// Output order: for each probe-side tuple in input order, matching
+/// build-side tuples in input order.
 Relation HashJoin(const Relation& left, const Relation& right,
                   const std::vector<JoinKey>& keys,
                   const PredicatePtr& residual = nullptr);
@@ -56,6 +64,27 @@ struct AggSpec {
   AggFn fn;
   size_t column = 0;  // Ignored for kCount.
   std::string output_name;
+};
+
+/// Running state for one aggregate within one group. Public so the
+/// parallel executor can keep per-worker partials and merge them
+/// (`src/exec/parallel_ops.cc`); Merge(a, b) after disjoint Adds is
+/// equivalent to Adding both input ranges in order (for kSum this holds
+/// bit-exactly only when the addends are exactly representable, e.g.
+/// integer-valued columns — see DESIGN.md on parallel determinism).
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min;
+  Value max;
+
+  void Add(const Value& v);
+
+  /// Folds another partial (built from a later input range) into this one.
+  void Merge(const AggState& other);
+
+  Value Finish(AggFn fn) const;
 };
 
 /// Groups `input` by `group_by` columns and computes each aggregate.

@@ -95,7 +95,7 @@ std::optional<rel::Tuple> IndexJoinStream::Next() {
 
 std::optional<rel::Tuple> DistinctStream::Next() {
   while (auto t = input_->Next()) {
-    if (seen_.emplace(*t, true).second) {
+    if (seen_.insert(*t).second) {
       ++produced_;
       return t;
     }

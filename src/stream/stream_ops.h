@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "relational/index.h"
@@ -105,7 +106,7 @@ class DistinctStream : public TupleStream {
 
  private:
   TupleStreamPtr input_;
-  std::unordered_map<rel::Tuple, bool, rel::TupleHash> seen_;
+  std::unordered_set<rel::Tuple, rel::TupleHash> seen_;
 };
 
 /// Concatenates a fixed list of streams with identical schemas.
