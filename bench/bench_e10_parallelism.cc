@@ -28,6 +28,7 @@
 #include "cms/cms.h"
 #include "cms/execution_monitor.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "workload/generators.h"
 
 namespace braid {
@@ -123,7 +124,8 @@ struct OverlapResult {
   size_t tuples;
 };
 
-OverlapResult RunTwoFetch(bool parallel, double latency_ms) {
+OverlapResult RunTwoFetch(bool parallel, double latency_ms,
+                          obs::Tracer* tracer = nullptr) {
   dbms::NetworkModel net;
   net.msg_latency_ms = latency_ms;
   net.wall_clock_scale = 1.0;
@@ -137,9 +139,15 @@ OverlapResult RunTwoFetch(bool parallel, double latency_ms) {
                                 parallel ? ctx : exec::ExecContext{});
 
   cms::Plan plan = TwoRemotePlan();
+  obs::SpanId root = 0;
+  if (tracer != nullptr) root = tracer->StartSpan("two_fetch_plan");
   auto start = std::chrono::steady_clock::now();
-  auto outcome = monitor.ExecutePlan(plan);
+  auto outcome = monitor.ExecutePlan(plan, tracer, root);
   double measured = WallMsSince(start);
+  if (tracer != nullptr) {
+    tracer->SetModeledMs(root, outcome.ok() ? outcome->response_ms : -1);
+    tracer->EndSpan(root);
+  }
   if (!outcome.ok()) {
     std::fprintf(stderr, "E10 two-fetch plan failed: %s\n",
                  outcome.status().ToString().c_str());
@@ -183,15 +191,28 @@ int main(int argc, char** argv) {
       braid::benchutil::JsonPathFromArgs(argc, argv, "BENCH_e10.json");
   table.WriteJson(json);
   if (!json.empty()) {
+    auto sibling = [&json](const std::string& suffix) {
+      std::string path = json;
+      const auto dot = path.rfind(".json");
+      if (dot != std::string::npos) {
+        path.insert(dot, suffix);
+      } else {
+        path += suffix + ".json";
+      }
+      return path;
+    };
     // Sibling file for the measured-overlap table.
-    std::string overlap_path = json;
-    const auto dot = overlap_path.rfind(".json");
-    if (dot != std::string::npos) {
-      overlap_path.insert(dot, "_overlap");
-    } else {
-      overlap_path += "_overlap.json";
-    }
-    overlap.WriteJson(overlap_path);
+    overlap.WriteJson(sibling("_overlap"));
+
+    // One traced run of the two-fetch plan: the span tree (per-fetch
+    // modeled cost, pool-thread fetch spans, prep/assembly) alongside
+    // the aggregate tables.
+    braid::obs::Tracer tracer;
+    (void)braid::RunTwoFetch(/*parallel=*/true, /*latency_ms=*/20.0, &tracer);
+    const std::string trace_path = sibling("_trace");
+    tracer.WriteJson(trace_path);
+    std::printf("\ntraced two-fetch run (parallel, latency 20ms) -> %s\n%s",
+                trace_path.c_str(), tracer.PrettyTree().c_str());
   }
   return 0;
 }

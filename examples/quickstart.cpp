@@ -1,19 +1,28 @@
 // Quickstart: build a tiny remote database and knowledge base, wire up a
 // BrAID system, and ask the AI query from the paper's Example 1.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace]
 //
 // Walks through: declaring base relations, writing Horn rules, asking a
 // query, and inspecting the advice (view specifications + path
 // expression) the inference engine generated for the Cache Management
-// System.
+// System. With --trace, prints the CMS's span tree for each query — one
+// `query` root per CAQL query the IE issued, with advice / plan
+// (subsumption) / prep / fetch / assembly children carrying both
+// measured wall time and modeled simulated cost.
 
+#include <cstring>
 #include <iostream>
 
 #include "braid/braid_system.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braid;
+
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
 
   // 1. The "remote" database: three base relations on the simulated
   //    database server (the paper's INGRES / IDM-500 stand-in).
@@ -63,6 +72,11 @@ k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
 
   std::cout << "solutions:\n" << outcome->solutions.ToString() << "\n\n";
 
+  if (trace) {
+    std::cout << "query trace (measured wall time vs modeled cost):\n"
+              << braid.cms().tracer().PrettyTree() << "\n";
+  }
+
   std::cout << "advice the IE sent the CMS at session start:\n"
             << outcome->advice.ToString() << "\n";
 
@@ -71,10 +85,15 @@ k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
             << braid.remote().stats().ToString() << "\n";
 
   // 4. Ask again: the answer now comes from the cache.
+  braid.cms().tracer().Clear();
   auto again = braid.Ask("k1(X, Y)?");
   if (again.ok()) {
     std::cout << "\nafter re-asking the same query:\n  CMS: "
               << braid.cms().metrics().ToString() << "\n";
+    if (trace) {
+      std::cout << "\nre-ask trace (exact-probe hits, no remote fetches):\n"
+                << braid.cms().tracer().PrettyTree();
+    }
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace braid::advice {
 
 PathTracker::PathTracker(PathExprPtr expr) {
@@ -90,9 +92,12 @@ std::set<int> PathTracker::Closure(const std::set<int>& states) const {
 
 bool PathTracker::Advance(const std::string& view_id) {
   ++advances_;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("advice.tracker.advances").Increment();
   auto it = symbol_ids_.find(view_id);
   if (it == symbol_ids_.end()) {
     ++mispredictions_;
+    registry.counter("advice.tracker.mispredictions").Increment();
     return false;
   }
   const int symbol = it->second;
@@ -104,6 +109,7 @@ bool PathTracker::Advance(const std::string& view_id) {
   }
   if (next.empty()) {
     ++mispredictions_;
+    registry.counter("advice.tracker.mispredictions").Increment();
     return false;  // Hold position: the query was outside the prediction.
   }
   current_ = Closure(next);

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace braid::cms {
 
@@ -9,6 +13,8 @@ bool CacheManager::Insert(CacheElementPtr element) {
   const size_t size = element->ByteSize();
   if (size > budget_bytes_) {
     ++stats_.rejected_too_large;
+    obs::MetricsRegistry::Global().counter("cache.rejected_too_large")
+        .Increment();
     return false;
   }
   element->stats().created_seq = clock_;
@@ -19,6 +25,10 @@ bool CacheManager::Insert(CacheElementPtr element) {
   }
   model_.Register(std::move(element));
   ++stats_.insertions;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("cache.insertions").Increment();
+  registry.gauge("cache.resident_bytes")
+      .Set(static_cast<int64_t>(model_.TotalBytes()));
   return true;
 }
 
@@ -27,34 +37,59 @@ void CacheManager::Touch(const std::string& id) {
   if (e == nullptr) return;
   e->stats().last_used_seq = clock_;
   ++e->stats().hits;
+  obs::MetricsRegistry::Global().counter("cache.touches").Increment();
 }
 
 void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
-  while (needed > 0) {
-    // Victim selection: elements not predicted within the horizon first,
-    // then by farthest predicted distance, then least recently used.
-    CacheElementPtr victim;
-    // Rank: (protected, distance, last_used). Larger rank = better victim.
-    auto rank = [this](const CacheElement& e) {
-      std::optional<size_t> dist;
-      if (advisor_) dist = advisor_(e);
-      const bool is_protected = dist.has_value() && *dist < horizon_;
-      const size_t d =
-          dist.has_value() ? *dist : std::numeric_limits<size_t>::max();
-      return std::make_tuple(is_protected ? 0 : 1, d,
-                             std::numeric_limits<uint64_t>::max() -
-                                 e.stats().last_used_seq);
-    };
-    for (const auto& [id, e] : model_.elements()) {
-      if (id == exclude) continue;
-      if (victim == nullptr || rank(*e) > rank(*victim)) victim = e;
+  if (needed == 0) return;
+  auto& registry = obs::MetricsRegistry::Global();
+
+  // Victim ordering: elements not predicted within the horizon first,
+  // then by farthest predicted distance, then least recently used, with
+  // the element id as a final tie-break so eviction order is fully
+  // deterministic. The advisor's prediction (an NFA reachability search)
+  // is the expensive part, so it is consulted exactly once per element
+  // per pass — evicting a victim changes no other element's rank, which
+  // makes one ranking pass sufficient for the whole batch.
+  struct Candidate {
+    std::tuple<int, size_t, uint64_t> rank;
+    CacheElementPtr element;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(model_.elements().size());
+  for (const auto& [id, e] : model_.elements()) {
+    if (id == exclude) continue;
+    std::optional<size_t> dist;
+    if (advisor_) {
+      dist = advisor_(*e);
+      registry.counter("cache.advisor_calls").Increment();
     }
-    if (victim == nullptr) return;  // Nothing evictable.
-    const size_t freed = victim->ByteSize();
-    model_.Remove(victim->id());
+    const bool is_protected = dist.has_value() && *dist < horizon_;
+    const size_t d =
+        dist.has_value() ? *dist : std::numeric_limits<size_t>::max();
+    candidates.push_back(
+        {std::make_tuple(is_protected ? 0 : 1, d,
+                         std::numeric_limits<uint64_t>::max() -
+                             e->stats().last_used_seq),
+         e});
+  }
+  // Best victims first (larger rank = better victim).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.element->id() < b.element->id();
+            });
+
+  for (const Candidate& c : candidates) {
+    if (needed == 0) break;
+    const size_t freed = c.element->ByteSize();
+    model_.Remove(c.element->id());
     ++stats_.evictions;
+    registry.counter("cache.evictions").Increment();
     needed = freed >= needed ? 0 : needed - freed;
   }
+  registry.gauge("cache.resident_bytes")
+      .Set(static_cast<int64_t>(model_.TotalBytes()));
 }
 
 }  // namespace braid::cms

@@ -143,9 +143,13 @@ std::string Cms::CacheResult(const CaqlQuery& definition, rel::Relation result,
   return cache_.Insert(std::move(element)) ? id : "";
 }
 
-Result<Cms::EagerExec> Cms::ExecuteEager(const CaqlQuery& query) {
-  BRAID_ASSIGN_OR_RETURN(Plan plan, planner_.PlanQuery(query));
-  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome, monitor_.ExecutePlan(plan));
+Result<Cms::EagerExec> Cms::ExecuteEager(const CaqlQuery& query,
+                                         obs::SpanId parent) {
+  obs::Tracer* tracer = parent != 0 ? &tracer_ : nullptr;
+  BRAID_ASSIGN_OR_RETURN(Plan plan,
+                         planner_.PlanQuery(query, tracer, parent));
+  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome,
+                         monitor_.ExecutePlan(plan, tracer, parent));
   EagerExec exec;
   exec.result = std::move(outcome.result);
   exec.response_ms = outcome.response_ms;
@@ -235,14 +239,23 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   BRAID_RETURN_IF_ERROR(query.Validate());
   cache_.Tick();
   ++metrics_.ie_queries;
+  // Every query records a span tree rooted here; children are added by
+  // the planner (plan/subsumption) and the execution monitor
+  // (prep/fetch/assembly), the latter possibly from pool threads.
+  obs::SpanScope root(&tracer_, "query");
+  root.Annotate("name", query.name);
   const std::string view_id = config_.enable_advice ? query.name : "";
-  advice_.OnQuery(view_id);
+  {
+    obs::SpanScope advice_span(&tracer_, "advice", root.id());
+    advice_.OnQuery(view_id);
+  }
 
   CmsAnswer answer;
   double response_ms = 0;
 
   // Exact-match fast path (result caching).
   if (config_.enable_caching) {
+    obs::SpanScope probe(&tracer_, "exact_probe", root.id());
     CacheElementPtr exact =
         cache_.model().ByCanonicalKey(query.CanonicalKey());
     if (exact != nullptr && exact->is_materialized()) {
@@ -253,19 +266,32 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
       answer.outcome = CacheOutcome::kExact;
       answer.response_ms =
           exact->extension()->NumTuples() * config_.local_per_tuple_ms;
+      probe.SetModeledMs(answer.response_ms);
+      probe.Annotate("hit", exact->id());
       metrics_.response_ms += answer.response_ms;
+      probe.End();
+      root.SetModeledMs(answer.response_ms);
+      root.Annotate("outcome", CacheOutcomeName(answer.outcome));
+      root.End();
       MaybePrefetch(view_id);
       return answer;
     }
   }
 
   // Step 1: possibly evaluate a more general query first.
-  BRAID_ASSIGN_OR_RETURN(bool generalized,
-                         MaybeGeneralize(query, view_id, &response_ms));
+  bool generalized = false;
+  {
+    obs::SpanScope gen(&tracer_, "generalize", root.id());
+    BRAID_ASSIGN_OR_RETURN(generalized,
+                           MaybeGeneralize(query, view_id, &response_ms));
+    gen.Annotate("generalized", generalized ? "yes" : "no");
+    if (generalized) gen.SetModeledMs(response_ms);
+  }
   (void)generalized;
 
   // Steps 2-3: plan.
-  BRAID_ASSIGN_OR_RETURN(Plan plan, planner_.PlanQuery(query));
+  BRAID_ASSIGN_OR_RETURN(Plan plan,
+                         planner_.PlanQuery(query, &tracer_, root.id()));
 
   // Lazy evaluation: only when every needed datum is cached (§5.1) and
   // advice marks the view all-producer (§5.3.3 guideline).
@@ -279,13 +305,17 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
       answer.outcome = CacheOutcome::kLazy;
       answer.response_ms = response_ms;  // setup only; tuples are on demand
       metrics_.response_ms += answer.response_ms;
+      root.SetModeledMs(response_ms);
+      root.Annotate("outcome", CacheOutcomeName(answer.outcome));
+      root.End();
       MaybePrefetch(view_id);
       return answer;
     }
   }
 
   // Eager execution.
-  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome, monitor_.ExecutePlan(plan));
+  BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome,
+                         monitor_.ExecutePlan(plan, &tracer_, root.id()));
   response_ms += outcome.response_ms;
   metrics_.local_ms += outcome.local_ms;
 
@@ -314,6 +344,9 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   answer.stream = std::make_unique<stream::ScanStream>(answer.relation);
   answer.response_ms = response_ms;
   metrics_.response_ms += response_ms;
+  root.SetModeledMs(response_ms);
+  root.Annotate("outcome", CacheOutcomeName(answer.outcome));
+  root.End();
   MaybePrefetch(view_id);
   return answer;
 }

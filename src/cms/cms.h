@@ -16,6 +16,7 @@
 #include "dbms/remote_dbms.h"
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "stream/stream_ops.h"
 
 namespace braid::cms {
@@ -145,6 +146,15 @@ class Cms {
   CmsMetrics& metrics() { return metrics_; }
   void ResetMetrics() { metrics_ = CmsMetrics{}; }
 
+  /// Per-query span recorder: every Query() records a `query` root span
+  /// with `advice`, `plan` (nesting `subsumption`), `prep`, `fetch`, and
+  /// `assembly` children, carrying both measured wall time and modeled
+  /// simulated cost. Spans accumulate across queries; callers inspect
+  /// or export (`tracer().WriteJson(...)`, `tracer().PrettyTree()`) and
+  /// may `tracer().Clear()` between queries.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
   /// Execution policy for operators run on behalf of this CMS (null pool
   /// when parallel execution is disabled).
   exec::ExecContext exec_context() const {
@@ -160,7 +170,9 @@ class Cms {
   };
 
   /// Plans and eagerly executes `query` (no caching of the result here).
-  Result<EagerExec> ExecuteEager(const caql::CaqlQuery& query);
+  /// Spans are recorded into `tracer_` under `parent` when nonzero.
+  Result<EagerExec> ExecuteEager(const caql::CaqlQuery& query,
+                                 obs::SpanId parent = 0);
 
   /// Caches `result` as a materialized element defined by `definition`,
   /// subject to the caching policy; builds advised indexes. Returns the
@@ -197,6 +209,7 @@ class Cms {
   std::unique_ptr<exec::ThreadPool> pool_;  // before monitor_: it borrows it
   ExecutionMonitor monitor_;
   CmsMetrics metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace braid::cms

@@ -110,12 +110,15 @@ Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
         std::move(exec::Select(exec_ctx_, *ext, *pred).mutable_tuples());
   }
 
-  // Project the needed variables and name columns after them.
+  // Project the needed variables, naming columns after them and carrying
+  // the extension's declared column types into the projected schema (a
+  // kNull stamp here would discard type information the assembly joins
+  // and downstream consumers can use).
   std::vector<size_t> cols;
   std::vector<rel::Column> names;
   for (const auto& [var, col] : match.var_to_column) {
     cols.push_back(col);
-    names.push_back(rel::Column{var, rel::ValueType::kNull});
+    names.push_back(rel::Column{var, ext->schema().column(col).type});
   }
   rel::Relation projected = exec::Project(exec_ctx_, selected, cols);
   rel::Relation out(element->id(), rel::Schema(std::move(names)));
@@ -123,7 +126,9 @@ Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
   return out;
 }
 
-Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
+Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
+                                                       obs::Tracer* tracer,
+                                                       obs::SpanId parent) {
   ExecutionOutcome outcome;
   LocalWork prep_work;
 
@@ -148,8 +153,16 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
     for (size_t i = 0; i < num_total; ++i) {
       const PlanSource& source = source_at(i);
       if (source.kind != PlanSource::Kind::kRemote) continue;
-      fetches[i] = exec_ctx_.pool->Submit([this, &source] {
-        return rdi_->Fetch(source.remote_query, source.remote_vars);
+      // The fetch span is recorded on the pool thread that runs the
+      // task, with the plan's span as parent — the Tracer is thread-safe
+      // precisely for this.
+      fetches[i] = exec_ctx_.pool->Submit([this, &source, tracer, parent] {
+        obs::SpanScope span(tracer, "fetch", parent);
+        span.Annotate("subquery", source.remote_query.name);
+        Result<RemoteFetch> fetch =
+            rdi_->Fetch(source.remote_query, source.remote_vars);
+        if (fetch.ok()) span.SetModeledMs(fetch->cost.total_ms);
+        return fetch;
       });
     }
   }
@@ -159,33 +172,51 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
   // holds references into `plan`, which must outlive it.
   Status first_error = Status::Ok();
   std::vector<rel::Relation> materialized(num_total);
-  for (size_t i = 0; i < num_total; ++i) {
-    const PlanSource& source = source_at(i);
-    if (source.kind != PlanSource::Kind::kElement) continue;
-    Result<rel::Relation> b = MaterializeElementSource(source, &prep_work);
-    if (!b.ok()) {
-      if (first_error.ok()) first_error = b.status();
-      continue;
+  obs::SpanId prep_id = 0;
+  {
+    obs::SpanScope prep(tracer, "prep", parent);
+    prep_id = prep.id();
+    for (size_t i = 0; i < num_total; ++i) {
+      const PlanSource& source = source_at(i);
+      if (source.kind != PlanSource::Kind::kElement) continue;
+      Result<rel::Relation> b = MaterializeElementSource(source, &prep_work);
+      if (!b.ok()) {
+        if (first_error.ok()) first_error = b.status();
+        continue;
+      }
+      materialized[i] = std::move(*b);
     }
-    materialized[i] = std::move(*b);
   }
 
+  // Join the fetches (or run them now, serially). The modeled remote
+  // time on the critical path is the slowest single fetch when they
+  // overlap, the serialized sum when they do not — charging the sum
+  // under `parallel_` would model two overlapped fetches as if they ran
+  // back to back, which bench E10b's measured wall clock disproves.
+  double max_fetch_ms = 0;
   for (size_t i = 0; i < num_total; ++i) {
     const PlanSource& source = source_at(i);
     if (source.kind != PlanSource::Kind::kRemote) continue;
-    Result<RemoteFetch> fetch =
-        concurrent_remote
-            ? fetches[i].get()
-            : rdi_->Fetch(source.remote_query, source.remote_vars);
+    Result<RemoteFetch> fetch = [&]() -> Result<RemoteFetch> {
+      if (concurrent_remote) return fetches[i].get();
+      obs::SpanScope span(tracer, "fetch", parent);
+      span.Annotate("subquery", source.remote_query.name);
+      Result<RemoteFetch> f =
+          rdi_->Fetch(source.remote_query, source.remote_vars);
+      if (f.ok()) span.SetModeledMs(f->cost.total_ms);
+      return f;
+    }();
     if (!fetch.ok()) {
       if (first_error.ok()) first_error = fetch.status();
       continue;
     }
     outcome.remote_ms += fetch->cost.total_ms;
+    max_fetch_ms = std::max(max_fetch_ms, fetch->cost.total_ms);
     ++outcome.remote_queries;
     materialized[i] = std::move(fetch->bindings);
   }
   if (!first_error.ok()) return first_error;
+  outcome.remote_critical_ms = parallel_ ? max_fetch_ms : outcome.remote_ms;
 
   std::vector<rel::Relation> bindings(
       std::make_move_iterator(materialized.begin()),
@@ -195,23 +226,33 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan) {
       std::make_move_iterator(materialized.end()));
 
   LocalWork assembly_work;
-  BRAID_ASSIGN_OR_RETURN(
-      outcome.result,
-      QueryProcessor::Assemble(plan.query, std::move(bindings),
-                               plan.residual_comparisons, plan.evaluables,
-                               &assembly_work, std::move(anti_bindings),
-                               &exec_ctx_));
+  {
+    obs::SpanScope assembly(tracer, "assembly", parent);
+    BRAID_ASSIGN_OR_RETURN(
+        outcome.result,
+        QueryProcessor::Assemble(plan.query, std::move(bindings),
+                                 plan.residual_comparisons, plan.evaluables,
+                                 &assembly_work, std::move(anti_bindings),
+                                 &exec_ctx_));
+    assembly.SetModeledMs(assembly_work.tuples_processed *
+                          local_per_tuple_ms_);
+  }
 
   const double prep_ms = prep_work.tuples_processed * local_per_tuple_ms_;
   const double assembly_ms =
       assembly_work.tuples_processed * local_per_tuple_ms_;
+  if (tracer != nullptr && prep_id != 0) {
+    tracer->SetModeledMs(prep_id, prep_ms);
+  }
   outcome.local_ms = prep_ms + assembly_ms;
   outcome.work.tuples_processed =
       prep_work.tuples_processed + assembly_work.tuples_processed;
-  // Cache-side preparation overlaps the remote subquery when parallel
-  // execution is enabled; final assembly needs both inputs.
+  // Cache-side preparation overlaps the remote subqueries when parallel
+  // execution is enabled — and the fetches overlap each other, so only
+  // the slowest one sits on the critical path; final assembly needs both
+  // inputs and follows serially either way.
   outcome.response_ms =
-      (parallel_ ? std::max(outcome.remote_ms, prep_ms)
+      (parallel_ ? std::max(outcome.remote_critical_ms, prep_ms)
                  : outcome.remote_ms + prep_ms) +
       assembly_ms;
   return outcome;

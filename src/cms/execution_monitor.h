@@ -9,17 +9,24 @@
 #include "cms/remote_interface.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "obs/trace.h"
 #include "stream/stream_ops.h"
 
 namespace braid::cms {
 
 /// What executing a plan produced and cost. Times are simulated
 /// milliseconds; `response_ms` accounts for the parallel overlap of
-/// cache-side work with the remote subquery when enabled.
+/// cache-side work with the remote subqueries when enabled.
 struct ExecutionOutcome {
   rel::Relation result;
   double local_ms = 0;
+  /// Total remote work: the sum of every fetch's modeled cost,
+  /// regardless of overlap (the communication-volume view).
   double remote_ms = 0;
+  /// The remote time on the response's critical path: with parallel
+  /// execution the fetches overlap each other, so this is the slowest
+  /// single fetch; serially it equals `remote_ms`.
+  double remote_critical_ms = 0;
   double response_ms = 0;
   size_t remote_queries = 0;
   LocalWork work;
@@ -50,7 +57,13 @@ class ExecutionMonitor {
         exec_ctx_(exec_ctx) {}
 
   /// Executes `plan` eagerly, producing the materialized head projection.
-  Result<ExecutionOutcome> ExecutePlan(const Plan& plan);
+  /// With a tracer, records `prep`, one `fetch` span per remote subquery
+  /// (from the pool thread that ran it when fetches are concurrent), and
+  /// `assembly` — each carrying both measured wall time and the modeled
+  /// simulated cost — as children of `parent`.
+  Result<ExecutionOutcome> ExecutePlan(const Plan& plan,
+                                       obs::Tracer* tracer = nullptr,
+                                       obs::SpanId parent = 0);
 
   /// Builds a generator (lazy stream) for a fully local plan. Requires:
   /// no remote sources, no evaluable atoms, and an all-variable head.

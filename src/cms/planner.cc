@@ -39,9 +39,14 @@ std::string Plan::ToString() const {
 }
 
 std::vector<std::pair<CacheElementPtr, SubsumptionMatch>>
-QueryPlanner::RelevantElements(const CaqlQuery& query) const {
+QueryPlanner::RelevantElements(const CaqlQuery& query, obs::Tracer* tracer,
+                               obs::SpanId parent) const {
   std::vector<std::pair<CacheElementPtr, SubsumptionMatch>> out;
-  if (!config_.enable_subsumption) return out;
+  obs::SpanScope span(tracer, "subsumption", parent);
+  if (!config_.enable_subsumption) {
+    span.Annotate("matches", "0");
+    return out;
+  }
 
   std::set<std::string> considered;
   for (const Atom& atom : query.RelationAtoms()) {
@@ -56,11 +61,15 @@ QueryPlanner::RelevantElements(const CaqlQuery& query) const {
       }
     }
   }
+  span.Annotate("matches", std::to_string(out.size()));
   return out;
 }
 
-Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query) const {
+Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query,
+                                     obs::Tracer* tracer,
+                                     obs::SpanId parent) const {
   BRAID_RETURN_IF_ERROR(query.Validate());
+  obs::SpanScope plan_span(tracer, "plan", parent);
   Plan plan;
   plan.query = query;
   plan.evaluables = query.EvaluableAtoms();
@@ -76,7 +85,7 @@ Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query) const {
   }
 
   // Step 2: relevant cache elements.
-  auto matches = RelevantElements(query);
+  auto matches = RelevantElements(query, tracer, plan_span.id());
 
   // Step 3 (element choice): when several elements can derive the same
   // component, prefer the cheaper derivation — more coverage first, then

@@ -10,6 +10,7 @@
 #include "cms/subsumption.h"
 #include "common/status.h"
 #include "dbms/remote_dbms.h"
+#include "obs/trace.h"
 
 namespace braid::cms {
 
@@ -73,12 +74,18 @@ class QueryPlanner {
       : model_(model), remote_(remote), config_(config) {}
 
   /// Step 2: all materialized cache elements that can derive a component
-  /// of `query`, with their matches.
+  /// of `query`, with their matches. With a tracer, the probe is recorded
+  /// as a `subsumption` span (annotated with the match count) under
+  /// `parent`.
   std::vector<std::pair<CacheElementPtr, SubsumptionMatch>> RelevantElements(
-      const caql::CaqlQuery& query) const;
+      const caql::CaqlQuery& query, obs::Tracer* tracer = nullptr,
+      obs::SpanId parent = 0) const;
 
-  /// Steps 2+3: builds an executable plan for `query`.
-  Result<Plan> PlanQuery(const caql::CaqlQuery& query) const;
+  /// Steps 2+3: builds an executable plan for `query`. The tracer, when
+  /// given, records a `plan` span with a nested `subsumption` span.
+  Result<Plan> PlanQuery(const caql::CaqlQuery& query,
+                         obs::Tracer* tracer = nullptr,
+                         obs::SpanId parent = 0) const;
 
  private:
   const CacheModel* model_;

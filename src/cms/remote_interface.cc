@@ -153,11 +153,20 @@ Result<RemoteFetch> RemoteDbmsInterface::Fetch(
   BRAID_ASSIGN_OR_RETURN(dbms::SqlQuery sql, Translate(query, needed_vars));
   BRAID_ASSIGN_OR_RETURN(dbms::RemoteResult result, remote_->Execute(sql));
 
-  // Rename result columns to the requested variable names.
+  // Rename result columns to the requested variable names, carrying the
+  // remote base-table column types through: sql.select[i] is the first
+  // occurrence of needed_vars[i], so its table/column pair resolves the
+  // variable's declared type in the remote schema.
+  const dbms::Database& db = remote_->database();
   std::vector<rel::Column> cols;
   cols.reserve(needed_vars.size());
-  for (const std::string& var : needed_vars) {
-    cols.push_back(rel::Column{var, rel::ValueType::kNull});
+  for (size_t i = 0; i < needed_vars.size(); ++i) {
+    rel::ValueType type = rel::ValueType::kNull;
+    const dbms::ColRef& ref = sql.select[i];
+    if (const rel::Relation* table = db.GetTable(sql.from[ref.table])) {
+      type = table->schema().column(ref.column).type;
+    }
+    cols.push_back(rel::Column{needed_vars[i], type});
   }
   rel::Relation bindings("remote", rel::Schema(std::move(cols)));
   if (needed_vars.empty()) {

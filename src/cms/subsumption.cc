@@ -6,6 +6,7 @@
 
 #include "logic/substitution.h"
 #include "logic/unify.h"
+#include "obs/metrics.h"
 
 namespace braid::cms {
 
@@ -112,11 +113,25 @@ namespace {
 /// assignment must be injective: collapsing two element atoms onto one
 /// query atom would be sound for set semantics but multiplies duplicate
 /// rows under the bag semantics the CMS uses.
+///
+/// The search historically stopped at a flat cap of 32 assignments in DFS
+/// order, which could silently drop the only *viable* mapping (every
+/// earlier assignment being rejected by the viability checks downstream)
+/// and force a needless remote fetch. Two fixes: branches that provably
+/// cannot survive viability — an element variable outside the element's
+/// head mapped to a constant can never be compensated by a residual
+/// selection — are pruned during the search, and the cap is 32x higher
+/// and instrumented: hitting it increments `subsumption.truncations` in
+/// the process-wide metrics registry so lost matches are visible instead
+/// of silent.
 class MappingSearch {
  public:
   MappingSearch(const std::vector<Atom>& element_atoms,
-                const std::vector<Atom>& query_atoms)
-      : element_atoms_(element_atoms), query_atoms_(query_atoms) {}
+                const std::vector<Atom>& query_atoms,
+                const std::set<std::string>& element_head_vars)
+      : element_atoms_(element_atoms),
+        query_atoms_(query_atoms),
+        element_head_vars_(element_head_vars) {}
 
   /// Runs the search; returns assignments (element atom -> query atom
   /// index) paired with their substitution, best-coverage first.
@@ -124,6 +139,10 @@ class MappingSearch {
     assignment_.assign(element_atoms_.size(), 0);
     used_.assign(query_atoms_.size(), false);
     Extend(0, Substitution());
+    if (truncated_) {
+      obs::MetricsRegistry::Global().counter("subsumption.truncations")
+          .Increment();
+    }
     // Order results by distinct query atoms covered, descending.
     std::stable_sort(results_.begin(), results_.end(),
                      [](const auto& a, const auto& b) {
@@ -134,9 +153,30 @@ class MappingSearch {
     return std::move(results_);
   }
 
+  bool truncated() const { return truncated_; }
+
  private:
+  /// True when extending the assignment with `e -> image under subst`
+  /// cannot lead to a viable match: a non-head element variable bound to
+  /// a constant has no head column to carry the equality selection, so
+  /// every completion of this branch is rejected downstream.
+  bool Hopeless(const Atom& e, const Substitution& subst) const {
+    for (const Term& t : e.args) {
+      if (!t.is_variable()) continue;
+      auto image = subst.Lookup(t.var_name());
+      if (image.has_value() && image->is_constant() &&
+          element_head_vars_.count(t.var_name()) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   void Extend(size_t pos, const Substitution& subst) {
-    if (results_.size() >= kMaxResults) return;
+    if (results_.size() >= kMaxResults) {
+      truncated_ = true;
+      return;
+    }
     if (pos == element_atoms_.size()) {
       results_.emplace_back(assignment_, subst);
       return;
@@ -146,6 +186,7 @@ class MappingSearch {
       if (used_[qi]) continue;
       auto next = logic::MatchOneWay(e, query_atoms_[qi], subst);
       if (!next.has_value()) continue;
+      if (Hopeless(e, *next)) continue;
       assignment_[pos] = qi;
       used_[qi] = true;
       Extend(pos + 1, *next);
@@ -153,12 +194,14 @@ class MappingSearch {
     }
   }
 
-  static constexpr size_t kMaxResults = 32;
+  static constexpr size_t kMaxResults = 1024;
   const std::vector<Atom>& element_atoms_;
   const std::vector<Atom>& query_atoms_;
+  const std::set<std::string>& element_head_vars_;
   std::vector<size_t> assignment_;
   std::vector<bool> used_;
   std::vector<std::pair<std::vector<size_t>, Substitution>> results_;
+  bool truncated_ = false;
 };
 
 }  // namespace
@@ -247,7 +290,10 @@ std::vector<SubsumptionMatch> ComputeSubsumptionAll(
     always_needed.insert(negv.begin(), negv.end());
   }
 
-  MappingSearch search(e_atoms, q_atoms);
+  obs::MetricsRegistry::Global().counter("subsumption.searches").Increment();
+  std::set<std::string> e_head_vars;
+  for (const auto& [var, col] : head_column) e_head_vars.insert(var);
+  MappingSearch search(e_atoms, q_atoms, e_head_vars);
   // Best match per distinct covered set.
   std::map<std::string, SubsumptionMatch> by_covered;
 
@@ -370,6 +416,10 @@ std::vector<SubsumptionMatch> ComputeSubsumptionAll(
   std::vector<SubsumptionMatch> all;
   all.reserve(by_covered.size());
   for (auto& [key, match] : by_covered) all.push_back(std::move(match));
+  if (!all.empty()) {
+    obs::MetricsRegistry::Global().counter("subsumption.matches")
+        .Increment(all.size());
+  }
   std::sort(all.begin(), all.end(),
             [](const SubsumptionMatch& a, const SubsumptionMatch& b) {
               if (a.covered.size() != b.covered.size()) {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace braid::dbms {
 
 std::string RemoteStats::ToString() const {
@@ -54,6 +56,14 @@ Result<RemoteResult> RemoteDbms::Execute(const SqlQuery& query) {
     stats_.bytes_shipped += cost.bytes_shipped;
     stats_.server_ms += cost.server_ms;
     stats_.total_ms += cost.total_ms;
+  }
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.counter("remote.queries").Increment();
+    registry.counter("remote.messages").Increment(cost.messages);
+    registry.counter("remote.tuples_shipped").Increment(cost.tuples_shipped);
+    registry.counter("remote.bytes_shipped").Increment(cost.bytes_shipped);
+    registry.histogram("remote.fetch_modeled_ms").Observe(cost.total_ms);
   }
 
   if (network_.wall_clock_scale > 0) {

@@ -7,6 +7,12 @@
 namespace braid::exec {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  auto& registry = obs::MetricsRegistry::Global();
+  tasks_submitted_ = &registry.counter("exec.pool.tasks_submitted");
+  morsels_executed_ = &registry.counter("exec.pool.morsels_executed");
+  parallel_loops_ = &registry.counter("exec.pool.parallel_loops");
+  queue_depth_ = &registry.gauge("exec.pool.queue_depth");
+  task_ms_ = &registry.histogram("exec.pool.task_ms");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -31,6 +37,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     task();
   }
@@ -49,6 +56,7 @@ struct LoopState {
   size_t n = 0;
   size_t grain = 1;
   size_t morsels = 0;
+  obs::Counter* morsels_executed = nullptr;
   std::function<void(size_t, size_t)> fn;
   std::mutex mu;
   std::condition_variable done;
@@ -59,6 +67,7 @@ struct LoopState {
       const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       const size_t end = std::min(begin + grain, n);
+      if (morsels_executed != nullptr) morsels_executed->Increment();
       try {
         fn(begin, end);
       } catch (...) {
@@ -83,7 +92,9 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   state->n = n;
   state->grain = grain;
   state->morsels = (n + grain - 1) / grain;
+  state->morsels_executed = morsels_executed_;
   state->fn = std::move(fn);
+  parallel_loops_->Increment();
 
   // One helper per worker, capped at morsels-1 (the caller takes at least
   // one). Futures are deliberately discarded: completion is tracked by the

@@ -1,6 +1,7 @@
 #ifndef BRAID_EXEC_THREAD_POOL_H_
 #define BRAID_EXEC_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace braid::exec {
 
@@ -46,13 +49,21 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    tasks_submitted_->Increment();
     if (workers_.empty()) {
+      const auto start = std::chrono::steady_clock::now();
       (*task)();
+      task_ms_->Observe(MsSince(start));
       return result;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back([task, this] {
+        const auto start = std::chrono::steady_clock::now();
+        (*task)();
+        task_ms_->Observe(MsSince(start));
+      });
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return result;
@@ -70,11 +81,24 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  static double MsSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Process-wide instruments (resolved once; updates are lock-free).
+  obs::Counter* tasks_submitted_;
+  obs::Counter* morsels_executed_;
+  obs::Counter* parallel_loops_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_ms_;
 };
 
 }  // namespace braid::exec

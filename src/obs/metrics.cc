@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <iomanip>
+#include <sstream>
+
+namespace braid::obs {
+
+namespace {
+
+/// Bucket i holds observations in (BucketBound(i-1), BucketBound(i)]:
+/// 0.001ms up to ~134s in powers of two, which spans everything from a
+/// single morsel to a whole session.
+double BoundFor(size_t i) {
+  if (i + 1 >= Histogram::kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 0.001 * std::pow(2.0, static_cast<double>(i));
+}
+
+std::string JsonNumber(double v) {
+  if (std::isinf(v)) return "1e308";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+double Histogram::BucketBound(size_t i) { return BoundFor(i); }
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i + 1 < kNumBuckets && v > BoundFor(i)) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (static_cast<double>(seen) >= target) {
+      // Report the bucket's upper bound; the last bucket reports its
+      // lower bound (its upper bound is infinite).
+      return i + 1 < kNumBuckets ? BoundFor(i) : BoundFor(i - 1);
+    }
+  }
+  return BoundFor(kNumBuckets - 2);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": {"
+       << "\"count\": " << h->count() << ", \"sum\": " << JsonNumber(h->sum())
+       << ", \"mean\": " << JsonNumber(h->mean())
+       << ", \"p50\": " << JsonNumber(h->Quantile(0.5))
+       << ", \"p99\": " << JsonNumber(h->Quantile(0.99)) << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  if (path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace braid::obs

@@ -1,0 +1,108 @@
+#ifndef BRAID_OBS_METRICS_H_
+#define BRAID_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace braid::obs {
+
+/// Monotonically increasing event count. Updates are lock-free; handles
+/// returned by the registry stay valid for the registry's lifetime, so
+/// hot paths can cache the pointer and skip the name lookup.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, bytes resident). Signed: transient
+/// dips below zero during concurrent inc/dec interleavings are tolerated.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution of a nonnegative quantity (latency in ms, tuples per
+/// task) over fixed exponential buckets. Observation is lock-free.
+class Histogram {
+ public:
+  /// Upper bounds of the buckets; the last bucket is unbounded.
+  static constexpr size_t kNumBuckets = 28;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Approximate quantile (q in [0,1]) from the bucket upper bounds.
+  double Quantile(double q) const;
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  static double BucketBound(size_t i);
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry of named instruments, the single place the
+/// subsystems (cache manager, remote DBMS, thread pool, path tracker,
+/// subsumption search) publish their counters. Names are dotted paths,
+/// e.g. "cache.evictions". Thread-safe; instruments are created on first
+/// use and never destroyed before the registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Current value of a counter, or 0 when it was never touched (handy
+  /// for tests and report code that must not create instruments).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+
+  /// Zeroes every registered instrument (tests, per-bench sections).
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, mean, p50, p99}}} — same flavour of plain JSON as
+  /// bench_util.h's table output, so benches can dump both side by side.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  /// The process-wide instance.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace braid::obs
+
+#endif  // BRAID_OBS_METRICS_H_

@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+namespace braid::obs {
+
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Ms(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+}  // namespace
+
+SpanId Tracer::StartSpan(const std::string& name, SpanId parent) {
+  const double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = name;
+  span.start_ms = now;
+  span.thread_id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  const double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.open()) span.measured_ms = now - span.start_ms;
+}
+
+void Tracer::SetModeledMs(SpanId id, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].modeled_ms = ms;
+}
+
+void Tracer::AddModeledMs(SpanId id, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  span.modeled_ms = (span.modeled_ms < 0 ? 0 : span.modeled_ms) + ms;
+}
+
+void Tracer::Annotate(SpanId id, const std::string& key,
+                      const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(key, value);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+size_t Tracer::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+bool Tracer::FindSpan(const std::string& name, Span* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& span : spans_) {
+    if (span.name == name) {
+      if (out != nullptr) *out = span;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Tracer::ToJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::ostringstream os;
+  os << "{\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << s.id
+       << ", \"parent\": " << s.parent << ", \"name\": " << JsonString(s.name)
+       << ", \"start_ms\": " << Ms(s.start_ms)
+       << ", \"measured_ms\": " << Ms(s.measured_ms)
+       << ", \"modeled_ms\": " << Ms(s.modeled_ms) << ", \"thread\": \""
+       << std::hex << s.thread_id << std::dec << "\"";
+    if (!s.attrs.empty()) {
+      os << ", \"attrs\": {";
+      for (size_t a = 0; a < s.attrs.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << JsonString(s.attrs[a].first) << ": "
+           << JsonString(s.attrs[a].second);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  if (path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+std::string Tracer::PrettyTree() const {
+  const std::vector<Span> spans = Snapshot();
+  // Children in creation order (span ids are creation-ordered).
+  std::vector<std::vector<size_t>> children(spans.size() + 1);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanId parent = spans[i].parent;
+    children[parent <= spans.size() ? parent : 0].push_back(i);
+  }
+
+  std::ostringstream os;
+  std::function<void(size_t, const std::string&, bool, bool)> emit =
+      [&](size_t index, const std::string& prefix, bool last, bool root) {
+        const Span& s = spans[index];
+        std::string line = root ? "" : prefix + (last ? "└─ " : "├─ ");
+        line += s.name;
+        for (const auto& [k, v] : s.attrs) {
+          line += " " + k + "=" + v;
+        }
+        if (line.size() < 44) line.resize(44, ' ');
+        os << line << "  measured=" << Ms(s.measured_ms) << "ms";
+        if (s.modeled_ms >= 0) os << " modeled=" << Ms(s.modeled_ms) << "ms";
+        os << "\n";
+        const std::string child_prefix =
+            root ? "" : prefix + (last ? "   " : "│  ");
+        const auto& kids = children[s.id];
+        for (size_t c = 0; c < kids.size(); ++c) {
+          emit(kids[c], child_prefix, c + 1 == kids.size(), false);
+        }
+      };
+  for (size_t c = 0; c < children[0].size(); ++c) {
+    emit(children[0][c], "", true, true);
+  }
+  return os.str();
+}
+
+}  // namespace braid::obs

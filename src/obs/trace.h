@@ -1,0 +1,128 @@
+#ifndef BRAID_OBS_TRACE_H_
+#define BRAID_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace braid::obs {
+
+/// Identifier of a span within one Tracer; 0 means "no span" and is the
+/// parent of every root span.
+using SpanId = uint64_t;
+
+/// One timed step of a query's life cycle. Spans nest via `parent` and
+/// carry two durations: `measured_ms` is wall-clock time on whatever
+/// thread ran the step, `modeled_ms` is the analytic simulated cost the
+/// cost model charged for it (negative = no modeled cost applies). The
+/// two side by side are what exposes drift between the model and the
+/// machine.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  double start_ms = 0;      // offset from the tracer's epoch
+  double measured_ms = -1;  // wall duration; negative while still open
+  double modeled_ms = -1;   // simulated cost; negative = not modeled
+  uint64_t thread_id = 0;   // hash of the recording thread's id
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  bool open() const { return measured_ms < 0; }
+};
+
+/// Records nested spans for one or more queries. Thread-safe: the
+/// Execution Monitor's remote-fetch tasks record spans from pool threads
+/// while the calling thread records preparation spans. Parent links are
+/// explicit (no thread-local ambient span), which is what makes
+/// cross-thread nesting unambiguous.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a span; `parent` 0 makes it a root.
+  SpanId StartSpan(const std::string& name, SpanId parent = 0);
+
+  /// Closes a span, stamping its measured wall-clock duration.
+  void EndSpan(SpanId id);
+
+  /// Sets / accumulates the modeled (simulated-cost) duration of a span.
+  void SetModeledMs(SpanId id, double ms);
+  void AddModeledMs(SpanId id, double ms);
+
+  /// Attaches a key/value annotation to a span.
+  void Annotate(SpanId id, const std::string& key, const std::string& value);
+
+  /// Drops every recorded span (per-query reuse of one tracer).
+  void Clear();
+
+  size_t NumSpans() const;
+  /// Copy of all spans in creation order.
+  std::vector<Span> Snapshot() const;
+  /// First span with this name, if any (test/report convenience).
+  bool FindSpan(const std::string& name, Span* out) const;
+
+  /// Flat JSON: {"spans": [{id, parent, name, start_ms, measured_ms,
+  /// modeled_ms, thread, attrs...}, ...]} — the same plain-JSON flavour
+  /// as bench_util.h's table output so benches can dump both.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  /// Indented span tree with measured and modeled durations, e.g.
+  ///   query q1                         measured=1.92ms modeled=3.10ms
+  ///   ├─ plan                          measured=0.04ms
+  ///   │  └─ subsumption                measured=0.03ms
+  ///   └─ execute ...
+  std::string PrettyTree() const;
+
+ private:
+  double NowMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span: opens on construction, closes on destruction (or at an
+/// explicit End()). Tolerates a null tracer, so instrumented code paths
+/// need no branching when tracing is off.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const std::string& name, SpanId parent = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->StartSpan(name, parent);
+  }
+  ~SpanScope() { End(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// 0 when the scope is untraced; safe to pass as a parent either way.
+  SpanId id() const { return id_; }
+
+  void SetModeledMs(double ms) {
+    if (tracer_ != nullptr && id_ != 0) tracer_->SetModeledMs(id_, ms);
+  }
+  void Annotate(const std::string& key, const std::string& value) {
+    if (tracer_ != nullptr && id_ != 0) tracer_->Annotate(id_, key, value);
+  }
+  void End() {
+    if (tracer_ != nullptr && id_ != 0 && !ended_) tracer_->EndSpan(id_);
+    ended_ = true;
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace braid::obs
+
+#endif  // BRAID_OBS_TRACE_H_

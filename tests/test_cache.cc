@@ -163,5 +163,60 @@ TEST(CacheManager, MultipleEvictionsToFit) {
   EXPECT_LE(total, budget);
 }
 
+TEST(CacheManager, AdvisorConsultedOncePerElementPerPass) {
+  auto probe = MakeElement("P", "d(X, Y) :- b(X, Y)", 10);
+  const size_t budget = probe->ByteSize() * 4 + 64;
+  CacheManager mgr(budget, 4);
+  size_t advisor_calls = 0;
+  // Distinct unprotected distances: E1 farthest (best victim), E4
+  // nearest. The advisor models an expensive NFA reachability search, so
+  // the manager must consult it once per element per eviction pass — not
+  // on both sides of every sort comparison.
+  mgr.set_replacement_advisor(
+      [&advisor_calls](const CacheElement& e) -> std::optional<size_t> {
+        ++advisor_calls;
+        return static_cast<size_t>(10 - (e.id().back() - '0'));
+      });
+  for (int i = 1; i <= 4; ++i) {
+    const std::string n = std::to_string(i);
+    ASSERT_TRUE(mgr.Insert(
+        MakeElement("E" + n, "d" + n + "(X, Y) :- b" + n + "(X, Y)", 10)));
+    mgr.Tick();
+  }
+  advisor_calls = 0;
+  // Double-size element: two evictions in one MakeRoom pass.
+  ASSERT_TRUE(mgr.Insert(MakeElement("E5", "d5(X, Y) :- b5(X, Y)", 20)));
+  EXPECT_EQ(advisor_calls, 4u);
+  EXPECT_EQ(mgr.stats().evictions, 2u);
+  // Deterministic victim order: farthest predicted distance first.
+  EXPECT_EQ(mgr.model().Find("E1"), nullptr);
+  EXPECT_EQ(mgr.model().Find("E2"), nullptr);
+  EXPECT_NE(mgr.model().Find("E3"), nullptr);
+  EXPECT_NE(mgr.model().Find("E4"), nullptr);
+  EXPECT_NE(mgr.model().Find("E5"), nullptr);
+}
+
+TEST(CacheManager, EvictionOrderDeterministicUnderAdvisorTies) {
+  // Identical advisor answers and last-used sequence: the element id is
+  // the final tie-break, so repeated runs evict the same victims.
+  auto run = [] {
+    auto probe = MakeElement("P", "d(X, Y) :- b(X, Y)", 10);
+    const size_t budget = probe->ByteSize() * 3 + 64;
+    CacheManager mgr(budget, 4);
+    mgr.set_replacement_advisor(
+        [](const CacheElement&) -> std::optional<size_t> { return 7; });
+    ASSERT_TRUE(mgr.Insert(MakeElement("E1", "d1(X, Y) :- b1(X, Y)", 10)));
+    ASSERT_TRUE(mgr.Insert(MakeElement("E2", "d2(X, Y) :- b2(X, Y)", 10)));
+    ASSERT_TRUE(mgr.Insert(MakeElement("E3", "d3(X, Y) :- b3(X, Y)", 10)));
+    ASSERT_TRUE(mgr.Insert(MakeElement("E4", "d4(X, Y) :- b4(X, Y)", 10)));
+    EXPECT_EQ(mgr.model().Find("E1"), nullptr);  // smallest id among ties
+    EXPECT_NE(mgr.model().Find("E2"), nullptr);
+    EXPECT_NE(mgr.model().Find("E3"), nullptr);
+    EXPECT_NE(mgr.model().Find("E4"), nullptr);
+  };
+  run();
+  run();
+}
+
 }  // namespace
 }  // namespace braid::cms

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "caql/caql_query.h"
 #include "cms/execution_monitor.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace braid::cms {
 namespace {
@@ -187,6 +191,117 @@ TEST_F(ExecutionMonitorTest, LazyJoinAcrossTwoElements) {
   ASSERT_TRUE(eager.ok());
   EXPECT_EQ(lazy.NumTuples(), eager->result.NumTuples());
   EXPECT_EQ(lazy.NumTuples(), 30u);
+}
+
+TEST_F(ExecutionMonitorTest, ParallelTwoRemoteFetchesChargeMaxNotSum) {
+  // Hand-built plan with two independent remote sources (the bench E10b
+  // shape). With concurrent fetches, only the slowest sits on the modeled
+  // critical path; charging the sum would model overlapped fetches as if
+  // they ran back to back.
+  Plan plan;
+  plan.query = ParseCaql("q(X, Z) :- b1(X, Y) & b2(Y, Z)").value();
+  PlanSource s1;
+  s1.kind = PlanSource::Kind::kRemote;
+  s1.remote_query = ParseCaql("s1(X, Y) :- b1(X, Y)").value();
+  s1.remote_vars = {"X", "Y"};
+  PlanSource s2;
+  s2.kind = PlanSource::Kind::kRemote;
+  s2.remote_query = ParseCaql("s2(Y, Z) :- b2(Y, Z)").value();
+  s2.remote_vars = {"Y", "Z"};
+  plan.sources.push_back(std::move(s1));
+  plan.sources.push_back(std::move(s2));
+
+  ExecutionMonitor serial(&cache_, &rdi_, 0.01, false);
+  obs::Tracer serial_tracer;
+  auto s = serial.ExecutePlan(plan, &serial_tracer, 0);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  exec::ThreadPool pool(2);
+  ExecutionMonitor parallel(&cache_, &rdi_, 0.01, true,
+                            exec::ExecContext{&pool, 4096});
+  obs::Tracer tracer;
+  auto p = parallel.ExecutePlan(plan, &tracer, 0);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+  // Communication volume is mode-independent; the critical path is not.
+  EXPECT_DOUBLE_EQ(p->remote_ms, s->remote_ms);
+  EXPECT_DOUBLE_EQ(s->remote_critical_ms, s->remote_ms);
+  EXPECT_GT(p->remote_ms, 0);
+  EXPECT_LT(p->remote_critical_ms, p->remote_ms);
+
+  // Per-fetch modeled costs from the trace spans: their max is the
+  // critical path, their sum the communication volume.
+  double sum = 0, mx = 0;
+  int fetch_spans = 0;
+  for (const obs::Span& span : tracer.Snapshot()) {
+    if (span.name != "fetch") continue;
+    ++fetch_spans;
+    ASSERT_GE(span.modeled_ms, 0);
+    EXPECT_GE(span.measured_ms, 0);
+    sum += span.modeled_ms;
+    mx = std::max(mx, span.modeled_ms);
+  }
+  EXPECT_EQ(fetch_spans, 2);
+  EXPECT_DOUBLE_EQ(sum, p->remote_ms);
+  EXPECT_DOUBLE_EQ(mx, p->remote_critical_ms);
+
+  // No element sources, so prep is free: response = remote path +
+  // assembly. Parallel charges max(fetches), serial their sum.
+  EXPECT_DOUBLE_EQ(p->response_ms, p->remote_critical_ms + p->local_ms);
+  EXPECT_DOUBLE_EQ(s->response_ms, s->remote_ms + s->local_ms);
+  EXPECT_LT(p->response_ms, s->response_ms);
+}
+
+TEST(ExecutionMonitorTypes, RemoteFetchCarriesBaseTableTypes) {
+  dbms::Database db;
+  rel::Relation t("t", rel::Schema({rel::Column{"a", rel::ValueType::kInt},
+                                    rel::Column{"b", rel::ValueType::kString}}));
+  t.AppendUnchecked({Value::Int(1), Value::String("x")});
+  (void)db.AddTable(std::move(t));
+  dbms::RemoteDbms remote(std::move(db));
+  RemoteDbmsInterface rdi(&remote);
+
+  auto fetch = rdi.Fetch(ParseCaql("s(X, Y) :- t(X, Y)").value(), {"X", "Y"});
+  ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+  const rel::Schema& schema = fetch->bindings.schema();
+  ASSERT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.column(0).name, "X");
+  EXPECT_EQ(schema.column(0).type, rel::ValueType::kInt);
+  EXPECT_EQ(schema.column(1).name, "Y");
+  EXPECT_EQ(schema.column(1).type, rel::ValueType::kString);
+}
+
+TEST(ExecutionMonitorTypes, ElementProjectionCarriesExtensionTypes) {
+  dbms::Database db;
+  rel::Relation t("t", rel::Schema({rel::Column{"a", rel::ValueType::kInt},
+                                    rel::Column{"b", rel::ValueType::kString}}));
+  t.AppendUnchecked({Value::Int(1), Value::String("x")});
+  (void)db.AddTable(std::move(t));
+  dbms::RemoteDbms remote(std::move(db));
+  RemoteDbmsInterface rdi(&remote);
+  CacheManager cache(1 << 20, 4);
+  QueryPlanner planner(&cache.model(), &remote, PlannerConfig{true});
+
+  auto def = ParseCaql("e(X, Y) :- t(X, Y)").value();
+  auto ext = std::make_shared<rel::Relation>(
+      "E1", rel::Schema({rel::Column{"X", rel::ValueType::kInt},
+                         rel::Column{"Y", rel::ValueType::kString}}));
+  ext->AppendUnchecked({Value::Int(1), Value::String("x")});
+  ext->AppendUnchecked({Value::Int(2), Value::String("y")});
+  ASSERT_TRUE(cache.Insert(std::make_shared<CacheElement>("E1", def, ext)));
+
+  ExecutionMonitor monitor(&cache, &rdi, 0.01, false);
+  auto plan = planner.PlanQuery(ParseCaql("q(X, Y) :- t(X, Y)").value());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->fully_local);
+  // The lazy pipeline exposes the binding schema directly: the projected
+  // element source must carry the extension column types, not kNull.
+  auto stream = monitor.BuildLazyStream(*plan);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  const rel::Schema& schema = (*stream)->schema();
+  ASSERT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.column(0).type, rel::ValueType::kInt);
+  EXPECT_EQ(schema.column(1).type, rel::ValueType::kString);
 }
 
 }  // namespace

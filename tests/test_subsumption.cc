@@ -9,6 +9,7 @@
 #include "cms/query_processor.h"
 #include "cms/subsumption.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace braid::cms {
 namespace {
@@ -304,6 +305,68 @@ TEST_P(SubsumptionSoundness, ResidualDerivationMatchesDirect) {
     got.insert(rel::TupleToString(t));
   }
   EXPECT_EQ(got, want);
+}
+
+TEST(Subsumption, ViableMappingBeyondOldTruncationCapFound) {
+  // Element whose head drops Y: mapping its single atom onto a query atom
+  // that binds Y to a constant can never survive the downstream viability
+  // checks. A query leading with 39 such decoy atoms before the one
+  // viable target historically exhausted the flat 32-assignment cap in
+  // DFS order and silently dropped the only usable match, forcing a
+  // needless remote fetch. The hopeless branches are pruned now.
+  CaqlQuery def = Q("starts(X) :- edge(X, Y)");
+  CaqlQuery query;
+  query.name = "q";
+  query.head_args = {logic::Term::Var("Z")};
+  for (int i = 0; i < 39; ++i) {
+    query.body.push_back(
+        logic::Atom("edge", {logic::Term::Int(i), logic::Term::Int(100 + i)}));
+  }
+  query.body.push_back(
+      logic::Atom("edge", {logic::Term::Var("Z"), logic::Term::Var("W")}));
+  ASSERT_TRUE(query.Validate().ok());
+
+  const uint64_t truncations_before =
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations");
+  auto all = ComputeSubsumptionAll(def, query);
+  bool found = false;
+  for (const SubsumptionMatch& m : all) {
+    if (m.covered == std::vector<size_t>{39} &&
+        m.var_to_column.count("Z") > 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Pruning means the decoys are never enumerated: no truncation.
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations"),
+      truncations_before);
+}
+
+TEST(Subsumption, TruncationAtCapIsCounted) {
+  // 35 x 35 independent assignments exceed the (raised) result cap; the
+  // search must report the truncation to the metrics registry instead of
+  // silently returning a partial enumeration.
+  CaqlQuery def = Q("e(A, B, C, D) :- edge(A, B) & foo(C, D)");
+  CaqlQuery query;
+  query.name = "q";
+  query.head_args = {logic::Term::Var("A0")};
+  for (int i = 0; i < 35; ++i) {
+    const std::string s = std::to_string(i);
+    query.body.push_back(logic::Atom(
+        "edge", {logic::Term::Var("A" + s), logic::Term::Var("B" + s)}));
+    query.body.push_back(logic::Atom(
+        "foo", {logic::Term::Var("C" + s), logic::Term::Var("D" + s)}));
+  }
+  ASSERT_TRUE(query.Validate().ok());
+
+  const uint64_t before =
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations");
+  auto all = ComputeSubsumptionAll(def, query);
+  EXPECT_FALSE(all.empty());
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations"),
+      before);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SubsumptionSoundness,
