@@ -62,6 +62,7 @@ RunResult RunSession(const cms::CmsConfig& config) {
       std::exit(1);
     }
   }
+  braid.cms().DrainPrefetches();  // settle background work before reading
   return RunResult{braid.remote().stats().queries,
                    braid.remote().stats().tuples_shipped,
                    braid.cms().metrics().response_ms,

@@ -108,6 +108,7 @@ RunResult Run(const std::string& advice_kind, size_t rounds) {
       }
     }
   }
+  cms.DrainPrefetches();  // settle background work before reading metrics
   return RunResult{remote.stats().queries, remote.stats().tuples_shipped,
                    cms.metrics().response_ms, cms.metrics().prefetch_ms};
 }

@@ -55,6 +55,7 @@ RunResult Run(ie::StrategyKind strategy, size_t conj, size_t max_solutions,
   const size_t caql = strategy == ie::StrategyKind::kInterpreted
                           ? out->interpreter_stats.caql_queries
                           : out->compiled_stats.caql_queries;
+  braid.cms().DrainPrefetches();  // settle background work before reading
   return RunResult{caql, braid.remote().stats().messages,
                    braid.remote().stats().tuples_shipped,
                    braid.cms().metrics().response_ms,

@@ -16,6 +16,7 @@ void CacheModel::Register(CacheElementPtr element) {
   }
   by_canonical_key_[element->definition().CanonicalKey()] = id;
   elements_[id] = std::move(element);
+  ++version_;
 }
 
 void CacheModel::Remove(const std::string& id) {
@@ -34,6 +35,7 @@ void CacheModel::Remove(const std::string& id) {
     by_canonical_key_.erase(kit);
   }
   elements_.erase(it);
+  ++version_;
 }
 
 CacheElementPtr CacheModel::Find(const std::string& id) const {

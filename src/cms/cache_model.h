@@ -1,6 +1,7 @@
 #ifndef BRAID_CMS_CACHE_MODEL_H_
 #define BRAID_CMS_CACHE_MODEL_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -47,6 +48,12 @@ class CacheModel {
   }
   size_t size() const { return elements_.size(); }
 
+  /// Monotonic content version: bumped by every Register and every
+  /// effective Remove. Decisions derived from cache contents (e.g.
+  /// memoized prefetch-admission rejections) carry the version they were
+  /// judged against and detect staleness with one comparison.
+  uint64_t version() const { return version_; }
+
   /// Total bytes across all elements.
   size_t TotalBytes() const;
 
@@ -69,6 +76,7 @@ class CacheModel {
   std::map<std::string, std::set<std::string>> by_predicate_;
   std::map<std::string, std::string> by_canonical_key_;
   int next_id_ = 1;
+  uint64_t version_ = 0;
 };
 
 }  // namespace braid::cms

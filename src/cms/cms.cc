@@ -1,11 +1,14 @@
 #include "cms/cms.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/strings.h"
 #include "exec/parallel_ops.h"
+#include "obs/metrics.h"
 
 namespace braid::cms {
 
@@ -56,7 +59,8 @@ std::string CmsMetrics::ToString() const {
   os << "queries=" << ie_queries << " exact=" << exact_hits
      << " full_local=" << full_local_hits << " lazy=" << lazy_answers
      << " partial=" << partial_hits << " remote_only=" << remote_only
-     << " prefetches=" << prefetches << " generalizations=" << generalizations
+     << " prefetches=" << prefetches << " prefetch_joins=" << prefetch_joins
+     << " generalizations=" << generalizations
      << " response_ms=" << response_ms << " local_ms=" << local_ms
      << " prefetch_ms=" << prefetch_ms;
   return os.str();
@@ -73,7 +77,10 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
       pool_(MakePool(config)),
       monitor_(&cache_, &rdi_, config.local_per_tuple_ms,
                config.enable_parallel,
-               exec::ExecContext{pool_.get(), config.parallel_threshold}) {
+               exec::ExecContext{pool_.get(), config.parallel_threshold}),
+      prefetcher_(std::make_unique<Prefetcher>(
+          pool_.get(), &rdi_, config.local_per_tuple_ms,
+          config.prefetch_max_inflight, &tracer_)) {
   // Replacement advice: the tracker's predicted distance for the
   // element's origin view; when the tracker has no prediction, the
   // simplest advice form (the relevant-base-relation list) still protects
@@ -95,10 +102,44 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
 }
 
 void Cms::BeginSession(advice::AdviceSet advice) {
+  // A session change invalidates the predictions behind the in-flight
+  // prefetches: cancel what has not started, wait out what has, and keep
+  // the non-cancelled completions (the cache is cross-session).
+  prefetcher_->CancelAll();
+  InstallCompletedPrefetches(prefetcher_->Drain());
+  prefetch_rejects_.clear();
+  prefetch_rejects_version_ = cache_.model().version();
   if (!config_.enable_advice) {
     advice = advice::AdviceSet{};  // The CMS functions without advice.
   }
   advice_.BeginSession(std::move(advice));
+}
+
+void Cms::DrainPrefetches() {
+  InstallCompletedPrefetches(prefetcher_->Drain());
+}
+
+void Cms::InstallCompletedPrefetches(
+    std::vector<Prefetcher::Completed> done) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  for (Prefetcher::Completed& c : done) {
+    if (!c.outcome.status.ok()) {
+      reg.counter(c.cancelled ? "prefetch.cancelled" : "prefetch.errors")
+          .Increment();
+      continue;
+    }
+    // A foreground query may have cached the same definition while the
+    // prefetch was in flight (it lost the race); the fetch was wasted
+    // but harmless.
+    if (cache_.model().ByCanonicalKey(c.job.canonical_key) != nullptr ||
+        CacheResult(c.job.query, std::move(c.outcome.result),
+                    c.job.view_id).empty()) {
+      reg.counter("prefetch.wasted").Increment();
+      continue;
+    }
+    metrics_.prefetch_ms += c.outcome.modeled_ms;
+    ++metrics_.prefetches;
+  }
 }
 
 bool Cms::CachingPolicyAdmits(const CaqlQuery& definition) const {
@@ -189,13 +230,21 @@ Result<bool> Cms::MaybeGeneralize(const CaqlQuery& query,
   if (!advice_.ShouldGeneralize(view_id, query)) return false;
 
   const CaqlQuery general = GeneralizedForm(*view);
-  // Already cached (or derivable without remote work)? Nothing to do.
-  if (cache_.model().ByCanonicalKey(general.CanonicalKey()) != nullptr) {
-    return false;
+  // A background prefetch may already be computing exactly this general
+  // form: wait for it rather than duplicating its remote fetches, then
+  // install its result so the admission probe below sees it cached.
+  if (prefetcher_->Join(general.CanonicalKey())) {
+    ++metrics_.prefetch_joins;
+    InstallCompletedPrefetches(prefetcher_->Harvest());
   }
-  // Too large to pay off?
-  if (EstimateResultBytes(general) >
-      static_cast<double>(config_.cache_budget_bytes) / 2) {
+  // Already cached? Too large to pay off? (Generalization has no
+  // fully-local skip: deriving the general form from cached data is
+  // still worth materializing for the exact-match fast path.)
+  if (JudgeSpeculative(cache_.model(), planner_, general,
+                       [this, &general] { return EstimateResultBytes(general); },
+                       config_.cache_budget_bytes,
+                       /*skip_if_fully_local=*/false) !=
+      SpeculativeAdmission::kAdmit) {
     return false;
   }
   BRAID_ASSIGN_OR_RETURN(EagerExec exec, ExecuteEager(general));
@@ -210,33 +259,106 @@ void Cms::MaybePrefetch(const std::string& current_view) {
       !config_.enable_caching) {
     return;
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+
+  // Memoized rejections are judged against one cache-content version;
+  // any insert or eviction since then can flip a verdict, so the memo is
+  // dropped wholesale. (Advice changes clear it in BeginSession.)
+  if (prefetch_rejects_version_ != cache_.model().version()) {
+    prefetch_rejects_.clear();
+    prefetch_rejects_version_ = cache_.model().version();
+  }
+
+  // Soonest-predicted-first: with a bounded number of in-flight slots,
+  // the views the tracker expects next deserve them.
+  std::vector<std::pair<size_t, std::string>> ranked;
   for (const std::string& candidate : advice_.PrefetchCandidates()) {
     if (candidate == current_view) continue;
+    ranked.emplace_back(
+        advice_.PredictedDistance(candidate)
+            .value_or(std::numeric_limits<size_t>::max()),
+        candidate);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  for (const auto& [distance, candidate] : ranked) {
     const advice::ViewSpec* view = advice_.FindView(candidate);
     if (view == nullptr) continue;
     const CaqlQuery general = GeneralizedForm(*view);
-    if (cache_.model().ByCanonicalKey(general.CanonicalKey()) != nullptr) {
-      continue;  // already prefetched / cached
-    }
-    // Skip when a fully local plan exists (no remote work to hide).
-    auto plan = planner_.PlanQuery(general);
-    if (plan.ok() && plan->fully_local) continue;
-    if (EstimateResultBytes(general) >
-        static_cast<double>(config_.cache_budget_bytes) / 2) {
+    const std::string key = general.CanonicalKey();
+    if (prefetcher_->InFlight(key)) continue;  // already being fetched
+    if (prefetch_rejects_.count(key) > 0) {
+      reg.counter("prefetch.memo_hits").Increment();
       continue;
     }
+
+    Plan plan;
+    const SpeculativeAdmission verdict = JudgeSpeculative(
+        cache_.model(), planner_, general,
+        [this, &general] { return EstimateResultBytes(general); },
+        config_.cache_budget_bytes, /*skip_if_fully_local=*/true, &plan);
+    if (verdict == SpeculativeAdmission::kAlreadyCached) continue;
+    if (verdict != SpeculativeAdmission::kAdmit) {
+      // Stable for the current cache contents + advice — memoize so the
+      // next query's admission pass skips the size estimate and planning.
+      prefetch_rejects_.insert(key);
+      reg.counter("prefetch.rejected").Increment();
+      continue;
+    }
+
+    // Background execution requires an all-remote plan: a plan reading
+    // cache elements must run here, on the thread that owns the cache.
+    bool all_remote = true;
+    for (const PlanSource& s : plan.sources) {
+      if (s.kind != PlanSource::Kind::kRemote) all_remote = false;
+    }
+    for (const PlanSource& s : plan.anti_sources) {
+      if (s.kind != PlanSource::Kind::kRemote) all_remote = false;
+    }
+    if (config_.prefetch_async && all_remote) {
+      PrefetchJob job;
+      job.query = general;
+      job.view_id = candidate;
+      job.canonical_key = key;
+      job.plan = std::move(plan);
+      prefetcher_->Launch(std::move(job));  // capacity refusal: retry later
+      continue;
+    }
+
+    // Foreground fallback (async disabled, or the plan touches cache
+    // elements). Cost is still charged to prefetch_ms, not any response.
     auto exec = ExecuteEager(general);
     if (!exec.ok()) continue;
-    // Prefetch cost is hidden behind IE processing: it adds communication
-    // volume but not response time.
     metrics_.prefetch_ms += exec->response_ms;
     CacheResult(general, std::move(exec->result), candidate);
     ++metrics_.prefetches;
   }
 }
 
+bool Cms::TryAnswerExact(const CaqlQuery& query, obs::SpanId parent,
+                         CmsAnswer* answer) {
+  obs::SpanScope probe(&tracer_, "exact_probe", parent);
+  CacheElementPtr exact = cache_.model().ByCanonicalKey(query.CanonicalKey());
+  if (exact == nullptr || !exact->is_materialized()) return false;
+  cache_.Touch(exact->id());
+  ++metrics_.exact_hits;
+  answer->relation = exact->extension();
+  answer->stream = std::make_unique<stream::ScanStream>(answer->relation);
+  answer->outcome = CacheOutcome::kExact;
+  answer->response_ms =
+      exact->extension()->NumTuples() * config_.local_per_tuple_ms;
+  probe.SetModeledMs(answer->response_ms);
+  probe.Annotate("hit", exact->id());
+  metrics_.response_ms += answer->response_ms;
+  return true;
+}
+
 Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   BRAID_RETURN_IF_ERROR(query.Validate());
+  // Background prefetches that finished since the last query are
+  // installed here, on the foreground thread — pool tasks never touch
+  // the cache, so a query mid-plan can never see an element vanish.
+  InstallCompletedPrefetches(prefetcher_->Harvest());
   cache_.Tick();
   ++metrics_.ie_queries;
   // Every query records a span tree rooted here; children are added by
@@ -254,24 +376,28 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   double response_ms = 0;
 
   // Exact-match fast path (result caching).
-  if (config_.enable_caching) {
-    obs::SpanScope probe(&tracer_, "exact_probe", root.id());
-    CacheElementPtr exact =
-        cache_.model().ByCanonicalKey(query.CanonicalKey());
-    if (exact != nullptr && exact->is_materialized()) {
-      cache_.Touch(exact->id());
-      ++metrics_.exact_hits;
-      answer.relation = exact->extension();
-      answer.stream = std::make_unique<stream::ScanStream>(answer.relation);
-      answer.outcome = CacheOutcome::kExact;
-      answer.response_ms =
-          exact->extension()->NumTuples() * config_.local_per_tuple_ms;
-      probe.SetModeledMs(answer.response_ms);
-      probe.Annotate("hit", exact->id());
-      metrics_.response_ms += answer.response_ms;
-      probe.End();
+  if (config_.enable_caching && TryAnswerExact(query, root.id(), &answer)) {
+    root.SetModeledMs(answer.response_ms);
+    root.Annotate("outcome", CacheOutcomeName(answer.outcome));
+    root.End();
+    MaybePrefetch(view_id);
+    return answer;
+  }
+
+  // A background prefetch may be computing this very answer right now:
+  // join it instead of issuing a duplicate remote fetch. The exact
+  // canonical key catches the general form asked for directly; the view
+  // join catches a constant-bound instance whose view's generalization
+  // is in flight (answered below via subsumption once installed).
+  if (config_.enable_caching && config_.enable_prefetch &&
+      (prefetcher_->Join(query.CanonicalKey()) ||
+       (!view_id.empty() && prefetcher_->JoinView(view_id)))) {
+    ++metrics_.prefetch_joins;
+    InstallCompletedPrefetches(prefetcher_->Harvest());
+    if (TryAnswerExact(query, root.id(), &answer)) {
       root.SetModeledMs(answer.response_ms);
       root.Annotate("outcome", CacheOutcomeName(answer.outcome));
+      root.Annotate("joined_prefetch", "yes");
       root.End();
       MaybePrefetch(view_id);
       return answer;

@@ -1,8 +1,10 @@
 #ifndef BRAID_CMS_CMS_H_
 #define BRAID_CMS_CMS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "advice/advice.h"
@@ -10,6 +12,7 @@
 #include "cms/cache_manager.h"
 #include "cms/execution_monitor.h"
 #include "cms/planner.h"
+#include "cms/prefetcher.h"
 #include "cms/query_processor.h"
 #include "cms/remote_interface.h"
 #include "common/status.h"
@@ -32,6 +35,15 @@ struct CmsConfig {
   bool single_relation_only = false; // CERI86-style: cache base relations only
   bool enable_advice = true;
   bool enable_prefetch = true;
+  /// Prefetches run as background pool tasks, overlapping the IE's think
+  /// time; off = the pre-pipeline behaviour of executing them inline on
+  /// the foreground thread. Only all-remote prefetch plans go async (a
+  /// plan reading cache elements must run on the foreground thread, which
+  /// owns the cache), and a null pool degrades to inline execution.
+  bool prefetch_async = true;
+  /// Background prefetches in flight at once; further admitted candidates
+  /// are reconsidered after a later query.
+  size_t prefetch_max_inflight = 4;
   bool enable_generalization = true;
   bool enable_indexing = true;
   bool enable_lazy = true;
@@ -69,6 +81,8 @@ struct CmsMetrics {
   size_t partial_hits = 0;
   size_t remote_only = 0;
   size_t prefetches = 0;
+  size_t prefetch_joins = 0;  // foreground queries that joined an in-flight
+                              // prefetch instead of re-fetching
   size_t generalizations = 0;
   double response_ms = 0;   // simulated time the IE waited
   double local_ms = 0;      // workstation compute
@@ -146,6 +160,18 @@ class Cms {
   CmsMetrics& metrics() { return metrics_; }
   void ResetMetrics() { metrics_ = CmsMetrics{}; }
 
+  /// Waits for every in-flight background prefetch and installs the
+  /// completed results into the cache. Benches and tests call this before
+  /// reading prefetch metrics or asserting on cache contents; query
+  /// processing itself never needs it (results are harvested at the next
+  /// Query / joined on demand).
+  void DrainPrefetches();
+
+  /// Background prefetches currently executing or queued on the pool.
+  size_t prefetches_in_flight() const {
+    return prefetcher_ != nullptr ? prefetcher_->NumInFlight() : 0;
+  }
+
   /// Per-query span recorder: every Query() records a `query` root span
   /// with `advice`, `plan` (nesting `subsumption`), `prep`, `fetch`, and
   /// `assembly` children, carrying both measured wall time and modeled
@@ -190,9 +216,22 @@ class Cms {
                                double* response_ms);
 
   /// Prefetch: execute predicted-next views (in generalized form) whose
-  /// data is not yet locally derivable. Costs accrue to prefetch_ms, not
-  /// to any query's response.
+  /// data is not yet locally derivable, ranked by the path tracker's
+  /// predicted distance. With `prefetch_async`, admitted all-remote
+  /// candidates launch as background pool tasks; costs accrue to
+  /// prefetch_ms, not to any query's response.
   void MaybePrefetch(const std::string& current_view);
+
+  /// Answers `query` from an exact materialized cache element if present;
+  /// fills `answer` and returns true on a hit (shared by the fast path
+  /// and the post-join re-probe).
+  bool TryAnswerExact(const caql::CaqlQuery& query, obs::SpanId parent,
+                      CmsAnswer* answer);
+
+  /// Installs harvested background-prefetch results into the cache (on
+  /// the foreground thread — the cache is single-threaded by design) and
+  /// settles their metrics.
+  void InstallCompletedPrefetches(std::vector<Prefetcher::Completed> done);
 
   /// Estimated bytes of the result of `query` if fetched remotely.
   double EstimateResultBytes(const caql::CaqlQuery& query) const;
@@ -210,6 +249,18 @@ class Cms {
   ExecutionMonitor monitor_;
   CmsMetrics metrics_;
   obs::Tracer tracer_;
+
+  /// Memoized prefetch-admission rejections (too-large / fully-local /
+  /// unplannable), keyed by canonical key and valid for one cache-content
+  /// version and advice epoch; capacity skips are transient and are not
+  /// memoized.
+  std::unordered_set<std::string> prefetch_rejects_;
+  uint64_t prefetch_rejects_version_ = 0;
+
+  /// Declared last on purpose: destroyed first, so its destructor can
+  /// cancel and wait out in-flight background tasks while the pool, RDI,
+  /// and tracer they use are all still alive.
+  std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 }  // namespace braid::cms

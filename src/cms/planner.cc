@@ -234,4 +234,43 @@ Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query,
   return plan;
 }
 
+const char* SpeculativeAdmissionName(SpeculativeAdmission verdict) {
+  switch (verdict) {
+    case SpeculativeAdmission::kAdmit:
+      return "admit";
+    case SpeculativeAdmission::kAlreadyCached:
+      return "already-cached";
+    case SpeculativeAdmission::kFullyLocal:
+      return "fully-local";
+    case SpeculativeAdmission::kTooLarge:
+      return "too-large";
+    case SpeculativeAdmission::kUnplannable:
+      return "unplannable";
+  }
+  return "?";
+}
+
+SpeculativeAdmission JudgeSpeculative(
+    const CacheModel& model, const QueryPlanner& planner,
+    const caql::CaqlQuery& general,
+    const std::function<double()>& estimated_result_bytes,
+    size_t cache_budget_bytes, bool skip_if_fully_local, Plan* plan_out) {
+  if (model.ByCanonicalKey(general.CanonicalKey()) != nullptr) {
+    return SpeculativeAdmission::kAlreadyCached;
+  }
+  if (estimated_result_bytes() >
+      static_cast<double>(cache_budget_bytes) / 2) {
+    return SpeculativeAdmission::kTooLarge;
+  }
+  if (skip_if_fully_local || plan_out != nullptr) {
+    Result<Plan> plan = planner.PlanQuery(general);
+    if (!plan.ok()) return SpeculativeAdmission::kUnplannable;
+    if (skip_if_fully_local && plan->fully_local) {
+      return SpeculativeAdmission::kFullyLocal;
+    }
+    if (plan_out != nullptr) *plan_out = std::move(*plan);
+  }
+  return SpeculativeAdmission::kAdmit;
+}
+
 }  // namespace braid::cms

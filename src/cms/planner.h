@@ -1,6 +1,7 @@
 #ifndef BRAID_CMS_PLANNER_H_
 #define BRAID_CMS_PLANNER_H_
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,6 +93,33 @@ class QueryPlanner {
   const dbms::RemoteDbms* remote_;
   PlannerConfig config_;
 };
+
+/// Verdict of the speculative-admission rule shared by query
+/// generalization (§5.3.1) and prefetching (§4.2.2): whether the
+/// generalized form of a view is worth executing ahead of need.
+enum class SpeculativeAdmission {
+  kAdmit,          // execute it
+  kAlreadyCached,  // the general form is already materialized
+  kFullyLocal,     // derivable from cached data — no remote work to hide
+  kTooLarge,       // estimated result exceeds half the cache budget
+  kUnplannable,    // the planner cannot build a plan for it
+};
+
+const char* SpeculativeAdmissionName(SpeculativeAdmission verdict);
+
+/// The single definition of speculative admission control: the
+/// already-cached probe, the size cap against `cache_budget_bytes / 2`,
+/// and — for prefetching, which only pays off when there is remote
+/// latency to hide — the fully-local skip. `estimated_result_bytes` is
+/// invoked lazily, after the cheap cache probe. On kAdmit with a non-null
+/// `plan_out`, the plan computed for the fully-local check is handed back
+/// so callers do not plan the same query twice.
+SpeculativeAdmission JudgeSpeculative(
+    const CacheModel& model, const QueryPlanner& planner,
+    const caql::CaqlQuery& general,
+    const std::function<double()>& estimated_result_bytes,
+    size_t cache_budget_bytes, bool skip_if_fully_local,
+    Plan* plan_out = nullptr);
 
 }  // namespace braid::cms
 

@@ -1,0 +1,133 @@
+#ifndef BRAID_CMS_PREFETCHER_H_
+#define BRAID_CMS_PREFETCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "caql/caql_query.h"
+#include "cms/planner.h"
+#include "cms/remote_interface.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace braid::cms {
+
+/// One admitted prefetch, self-contained so a pool task can execute it
+/// without touching any foreground-owned state: the plan is computed at
+/// admission time and must contain only remote sources (a plan that reads
+/// cache elements runs on the foreground thread instead — the cache is
+/// single-threaded by design).
+struct PrefetchJob {
+  caql::CaqlQuery query;      // the generalized form to execute
+  std::string view_id;        // origin view (cache install + advice)
+  std::string canonical_key;  // dedup / join key: query.CanonicalKey()
+  Plan plan;
+};
+
+/// What a finished prefetch produced. `modeled_ms` is the simulated cost
+/// of the remote fetches plus local assembly — the time hidden behind IE
+/// processing when the overlap succeeds.
+struct PrefetchOutcome {
+  Status status = Status::Ok();
+  rel::Relation result;
+  double modeled_ms = 0;
+};
+
+/// The background prefetch pipeline (paper §4.2.2: fetch predicted data
+/// "before [the CMS] actually receives [the query] from the IE"). Each
+/// admitted job runs as a task on the execution pool; an in-flight
+/// registry keyed by canonical definition lets the foreground *join* a
+/// pending prefetch instead of duplicating its remote fetch, and lets
+/// session changes cancel or drain the pipeline cleanly.
+///
+/// Threading contract: Launch / Harvest / Join* / Drain / CancelAll are
+/// called from the single foreground (CMS) thread; the job body executes
+/// on pool threads and touches only thread-safe components — the RDI and
+/// remote DBMS, the span tracer, and the metrics registry. Completed
+/// results are handed back to the foreground through Harvest/Drain, so
+/// the cache itself is only ever written by the foreground thread.
+class Prefetcher {
+ public:
+  struct Completed {
+    PrefetchJob job;
+    PrefetchOutcome outcome;
+    bool cancelled = false;
+  };
+
+  /// `pool` may be null (serial CMS): jobs then execute inline inside
+  /// Launch, which degrades prefetching to the synchronous behaviour.
+  Prefetcher(exec::ThreadPool* pool, RemoteDbmsInterface* rdi,
+             double local_per_tuple_ms, size_t max_inflight,
+             obs::Tracer* tracer);
+  /// Cancels what has not started and waits out what has.
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Launches `job` as a pool task. Refuses (returning false) a duplicate
+  /// of an in-flight canonical key and launches beyond the in-flight cap;
+  /// refused candidates are simply reconsidered after a later query.
+  bool Launch(PrefetchJob job);
+
+  bool InFlight(const std::string& canonical_key) const;
+  bool InFlightForView(const std::string& view_id) const;
+  size_t NumInFlight() const;
+
+  /// Blocks until the in-flight prefetch for `canonical_key` completes;
+  /// returns false immediately when none is pending. The result is
+  /// delivered through the next Harvest().
+  bool Join(const std::string& canonical_key);
+  /// Same, keyed by origin view: joins every pending job for the view.
+  bool JoinView(const std::string& view_id);
+
+  /// Completed-but-unharvested results; non-blocking.
+  std::vector<Completed> Harvest();
+
+  /// Waits for every in-flight job, then returns all completed results.
+  std::vector<Completed> Drain();
+
+  /// Marks every in-flight job cancelled: fetches not yet started are
+  /// skipped (their outcome carries a failed status); a fetch already on
+  /// the wire completes normally. Non-blocking.
+  void CancelAll();
+
+ private:
+  struct Entry {
+    PrefetchJob job;
+    std::atomic<bool> cancelled{false};
+    std::future<void> pool_future;  // invalid when the job ran inline
+  };
+
+  void RunJob(const std::shared_ptr<Entry>& entry);
+  PrefetchOutcome Execute(const PrefetchJob& job,
+                          const std::atomic<bool>& cancelled);
+
+  exec::ThreadPool* pool_;
+  RemoteDbmsInterface* rdi_;
+  const double local_per_tuple_ms_;
+  const size_t max_inflight_;
+  obs::Tracer* tracer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Entry>> inflight_;
+  std::vector<Completed> completed_;
+
+  // Registry-owned instrument handles (process lifetime).
+  obs::Counter* issued_;
+  obs::Counter* joined_;
+  obs::Histogram* join_wait_ms_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_PREFETCHER_H_

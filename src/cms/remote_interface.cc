@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace braid::cms {
 
@@ -150,6 +151,12 @@ Result<dbms::SqlQuery> RemoteDbmsInterface::Translate(
 
 Result<RemoteFetch> RemoteDbmsInterface::Fetch(
     const CaqlQuery& query, const std::vector<std::string>& needed_vars) {
+  // Counts every fetch issued through the RDI, from the foreground
+  // thread, the monitor's concurrent fetch tasks, and prefetch tasks
+  // alike — the counter the fetch-exactly-once tests assert on. Fetch is
+  // thread-safe: Translate is const over the immutable remote schema and
+  // Execute guards its statistics internally.
+  obs::MetricsRegistry::Global().counter("remote.fetches").Increment();
   BRAID_ASSIGN_OR_RETURN(dbms::SqlQuery sql, Translate(query, needed_vars));
   BRAID_ASSIGN_OR_RETURN(dbms::RemoteResult result, remote_->Execute(sql));
 
