@@ -51,6 +51,7 @@ RunResult RunSession(baselines::CouplingMode mode, size_t distinct,
       std::exit(1);
     }
   }
+  braid.cms().DrainPrefetches();  // settle background work before reading
   response = braid.cms().metrics().response_ms;
   return RunResult{braid.remote().stats().queries,
                    braid.remote().stats().tuples_shipped, response};

@@ -48,6 +48,7 @@ RunResult Run(baselines::CouplingMode mode, size_t selections) {
   for (size_t i = 0; i < selections; ++i) {
     ask(StrCat("sel", i, "(Y) :- parent(", 100 + i, ", Y)"));
   }
+  cms.DrainPrefetches();  // settle background work before reading
   return RunResult{remote.stats().queries, remote.stats().messages,
                    cms.metrics().response_ms};
 }

@@ -77,6 +77,7 @@ RunResult Run(bool enable_lazy, double fraction) {
     if (!t.has_value()) break;
     ++consumed;
   }
+  cms.DrainPrefetches();  // settle background work before reading
   const size_t work = a->lazy ? a->stream->WorkDone() : full_size;
   return RunResult{consumed, work, a->lazy};
 }

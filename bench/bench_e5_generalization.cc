@@ -66,6 +66,7 @@ RunResult Run(bool enable_generalization, size_t instances) {
       std::exit(1);
     }
   }
+  cms.DrainPrefetches();  // settle background work before reading
   return RunResult{remote.stats().queries, remote.stats().tuples_shipped,
                    cms.metrics().response_ms,
                    cms.metrics().generalizations};

@@ -64,6 +64,7 @@ RunResult Run(bool enable_indexing, size_t nodes, size_t probes) {
       std::exit(1);
     }
   }
+  cms.DrainPrefetches();  // settle background work before reading
   return RunResult{cms.metrics().local_ms, remote.stats().queries};
 }
 

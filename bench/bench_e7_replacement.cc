@@ -88,6 +88,7 @@ RunResult Run(bool enable_advice, size_t rounds, size_t budget) {
       }
     }
   }
+  cms.DrainPrefetches();  // settle background work before reading
   return RunResult{remote.stats().queries, cms.cache().stats().evictions,
                    cms.metrics().response_ms};
 }

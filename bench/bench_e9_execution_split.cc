@@ -57,6 +57,7 @@ RunResult Run(baselines::CouplingMode mode, double per_tuple_ms) {
   cms.ResetMetrics();
 
   ask("j(X, Y2) :- parent(X, Y) & person(Y, A, C) & person(Y2, B, C)");
+  cms.DrainPrefetches();  // settle background work before reading
   return RunResult{cms.metrics().response_ms, remote.stats().tuples_shipped,
                    remote.stats().queries};
 }

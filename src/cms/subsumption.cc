@@ -219,6 +219,13 @@ std::string SubsumptionMatch::ToString() const {
 
 std::vector<SubsumptionMatch> ComputeSubsumptionAll(
     const CaqlQuery& raw_element_def, const CaqlQuery& query) {
+  // A SETOF element has had its duplicates eliminated; deriving a BAGOF
+  // query's answer from it undercounts multiplicities (found by the
+  // differential harness: a cached "SETOF q(A) :- b(A, B)" serving a later
+  // bag query over b returned 14 of 32 rows). The converse is sound — a
+  // bag element serving a SETOF query is deduplicated at assembly.
+  if (raw_element_def.distinct && !query.distinct) return {};
+
   // Evaluable functions require exact match of the whole definition
   // (§5.3.2). Canonical-key equality means the two queries are identical
   // up to variable renaming, so the match is the positional identity.

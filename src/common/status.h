@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kInternal,
+  /// A transient failure of an external component (e.g. the remote DBMS
+  /// link); the operation may succeed if retried.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

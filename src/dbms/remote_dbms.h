@@ -84,11 +84,17 @@ class RemoteDbms {
   explicit RemoteDbms(Database database)
       : RemoteDbms(std::move(database), NetworkModel{}, DbmsCostModel{}) {}
 
+  virtual ~RemoteDbms() = default;
+
   /// Executes `query`, returning the result and charging its cost to the
   /// session statistics. Thread-safe: the Execution Monitor issues
   /// concurrent subqueries from pool workers; execution reads the
   /// immutable database and the statistics update is mutex-guarded.
-  Result<RemoteResult> Execute(const SqlQuery& query);
+  ///
+  /// Virtual so test harnesses can decorate the link (fault injection,
+  /// added latency) without the CMS knowing; see
+  /// `testing::FaultyRemoteDbms`.
+  virtual Result<RemoteResult> Execute(const SqlQuery& query);
 
   /// Estimated server-side cost of `query` without executing it, derived
   /// from catalog statistics. Used by the CMS planner to compare remote

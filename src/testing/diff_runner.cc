@@ -1,0 +1,326 @@
+#include "testing/diff_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "cms/cms.h"
+#include "common/strings.h"
+#include "relational/value.h"
+#include "testing/reference_eval.h"
+
+namespace braid::testing {
+
+namespace {
+
+using caql::CaqlQuery;
+using cms::CacheOutcome;
+using cms::Cms;
+using cms::CmsAnswer;
+using cms::CmsConfig;
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+
+CmsConfig MakeConfig(const DiffOptions& opts) {
+  CmsConfig config;
+  config.cache_budget_bytes = opts.cache_budget_bytes;
+  config.enable_caching = opts.caching;
+  config.enable_prefetch = opts.prefetch;
+  config.prefetch_async = opts.prefetch_async;
+  config.enable_parallel = opts.parallel;
+  config.num_threads = opts.num_threads;
+  config.parallel_threshold = opts.parallel_threshold;
+  return config;
+}
+
+/// Materializes a CMS answer (eager relation or lazy stream) into a
+/// standalone relation.
+Result<Relation> Materialize(const CmsAnswer& answer) {
+  if (answer.relation != nullptr) return *answer.relation;
+  if (answer.stream == nullptr) {
+    return Status::Internal("CMS answer has neither relation nor stream");
+  }
+  Relation out("answer", answer.stream->schema());
+  while (auto t = answer.stream->Next()) {
+    out.AppendUnchecked(std::move(*t));
+  }
+  return out;
+}
+
+/// The deliberate-corruption hook: appends one out-of-domain poison tuple
+/// to every materialized extension in the cache, bypassing the const
+/// shield the way a real memory-safety bug would. Any later answer served
+/// from a poisoned element gains a row the oracle does not have.
+void CorruptCache(Cms* cms) {
+  for (const auto& [id, element] : cms->cache().model().elements()) {
+    if (!element->is_materialized()) continue;
+    auto* extension =
+        const_cast<Relation*>(element->extension().get());
+    Tuple poison(extension->schema().size(), Value::Int(987654321));
+    extension->AppendUnchecked(std::move(poison));
+  }
+}
+
+struct StreamChecker {
+  const DiffOptions& opts;
+  const GeneratedWorkload& workload;
+  const std::vector<Result<Relation>>& oracle;
+  dbms::RemoteDbms* remote;
+  Cms* cms;
+  DiffReport* report;
+
+  void Fail(size_t index, std::string kind, std::string outcome,
+            std::string detail) {
+    report->ok = false;
+    report->failures.push_back(DiffFailure{
+        index, workload.queries[index].ToString(), std::move(kind),
+        std::move(outcome), std::move(detail)});
+  }
+
+  /// Runs one stream pass; `pass_label` distinguishes the first pass from
+  /// the warm-cache recheck in failure details.
+  void RunPass(const std::vector<size_t>& indices, const char* pass_label) {
+    for (size_t index : indices) {
+      const CaqlQuery& query = workload.queries[index];
+      const Result<Relation>& want = oracle[index];
+      if (!want.ok()) {
+        Fail(index, "oracle", "", want.status().ToString());
+        continue;
+      }
+
+      // Exact-hit invariant bookkeeping is only meaningful when nothing
+      // can touch the remote counters concurrently.
+      const bool quiescent = !opts.prefetch;
+      const size_t remote_before = quiescent ? remote->stats().queries : 0;
+
+      Result<CmsAnswer> got = cms->Query(query);
+      ++report->queries_run;
+
+      if (!got.ok()) {
+        if (opts.faults && IsInjectedFault(got.status())) {
+          ++report->queries_faulted;  // clean propagation — the contract
+          continue;
+        }
+        Fail(index, "status", "",
+             StrCat(pass_label, ": ", got.status().ToString()));
+        continue;
+      }
+      const CmsAnswer& answer = got.value();
+      const char* outcome = cms::CacheOutcomeName(answer.outcome);
+
+      Result<Relation> materialized = Materialize(answer);
+      if (!materialized.ok()) {
+        Fail(index, "status", outcome,
+             StrCat(pass_label, ": ", materialized.status().ToString()));
+        continue;
+      }
+
+      std::string diff;
+      if (!BagEqual(want.value(), materialized.value(), &diff)) {
+        Fail(index, "bag-mismatch", outcome,
+             StrCat(pass_label, ": ", diff, "; oracle ",
+                    want.value().NumTuples(), " rows, cms ",
+                    materialized.value().NumTuples(), " rows"));
+        continue;
+      }
+
+      // Metamorphic invariant: answers derived from cached data via
+      // subsumption must be contained in the oracle's bag. Bag-equality
+      // already implies it; checking separately gives the sharper
+      // "subsumption-unsound" failure kind if equality is ever relaxed.
+      if (answer.outcome == CacheOutcome::kFullLocal ||
+          answer.outcome == CacheOutcome::kPartial) {
+        if (!BagContains(want.value(), materialized.value(), &diff)) {
+          Fail(index, "invariant", outcome,
+               StrCat(pass_label, ": subsumption-unsound: ", diff));
+        }
+      }
+
+      // Metamorphic invariant: an exact cache hit answers from memory —
+      // the cache changes fetch counts and cost, never answers, and an
+      // exact hit needs no new remote queries at all.
+      if (quiescent && answer.outcome == CacheOutcome::kExact) {
+        ++report->exact_hits;
+        const size_t remote_after = remote->stats().queries;
+        if (remote_after != remote_before) {
+          Fail(index, "invariant", outcome,
+               StrCat(pass_label, ": exact hit issued ",
+                      remote_after - remote_before, " remote queries"));
+        }
+      } else if (answer.outcome == CacheOutcome::kExact) {
+        ++report->exact_hits;
+      }
+
+      if (opts.corrupt_after_query >= 0 &&
+          index == static_cast<size_t>(opts.corrupt_after_query)) {
+        cms->DrainPrefetches();  // poison everything that will land, too
+        CorruptCache(cms);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string DiffFailure::ToString() const {
+  return StrCat("query #", query_index, " [", kind,
+                outcome.empty() ? "" : StrCat(", outcome=", outcome),
+                "]: ", detail, "\n  ", query);
+}
+
+std::string DiffReport::Summary() const {
+  std::string out =
+      StrCat("seed ", seed, ": ", ok ? "OK" : "FAIL", " — ", queries_run,
+             " queries (", exact_hits, " exact hits, ", queries_faulted,
+             " clean faults, ", remote_queries, " remote queries, ",
+             evictions, " evictions)");
+  for (const DiffFailure& f : failures) {
+    out += "\n  " + f.ToString();
+  }
+  return out;
+}
+
+DiffReport RunDifferential(const DiffOptions& opts) {
+  DiffReport report;
+  report.seed = opts.seed;
+
+  WorkloadParams params;
+  params.seed = opts.seed;
+  params.num_queries = opts.num_queries;
+  GeneratedWorkload workload = GenerateWorkload(params);
+
+  // Oracle answers, computed once straight over the base tables.
+  std::vector<Result<Relation>> oracle;
+  oracle.reserve(workload.queries.size());
+  for (const CaqlQuery& q : workload.queries) {
+    oracle.push_back(ReferenceEval(workload.database, q));
+  }
+
+  std::unique_ptr<dbms::RemoteDbms> remote;
+  if (opts.faults) {
+    FaultPlan plan = opts.fault_plan;
+    if (plan.seed == 0) plan.seed = opts.seed;
+    remote = std::make_unique<FaultyRemoteDbms>(workload.database, plan);
+  } else {
+    remote = std::make_unique<dbms::RemoteDbms>(workload.database);
+  }
+
+  Cms cms(remote.get(), MakeConfig(opts));
+  cms.BeginSession(workload.advice);
+
+  std::vector<size_t> indices = opts.keep;
+  if (indices.empty()) {
+    for (size_t i = 0; i < workload.queries.size(); ++i) indices.push_back(i);
+  } else {
+    indices.erase(std::remove_if(indices.begin(), indices.end(),
+                                 [&](size_t i) {
+                                   return i >= workload.queries.size();
+                                 }),
+                  indices.end());
+  }
+
+  StreamChecker checker{opts, workload, oracle, remote.get(), &cms, &report};
+  checker.RunPass(indices, "pass1");
+
+  // Settle the pipeline before reading cross-thread state.
+  cms.DrainPrefetches();
+
+  if (opts.recheck && !opts.faults) {
+    checker.RunPass(indices, "recheck");
+    cms.DrainPrefetches();
+  }
+
+  report.remote_queries = remote->stats().queries;
+  report.evictions = cms.cache().stats().evictions;
+  return report;
+}
+
+std::vector<size_t> MinimizeFailure(const DiffOptions& opts) {
+  DiffOptions work = opts;
+  work.keep.clear();
+
+  DiffReport full = RunDifferential(work);
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < work.num_queries; ++i) kept.push_back(i);
+  if (full.ok) return kept;  // nothing to minimize
+
+  // Greedy backward elimination: drop one index at a time, keeping the
+  // removal whenever the remaining stream still fails.
+  bool shrunk = true;
+  while (shrunk && kept.size() > 1) {
+    shrunk = false;
+    for (size_t drop = kept.size(); drop-- > 0;) {
+      std::vector<size_t> candidate = kept;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(drop));
+      work.keep = candidate;
+      if (!RunDifferential(work).ok) {
+        kept = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+  return kept;
+}
+
+std::string ReproCommand(const DiffOptions& opts) {
+  std::string cmd =
+      StrCat("braid_difftest --seed ", opts.seed, " --queries ",
+             opts.num_queries, " --threads ", opts.num_threads, " --prefetch ",
+             opts.prefetch ? (opts.prefetch_async ? "async" : "sync") : "off",
+             " --faults ", opts.faults ? "on" : "off");
+  if (!opts.caching) cmd += " --no-cache";
+  if (!opts.keep.empty()) {
+    cmd += " --keep ";
+    for (size_t i = 0; i < opts.keep.size(); ++i) {
+      if (i > 0) cmd += ",";
+      cmd += std::to_string(opts.keep[i]);
+    }
+  }
+  return cmd;
+}
+
+DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
+                         DiffOptions* failing) {
+  struct Cell {
+    size_t threads;
+    bool prefetch;
+    bool prefetch_async;
+    bool faults;
+  };
+  std::vector<Cell> cells = {
+      {1, false, false, false},
+      {1, true, false, false},
+      {1, true, true, false},
+      {8, true, true, false},
+  };
+  if (with_faults) {
+    cells.push_back({1, true, true, true});
+    cells.push_back({8, true, true, true});
+  }
+
+  DiffReport last;
+  for (const Cell& cell : cells) {
+    DiffOptions opts;
+    opts.seed = seed;
+    opts.num_queries = num_queries;
+    opts.num_threads = cell.threads;
+    opts.prefetch = cell.prefetch;
+    opts.prefetch_async = cell.prefetch_async;
+    opts.faults = cell.faults;
+    if (cell.faults) {
+      opts.fault_plan.error_rate = 0.15;
+      opts.fault_plan.delay_rate = 0.2;
+      opts.fault_plan.delay_ms = 1.0;
+      opts.fault_plan.warmup_calls = 2;
+    }
+    last = RunDifferential(opts);
+    if (!last.ok) {
+      if (failing != nullptr) *failing = opts;
+      return last;
+    }
+  }
+  return last;
+}
+
+}  // namespace braid::testing

@@ -1,0 +1,104 @@
+#ifndef BRAID_TESTING_DIFF_RUNNER_H_
+#define BRAID_TESTING_DIFF_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/fault_remote.h"
+#include "testing/workload_gen.h"
+
+namespace braid::testing {
+
+/// One differential run's configuration: a seed (which fixes the whole
+/// workload) plus the system settings under test. The oracle side is
+/// always the same — ReferenceEval straight over the generated base
+/// tables, no cache, no CMS.
+struct DiffOptions {
+  uint64_t seed = 0;
+  size_t num_queries = 24;
+
+  /// CMS settings of the optimized side.
+  size_t num_threads = 1;       // pool workers; 1 keeps the run serial-ish
+  bool parallel = true;
+  /// Deliberately tiny so the morsel machinery engages on the small
+  /// generated relations instead of falling back to serial everywhere.
+  size_t parallel_threshold = 2;
+  bool prefetch = true;
+  bool prefetch_async = true;
+  bool caching = true;
+  /// Small enough that eviction happens on realistic workloads.
+  size_t cache_budget_bytes = 256ull << 10;
+
+  /// Fault injection on the remote link.
+  bool faults = false;
+  FaultPlan fault_plan;
+
+  /// After the first pass, replay the whole stream against the warm cache
+  /// and re-check every answer (catches corruption that only later reuse
+  /// exposes). Skipped when faults are on.
+  bool recheck = true;
+
+  /// Test hook: after the query at this stream index completes, append a
+  /// poison tuple to every materialized cache extension. A correct harness
+  /// MUST subsequently report a bag mismatch — this is how the harness
+  /// itself is tested. -1 = never.
+  int corrupt_after_query = -1;
+
+  /// When non-empty, only these stream indices run (minimization).
+  std::vector<size_t> keep;
+};
+
+/// One detected discrepancy.
+struct DiffFailure {
+  size_t query_index = 0;
+  std::string query;    // CAQL text
+  std::string kind;     // "bag-mismatch" | "status" | "invariant" | "oracle"
+  std::string outcome;  // CacheOutcome name, when applicable
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Outcome of one differential run.
+struct DiffReport {
+  bool ok = true;
+  uint64_t seed = 0;
+  std::vector<DiffFailure> failures;
+
+  size_t queries_run = 0;
+  size_t queries_faulted = 0;  // clean injected-fault propagations
+  size_t exact_hits = 0;
+  size_t remote_queries = 0;
+  size_t evictions = 0;
+
+  std::string Summary() const;
+};
+
+/// Runs the CAQL stream for `opts.seed` through the full CMS and through
+/// the reference oracle, checking bag-equality per query plus the
+/// metamorphic invariants (subsumption-derived answers contained in the
+/// oracle's bag; exact cache hits answer without contacting the remote;
+/// injected faults surface as clean Status propagation, never a wrong
+/// answer).
+DiffReport RunDifferential(const DiffOptions& opts);
+
+/// Greedy backward elimination over the query stream: returns the
+/// smallest `keep` set found that still fails (starting from the full
+/// stream, dropping one index at a time). `opts.keep` is ignored.
+std::vector<size_t> MinimizeFailure(const DiffOptions& opts);
+
+/// The `tools/braid_difftest` invocation that reproduces `opts`.
+std::string ReproCommand(const DiffOptions& opts);
+
+/// Runs the standard configuration matrix for one seed — threads {1, 8} ×
+/// prefetch {off, sync, async}, plus a fault-injected configuration —
+/// and returns the first failing report (or the last passing one). When
+/// `failing` is non-null it receives the options of the failing cell.
+DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries = 24,
+                         bool with_faults = true,
+                         DiffOptions* failing = nullptr);
+
+}  // namespace braid::testing
+
+#endif  // BRAID_TESTING_DIFF_RUNNER_H_

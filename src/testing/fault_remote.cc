@@ -1,0 +1,12 @@
+#include "testing/fault_remote.h"
+
+#include <string>
+
+namespace braid::testing {
+
+bool IsInjectedFault(const Status& status) {
+  return !status.ok() &&
+         status.message().find(kInjectedFaultMarker) != std::string::npos;
+}
+
+}  // namespace braid::testing

@@ -1,0 +1,101 @@
+#ifndef BRAID_TESTING_FAULT_REMOTE_H_
+#define BRAID_TESTING_FAULT_REMOTE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dbms/remote_dbms.h"
+
+namespace braid::testing {
+
+/// Parameters of the fault-injected workstation ↔ server link.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Probability that an Execute call fails with a transient kUnavailable
+  /// error instead of answering.
+  double error_rate = 0.0;
+  /// Probability that an Execute call sleeps for `delay_ms` of real time
+  /// before answering (exercises the in-flight windows of the prefetch
+  /// pipeline and the parallel execution monitor).
+  double delay_rate = 0.0;
+  double delay_ms = 2.0;
+  /// The first `warmup_calls` Execute calls are exempt from faults, so a
+  /// session can always load something before the weather turns.
+  size_t warmup_calls = 0;
+};
+
+/// Marker substring carried by every injected error's message, so tests
+/// can tell injected faults from genuine system errors.
+inline constexpr char kInjectedFaultMarker[] = "injected transient fault";
+
+/// A RemoteDbms whose link drops queries and adds latency according to a
+/// seeded plan. Decoration is by subclassing — the CMS holds a plain
+/// `RemoteDbms*` and never knows. Fault draws are mutex-guarded so
+/// concurrent Execute calls (pool fetches, async prefetches) see a
+/// deterministic *set* of faults for a given (seed, call-ordinal) even
+/// though thread interleaving may vary.
+class FaultyRemoteDbms : public dbms::RemoteDbms {
+ public:
+  FaultyRemoteDbms(dbms::Database database, FaultPlan plan)
+      : dbms::RemoteDbms(std::move(database)),
+        plan_(plan),
+        rng_(plan.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  Result<dbms::RemoteResult> Execute(const dbms::SqlQuery& query) override {
+    bool fail = false;
+    bool delay = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const size_t ordinal = calls_++;
+      if (ordinal >= plan_.warmup_calls) {
+        // Draw both coins unconditionally so the fault sequence for a
+        // given seed is independent of which coin fires.
+        fail = rng_.Bernoulli(plan_.error_rate);
+        delay = rng_.Bernoulli(plan_.delay_rate);
+      }
+      if (fail) ++injected_errors_;
+      if (delay) ++injected_delays_;
+    }
+    if (delay && plan_.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          plan_.delay_ms));
+    }
+    if (fail) {
+      return Status::Unavailable(kInjectedFaultMarker);
+    }
+    return dbms::RemoteDbms::Execute(query);
+  }
+
+  size_t calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+  size_t injected_errors() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_errors_;
+  }
+  size_t injected_delays() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_delays_;
+  }
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  size_t calls_ = 0;
+  size_t injected_errors_ = 0;
+  size_t injected_delays_ = 0;
+};
+
+/// True if `status` is (or wraps) an injected fault from a
+/// FaultyRemoteDbms.
+bool IsInjectedFault(const Status& status);
+
+}  // namespace braid::testing
+
+#endif  // BRAID_TESTING_FAULT_REMOTE_H_

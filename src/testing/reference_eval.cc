@@ -1,0 +1,286 @@
+#include "testing/reference_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace braid::testing {
+
+namespace {
+
+using caql::CaqlQuery;
+using logic::Atom;
+using logic::Term;
+using rel::EvalCompare;
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+
+using VarBinding = std::map<std::string, Value>;
+
+/// Resolves `term` under `binding`; returns nullptr when it is an unbound
+/// variable. The returned pointer aliases `term` or the binding map.
+const Value* Resolve(const Term& term, const VarBinding& binding) {
+  if (term.is_constant()) return &term.value();
+  auto it = binding.find(term.var_name());
+  return it == binding.end() ? nullptr : &it->second;
+}
+
+/// True when every variable of `atom` is bound.
+bool IsGroundUnder(const Atom& atom, const VarBinding& binding) {
+  for (const Term& t : atom.args) {
+    if (t.is_variable() && binding.count(t.var_name()) == 0) return false;
+  }
+  return true;
+}
+
+bool EvalComparisonAtom(const Atom& atom, const VarBinding& binding) {
+  const Value* lhs = Resolve(atom.args[0], binding);
+  const Value* rhs = Resolve(atom.args[1], binding);
+  return EvalCompare(atom.comparison_op(), *lhs, *rhs);
+}
+
+/// True when some tuple of `table` matches `atom` ground under `binding`.
+bool ExistsMatch(const Relation& table, const Atom& atom,
+                 const VarBinding& binding) {
+  for (const Tuple& t : table.tuples()) {
+    bool match = true;
+    for (size_t i = 0; i < atom.args.size() && match; ++i) {
+      const Value* want = Resolve(atom.args[i], binding);
+      match = want != nullptr && *want == t[i];
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+/// Backtracking enumerator over the positive relation atoms. Comparisons
+/// are checked as soon as they become ground (pruning); negations are
+/// checked at the leaves (safety guarantees they are ground there).
+class Enumerator {
+ public:
+  Enumerator(const dbms::Database& db, const CaqlQuery& query,
+             std::vector<Atom> relation_atoms, std::vector<Atom> comparisons,
+             std::vector<Atom> negations, Relation* out)
+      : db_(db),
+        query_(query),
+        relation_atoms_(std::move(relation_atoms)),
+        comparisons_(std::move(comparisons)),
+        negations_(std::move(negations)),
+        out_(out) {}
+
+  Status Run() {
+    checked_.assign(comparisons_.size(), false);
+    return Descend(0);
+  }
+
+ private:
+  Status Descend(size_t atom_index) {
+    if (atom_index == relation_atoms_.size()) return EmitIfSolution();
+    const Atom& atom = relation_atoms_[atom_index];
+    const Relation* table = db_.GetTable(atom.predicate);
+    if (table == nullptr) {
+      return Status::NotFound(
+          StrCat("reference eval: no base table ", atom.predicate));
+    }
+    if (atom.arity() != table->schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("reference eval: arity mismatch on ", atom.predicate));
+    }
+    for (const Tuple& t : table->tuples()) {
+      std::vector<std::string> bound_here;
+      if (!Unify(atom, t, &bound_here)) {
+        Undo(bound_here);
+        continue;
+      }
+      bool pruned = false;
+      std::vector<size_t> checked_here;
+      for (size_t c = 0; c < comparisons_.size(); ++c) {
+        if (checked_[c] || !IsGroundUnder(comparisons_[c], binding_)) continue;
+        checked_[c] = true;
+        checked_here.push_back(c);
+        if (!EvalComparisonAtom(comparisons_[c], binding_)) {
+          pruned = true;
+          break;
+        }
+      }
+      if (!pruned) {
+        BRAID_RETURN_IF_ERROR(Descend(atom_index + 1));
+      }
+      for (size_t c : checked_here) checked_[c] = false;
+      Undo(bound_here);
+    }
+    return Status::Ok();
+  }
+
+  /// Extends the binding to match `atom` against `t`; on failure the
+  /// caller must still Undo(bound_here).
+  bool Unify(const Atom& atom, const Tuple& t,
+             std::vector<std::string>* bound_here) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& arg = atom.args[i];
+      if (arg.is_constant()) {
+        if (arg.value() != t[i]) return false;
+        continue;
+      }
+      auto it = binding_.find(arg.var_name());
+      if (it != binding_.end()) {
+        if (it->second != t[i]) return false;
+      } else {
+        binding_.emplace(arg.var_name(), t[i]);
+        bound_here->push_back(arg.var_name());
+      }
+    }
+    return true;
+  }
+
+  void Undo(const std::vector<std::string>& bound_here) {
+    for (const std::string& name : bound_here) binding_.erase(name);
+  }
+
+  Status EmitIfSolution() {
+    for (size_t c = 0; c < comparisons_.size(); ++c) {
+      if (checked_[c]) continue;
+      if (!IsGroundUnder(comparisons_[c], binding_)) {
+        return Status::InvalidArgument(
+            StrCat("reference eval: comparison over unbound variable in ",
+                   query_.ToString()));
+      }
+      if (!EvalComparisonAtom(comparisons_[c], binding_)) return Status::Ok();
+    }
+    for (const Atom& neg : negations_) {
+      if (!IsGroundUnder(neg, binding_)) {
+        return Status::InvalidArgument(
+            StrCat("reference eval: unsafe negation in ", query_.ToString()));
+      }
+      const Relation* table = db_.GetTable(neg.predicate);
+      if (table == nullptr) {
+        return Status::NotFound(
+            StrCat("reference eval: no base table ", neg.predicate));
+      }
+      if (ExistsMatch(*table, neg, binding_)) return Status::Ok();
+    }
+    Tuple row;
+    for (const Term& arg : query_.head_args) {
+      const Value* v = Resolve(arg, binding_);
+      if (v == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("reference eval: unbound head variable in ",
+                   query_.ToString()));
+      }
+      row.push_back(*v);
+    }
+    out_->AppendUnchecked(std::move(row));
+    return Status::Ok();
+  }
+
+  const dbms::Database& db_;
+  const CaqlQuery& query_;
+  std::vector<Atom> relation_atoms_;
+  std::vector<Atom> comparisons_;
+  std::vector<Atom> negations_;
+  Relation* out_;
+  VarBinding binding_;
+  std::vector<bool> checked_;
+};
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+using rel::TupleToString;
+
+std::vector<Tuple> SortedTuples(const rel::Relation& r) {
+  std::vector<Tuple> ts = r.tuples();
+  std::sort(ts.begin(), ts.end(), TupleLess);
+  return ts;
+}
+
+}  // namespace
+
+Result<rel::Relation> ReferenceEval(const dbms::Database& db,
+                                    const caql::CaqlQuery& query) {
+  BRAID_RETURN_IF_ERROR(query.Validate());
+  if (!query.EvaluableAtoms().empty()) {
+    return Status::Unimplemented(
+        "reference eval: evaluable-function atoms are not supported");
+  }
+  std::vector<Atom> positives;
+  for (const Atom& a : query.RelationAtoms()) {
+    if (!a.negated) positives.push_back(a);
+  }
+
+  std::vector<rel::Column> cols;
+  for (size_t i = 0; i < query.head_args.size(); ++i) {
+    cols.push_back(rel::Column{StrCat("h", i), rel::ValueType::kNull});
+  }
+  Relation out(query.name.empty() ? "oracle" : query.name,
+               rel::Schema(std::move(cols)));
+
+  Enumerator en(db, query, positives, query.ComparisonAtoms(),
+                query.NegatedAtoms(), &out);
+  BRAID_RETURN_IF_ERROR(en.Run());
+
+  if (query.distinct) {
+    std::vector<Tuple>& ts = out.mutable_tuples();
+    std::sort(ts.begin(), ts.end(), TupleLess);
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  return out;
+}
+
+bool BagEqual(const rel::Relation& a, const rel::Relation& b,
+              std::string* diff) {
+  if (a.NumTuples() != b.NumTuples()) {
+    if (diff != nullptr) {
+      *diff = StrCat("cardinality mismatch: ", a.NumTuples(), " vs ",
+                     b.NumTuples());
+    }
+    return false;
+  }
+  const std::vector<Tuple> sa = SortedTuples(a);
+  const std::vector<Tuple> sb = SortedTuples(b);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] != sb[i]) {
+      if (diff != nullptr) {
+        *diff = StrCat("first differing tuple at sorted index ", i, ": ",
+                       TupleToString(sa[i]), " vs ", TupleToString(sb[i]));
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BagContains(const rel::Relation& super, const rel::Relation& sub,
+                 std::string* diff) {
+  const std::vector<Tuple> ss = SortedTuples(super);
+  const std::vector<Tuple> sb = SortedTuples(sub);
+  size_t i = 0;
+  for (const Tuple& t : sb) {
+    while (i < ss.size() && TupleLess(ss[i], t)) ++i;
+    if (i == ss.size() || ss[i] != t) {
+      if (diff != nullptr) {
+        *diff = StrCat("tuple ", TupleToString(t),
+                       " of subset missing from superset bag");
+      }
+      return false;
+    }
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace braid::testing

@@ -1,0 +1,39 @@
+#ifndef BRAID_TESTING_REFERENCE_EVAL_H_
+#define BRAID_TESTING_REFERENCE_EVAL_H_
+
+#include <string>
+
+#include "caql/caql_query.h"
+#include "common/status.h"
+#include "dbms/database.h"
+#include "relational/relation.h"
+
+namespace braid::testing {
+
+/// The differential oracle: evaluates `query` directly against the base
+/// tables of `db` by naive backtracking enumeration — no cache, no
+/// planner, no remote link, no shared code with the CMS answer path
+/// beyond the Value/Tuple primitives. Bag semantics: one output row per
+/// solution of the positive body atoms (deduplicated when
+/// `query.distinct`). Comparisons use the same EvalCompare truth table as
+/// the Query Processor; negated atoms are negation-as-failure against the
+/// base tables. Evaluable-function atoms are not supported (the workload
+/// generator never emits them) and yield kUnimplemented.
+Result<rel::Relation> ReferenceEval(const dbms::Database& db,
+                                    const caql::CaqlQuery& query);
+
+/// True iff `a` and `b` hold the same bag of tuples (same arity, same
+/// multiset under the Value total order; column names and types are
+/// ignored). On mismatch, `diff` (if non-null) receives a short
+/// human-readable description of the first discrepancy.
+bool BagEqual(const rel::Relation& a, const rel::Relation& b,
+              std::string* diff = nullptr);
+
+/// True iff the bag `sub` is contained in the bag `super` (multiset
+/// inclusion, multiplicity-aware).
+bool BagContains(const rel::Relation& super, const rel::Relation& sub,
+                 std::string* diff = nullptr);
+
+}  // namespace braid::testing
+
+#endif  // BRAID_TESTING_REFERENCE_EVAL_H_

@@ -1,0 +1,356 @@
+#include "testing/workload_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace braid::testing {
+
+namespace {
+
+using advice::AnnotatedVar;
+using advice::Binding;
+using advice::PathExpr;
+using advice::RepBound;
+using advice::ViewSpec;
+using caql::CaqlQuery;
+using logic::Atom;
+using logic::Term;
+using rel::Value;
+
+/// Per-column value domain of the generated schema. Int columns share one
+/// global [0, domain) pool so joins across relations are productive;
+/// symbol columns share a small string pool for the same reason.
+enum class ColKind { kInt, kSymbol };
+
+struct GenState {
+  Rng rng;
+  const WorkloadParams& params;
+  size_t num_relations = 0;
+  /// kinds[r][c] — the domain of column c of relation "b<r>".
+  std::vector<std::vector<ColKind>> kinds;
+
+  explicit GenState(const WorkloadParams& p) : rng(p.seed), params(p) {}
+
+  Value RandomValue(ColKind kind) {
+    if (kind == ColKind::kInt) {
+      return Value::Int(rng.Uniform(0, static_cast<int64_t>(params.domain) - 1));
+    }
+    return Value::String(
+        StrCat("s", rng.Uniform(0, static_cast<int64_t>(params.domain / 2))));
+  }
+};
+
+dbms::Database MakeDatabase(GenState* g) {
+  dbms::Database db;
+  g->kinds.resize(g->num_relations);
+  for (size_t r = 0; r < g->num_relations; ++r) {
+    const size_t arity = static_cast<size_t>(g->rng.Uniform(2, 3));
+    std::vector<rel::Column> cols;
+    for (size_t c = 0; c < arity; ++c) {
+      const ColKind kind =
+          g->rng.Bernoulli(0.75) ? ColKind::kInt : ColKind::kSymbol;
+      g->kinds[r].push_back(kind);
+      cols.push_back(rel::Column{
+          StrCat("c", c),
+          kind == ColKind::kInt ? rel::ValueType::kInt
+                                : rel::ValueType::kString});
+    }
+    rel::Relation table(StrCat("b", r), rel::Schema(std::move(cols)));
+    const size_t rows = static_cast<size_t>(
+        g->rng.Uniform(8, static_cast<int64_t>(g->params.max_rows)));
+    for (size_t i = 0; i < rows; ++i) {
+      rel::Tuple t;
+      for (size_t c = 0; c < arity; ++c) {
+        t.push_back(g->RandomValue(g->kinds[r][c]));
+      }
+      table.AppendUnchecked(std::move(t));
+    }
+    (void)db.AddTable(std::move(table));
+  }
+  return db;
+}
+
+/// A conjunctive body under construction: join-connected relation atoms
+/// over the generated schema, tracking which domain each variable ranges
+/// over so comparisons and instance constants are type-sensible.
+struct BodyDraft {
+  std::vector<Atom> atoms;
+  /// First-occurrence order; values are the variable's column domain.
+  std::vector<std::pair<std::string, ColKind>> vars;
+
+  ColKind KindOf(const std::string& var) const {
+    for (const auto& [name, kind] : vars) {
+      if (name == var) return kind;
+    }
+    return ColKind::kInt;
+  }
+};
+
+/// Draws a connected conjunctive body of `num_atoms` relation atoms: the
+/// first atom introduces fresh variables; each later atom reuses at least
+/// one existing variable so the query is one join component.
+BodyDraft DrawBody(GenState* g, size_t num_atoms, const std::string& var_prefix,
+                   double constant_prob) {
+  BodyDraft draft;
+  size_t next_var = 0;
+  for (size_t a = 0; a < num_atoms; ++a) {
+    const size_t r =
+        static_cast<size_t>(g->rng.Uniform(0, g->num_relations - 1));
+    const size_t arity = g->kinds[r].size();
+    std::vector<Term> args(arity, Term::Int(0));
+    // Pick one position to carry the join when prior atoms exist.
+    std::vector<size_t> reusable;  // positions whose kind matches some var
+    if (a > 0) {
+      for (size_t c = 0; c < arity; ++c) {
+        for (const auto& [name, kind] : draft.vars) {
+          if (kind == g->kinds[r][c]) {
+            reusable.push_back(c);
+            break;
+          }
+        }
+      }
+    }
+    size_t join_pos = arity;  // none
+    if (!reusable.empty()) {
+      join_pos = reusable[static_cast<size_t>(
+          g->rng.Uniform(0, static_cast<int64_t>(reusable.size()) - 1))];
+    }
+    for (size_t c = 0; c < arity; ++c) {
+      const ColKind kind = g->kinds[r][c];
+      // Candidate existing variables of the same domain.
+      std::vector<std::string> candidates;
+      for (const auto& [name, vkind] : draft.vars) {
+        if (vkind == kind) candidates.push_back(name);
+      }
+      const bool force_join = c == join_pos && !candidates.empty();
+      if (force_join || (!candidates.empty() && g->rng.Bernoulli(0.4))) {
+        args[c] = Term::Var(candidates[static_cast<size_t>(g->rng.Uniform(
+            0, static_cast<int64_t>(candidates.size()) - 1))]);
+      } else if (g->rng.Bernoulli(constant_prob)) {
+        args[c] = Term::Const(g->RandomValue(kind));
+      } else {
+        const std::string name = StrCat(var_prefix, next_var++);
+        draft.vars.emplace_back(name, kind);
+        args[c] = Term::Var(name);
+      }
+    }
+    draft.atoms.emplace_back(StrCat("b", r), std::move(args));
+  }
+  return draft;
+}
+
+/// Appends a comparison atom over an int variable of the draft, if any.
+void MaybeAddComparison(GenState* g, BodyDraft* draft) {
+  std::vector<std::string> int_vars;
+  for (const auto& [name, kind] : draft->vars) {
+    if (kind == ColKind::kInt) int_vars.push_back(name);
+  }
+  if (int_vars.empty()) return;
+  static const char* kOps[] = {"<", "<=", ">", ">=", "!="};
+  const std::string& var = int_vars[static_cast<size_t>(
+      g->rng.Uniform(0, static_cast<int64_t>(int_vars.size()) - 1))];
+  const char* op = kOps[g->rng.Uniform(0, 4)];
+  // Mid-domain constants keep the selection from being trivially empty
+  // or trivially full.
+  const int64_t c = g->rng.Uniform(1, static_cast<int64_t>(g->params.domain) - 2);
+  draft->atoms.emplace_back(op,
+                            std::vector<Term>{Term::Var(var), Term::Int(c)});
+}
+
+std::vector<ViewSpec> MakeViews(GenState* g, size_t num_views) {
+  std::vector<ViewSpec> views;
+  for (size_t v = 0; v < num_views; ++v) {
+    BodyDraft draft = DrawBody(g, static_cast<size_t>(g->rng.Uniform(1, 3)),
+                               StrCat("V", v, "_"), /*constant_prob=*/0.1);
+    if (g->rng.Bernoulli(g->params.comparison_prob)) {
+      MaybeAddComparison(g, &draft);
+    }
+    ViewSpec view;
+    view.id = StrCat("d", v);
+    view.body = draft.atoms;
+    // Head: 1..3 distinct body variables, producer or consumer annotated.
+    const size_t head_size = std::min<size_t>(
+        draft.vars.size(), static_cast<size_t>(g->rng.Uniform(1, 3)));
+    for (size_t i = 0; i < head_size; ++i) {
+      view.head.push_back(AnnotatedVar{
+          draft.vars[i].first,
+          g->rng.Bernoulli(0.4) ? Binding::kConsumer : Binding::kProducer});
+    }
+    if (view.head.empty()) continue;  // degenerate (all-constant body)
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+/// Builds a path expression mentioning every view: a top-level sequence of
+/// patterns where one stretch is wrapped in an alternation and one element
+/// carries a repetition bound — the constructs of paper §4.2.2.
+advice::PathExprPtr MakePathExpr(GenState* g,
+                                 const std::vector<ViewSpec>& views) {
+  if (views.empty()) return nullptr;
+  std::vector<advice::PathExprPtr> elements;
+  for (const ViewSpec& v : views) {
+    elements.push_back(PathExpr::Pattern(v.id, v.head));
+  }
+  // Wrap a random adjacent pair into an alternation.
+  if (elements.size() >= 2 && g->rng.Bernoulli(0.7)) {
+    const size_t i = static_cast<size_t>(
+        g->rng.Uniform(0, static_cast<int64_t>(elements.size()) - 2));
+    auto alt = PathExpr::Alternation({elements[i], elements[i + 1]},
+                                     g->rng.Bernoulli(0.5) ? 1 : 0);
+    elements[i] = std::move(alt);
+    elements.erase(elements.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+  // Give one element a repetition bound.
+  if (g->rng.Bernoulli(0.7)) {
+    const size_t i = static_cast<size_t>(
+        g->rng.Uniform(0, static_cast<int64_t>(elements.size()) - 1));
+    elements[i] = PathExpr::Sequence(
+        {elements[i]}, RepBound::Fixed(1),
+        RepBound::Fixed(static_cast<size_t>(g->rng.Uniform(1, 3))));
+  }
+  return PathExpr::Sequence(std::move(elements), RepBound::Fixed(1),
+                            RepBound::Fixed(1));
+}
+
+/// Instance of `view` with consumer variables bound to constants from the
+/// view's small pool (pool reuse is what creates recurrence for
+/// generalization and the exact-match path).
+CaqlQuery InstantiateView(GenState* g, const ViewSpec& view,
+                          const std::vector<std::vector<Value>>& pools,
+                          size_t view_index) {
+  std::vector<Term> args;
+  for (size_t i = 0; i < view.head.size(); ++i) {
+    if (view.head[i].binding == Binding::kConsumer) {
+      const std::vector<Value>& pool = pools[view_index];
+      // Mostly pool constants (overlap), occasionally a fresh draw.
+      if (!pool.empty() && g->rng.Bernoulli(0.8)) {
+        args.push_back(Term::Const(pool[static_cast<size_t>(g->rng.Uniform(
+            0, static_cast<int64_t>(pool.size()) - 1))]));
+      } else {
+        // Fresh constants share the pool's domain.
+        args.push_back(Term::Const(g->RandomValue(ColKind::kInt)));
+      }
+    } else {
+      args.push_back(Term::Var(view.head[i].name));
+    }
+  }
+  return view.Instantiate(args);
+}
+
+CaqlQuery DrawAdhocQuery(GenState* g, size_t index) {
+  BodyDraft draft = DrawBody(g, static_cast<size_t>(g->rng.Uniform(1, 3)),
+                             StrCat("A", index, "_"), /*constant_prob=*/0.2);
+  if (g->rng.Bernoulli(g->params.comparison_prob)) {
+    MaybeAddComparison(g, &draft);
+  }
+  // Negation: a negated atom whose variables all come from positive atoms
+  // (safety); remaining positions become constants.
+  if (g->rng.Bernoulli(g->params.negation_prob) && !draft.vars.empty()) {
+    const size_t r =
+        static_cast<size_t>(g->rng.Uniform(0, g->num_relations - 1));
+    std::vector<Term> args;
+    for (size_t c = 0; c < g->kinds[r].size(); ++c) {
+      const ColKind kind = g->kinds[r][c];
+      std::vector<std::string> candidates;
+      for (const auto& [name, vkind] : draft.vars) {
+        if (vkind == kind) candidates.push_back(name);
+      }
+      if (!candidates.empty() && g->rng.Bernoulli(0.6)) {
+        args.push_back(Term::Var(candidates[static_cast<size_t>(g->rng.Uniform(
+            0, static_cast<int64_t>(candidates.size()) - 1))]));
+      } else {
+        args.push_back(Term::Const(g->RandomValue(kind)));
+      }
+    }
+    draft.atoms.emplace_back(StrCat("b", r), std::move(args), /*neg=*/true);
+  }
+
+  CaqlQuery q;
+  q.name = StrCat("q", index);
+  q.distinct = g->rng.Bernoulli(g->params.distinct_prob);
+  const size_t head_size = std::max<size_t>(
+      1, std::min<size_t>(draft.vars.size(),
+                          static_cast<size_t>(g->rng.Uniform(1, 3))));
+  for (size_t i = 0; i < head_size && i < draft.vars.size(); ++i) {
+    q.head_args.push_back(Term::Var(draft.vars[i].first));
+  }
+  if (g->rng.Bernoulli(g->params.constant_head_prob)) {
+    q.head_args.push_back(Term::Const(g->RandomValue(ColKind::kInt)));
+  }
+  q.body = std::move(draft.atoms);
+  return q;
+}
+
+}  // namespace
+
+GeneratedWorkload GenerateWorkload(const WorkloadParams& params) {
+  GenState g(params);
+  g.num_relations = params.num_relations != 0
+                        ? params.num_relations
+                        : static_cast<size_t>(g.rng.Uniform(3, 6));
+  const size_t num_views = params.num_views != 0
+                               ? params.num_views
+                               : static_cast<size_t>(g.rng.Uniform(2, 4));
+
+  GeneratedWorkload out;
+  out.database = MakeDatabase(&g);
+  std::vector<ViewSpec> views = MakeViews(&g, num_views);
+
+  // Per-view constant pools for consumer arguments: three values each, so
+  // instances recur and generalization pays off.
+  std::vector<std::vector<Value>> pools(views.size());
+  for (size_t v = 0; v < views.size(); ++v) {
+    for (int i = 0; i < 3; ++i) {
+      pools[v].push_back(g.RandomValue(ColKind::kInt));
+    }
+  }
+
+  std::set<std::string> mentioned;
+  for (const ViewSpec& v : views) {
+    for (const Atom& a : v.body) {
+      if (!a.IsComparison()) mentioned.insert(a.predicate);
+    }
+  }
+  out.advice.base_relations.assign(mentioned.begin(), mentioned.end());
+  out.advice.view_specs = views;
+  out.advice.path_expression = MakePathExpr(&g, views);
+
+  for (size_t i = 0; i < params.num_queries; ++i) {
+    CaqlQuery q;
+    const bool can_repeat = !out.queries.empty();
+    if (can_repeat && g.rng.Bernoulli(params.repeat_prob)) {
+      q = out.queries[static_cast<size_t>(g.rng.Uniform(
+          0, static_cast<int64_t>(out.queries.size()) - 1))];
+    } else if (!views.empty() && !g.rng.Bernoulli(params.adhoc_prob)) {
+      // Bias view choice toward path order so the tracker's predictions
+      // come true often enough for prefetch to matter.
+      const size_t v = g.rng.Bernoulli(0.6)
+                           ? i % views.size()
+                           : static_cast<size_t>(g.rng.Uniform(
+                                 0, static_cast<int64_t>(views.size()) - 1));
+      q = InstantiateView(&g, views[v], pools, v);
+    } else {
+      q = DrawAdhocQuery(&g, i);
+    }
+    // The generator aims to always produce valid CAQL; skip (rare)
+    // degenerate draws rather than feeding known-invalid queries to a
+    // differential run that asserts clean behaviour on valid input.
+    if (!q.Validate().ok()) {
+      q = DrawAdhocQuery(&g, i);
+      if (!q.Validate().ok()) continue;
+    }
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace braid::testing

@@ -1,0 +1,63 @@
+#ifndef BRAID_TESTING_WORKLOAD_GEN_H_
+#define BRAID_TESTING_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advice/advice.h"
+#include "caql/caql_query.h"
+#include "common/rng.h"
+#include "dbms/database.h"
+
+namespace braid::testing {
+
+/// Tuning knobs of the random-workload generator. Everything downstream of
+/// `seed` is deterministic: one uint64_t reproduces the schema, the base
+/// data, the advice, and the whole query stream.
+struct WorkloadParams {
+  uint64_t seed = 0;
+
+  /// Base relations ("b0".."bN-1", arity 2-3). 0 = derive 3..6 from seed.
+  size_t num_relations = 0;
+  /// View specifications ("d0".."dM-1"). 0 = derive 2..4 from seed.
+  size_t num_views = 0;
+  size_t num_queries = 24;
+
+  /// Rows per base relation are drawn from [8, max_rows].
+  size_t max_rows = 48;
+  /// Int column values come from [0, domain); symbol columns from a pool
+  /// of domain/2 strings. A small domain makes joins productive and makes
+  /// repeated constants likely, which is what drives cache overlap.
+  size_t domain = 12;
+
+  /// Probability that a stream entry is an ad-hoc conjunctive query
+  /// rather than a view-specification instance.
+  double adhoc_prob = 0.3;
+  /// Probability that an ad-hoc query repeats an earlier stream entry
+  /// verbatim (exercises the exact-match fast path).
+  double repeat_prob = 0.25;
+  double distinct_prob = 0.15;
+  double negation_prob = 0.1;
+  double comparison_prob = 0.35;
+  double constant_head_prob = 0.15;
+};
+
+/// One generated session: a remote database, the advice the IE would send
+/// at session start (view specs with producer/consumer annotations and a
+/// path expression with repetition and alternation), and the CAQL stream.
+struct GeneratedWorkload {
+  dbms::Database database;
+  advice::AdviceSet advice;
+  std::vector<caql::CaqlQuery> queries;
+};
+
+/// Builds the workload for `params`. Queries are biased toward overlap —
+/// view instances reuse small per-view constant pools and ad-hoc queries
+/// repeat earlier entries — so subsumption, generalization, and prefetch
+/// actually fire instead of every query going remote.
+GeneratedWorkload GenerateWorkload(const WorkloadParams& params);
+
+}  // namespace braid::testing
+
+#endif  // BRAID_TESTING_WORKLOAD_GEN_H_

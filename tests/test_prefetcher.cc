@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <thread>
+#include <tuple>
 
 #include "advice/advice.h"
 #include "cms/cms.h"
@@ -37,8 +38,15 @@ dbms::Database TestDb() {
   for (int i = 0; i < 20; ++i) {
     b2.AppendUnchecked({Value::Int(i), Value::Int(i * 10)});
   }
+  // A wide filler table used by the eviction tests: big enough that
+  // evicting its cached extension frees room for anything else here.
+  rel::Relation b3("b3", rel::Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 60; ++i) {
+    b3.AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
+  }
   (void)db.AddTable(std::move(b1));
   (void)db.AddTable(std::move(b2));
+  (void)db.AddTable(std::move(b3));
   return db;
 }
 
@@ -65,6 +73,18 @@ advice::AdviceSet D1ThenD2Advice() {
       {advice::PathExpr::Pattern("d1", {}),
        advice::PathExpr::Pattern("d2", {})},
       advice::RepBound::Fixed(1), advice::RepBound::Fixed(1));
+  return advice;
+}
+
+/// Like D1ThenD2Advice but the d1-d2 sequence may repeat up to three
+/// times, so after observing d1 the advisor still predicts d1 itself
+/// within the replacement horizon — the element is eviction-protected.
+advice::AdviceSet RepeatingD1D2Advice() {
+  advice::AdviceSet advice = D1ThenD2Advice();
+  advice.path_expression = advice::PathExpr::Sequence(
+      {advice::PathExpr::Pattern("d1", {}),
+       advice::PathExpr::Pattern("d2", {})},
+      advice::RepBound::Fixed(1), advice::RepBound::Fixed(3));
   return advice;
 }
 
@@ -282,6 +302,136 @@ TEST(Prefetcher, OverlapReducesMeasuredWallClock) {
   // bound keeps this robust under sanitizer and CI load.
   EXPECT_LT(on, off * 0.5) << "prefetch off " << off << "ms, on " << on
                            << "ms";
+}
+
+TEST(Prefetcher, HarvestAtCapacityEvictsUnadvisedKeepsAdvised) {
+  // A harvested prefetch that lands at cache capacity must go through
+  // MakeRoom like any other insert, and replacement must sacrifice the
+  // unadvised element while the advised one (predicted again within the
+  // horizon by the repeating path) survives.
+  const auto q0 = Q("q0(X, Y) :- b3(X, Y)");
+  const auto d1q = Q("d1(X, Y) :- b1(X, Y)");
+  auto sizes_of = [](Cms& cms) {
+    size_t q0_size = 0, d1_size = 0, d2_size = 0;
+    for (const auto& [id, e] : cms.cache().model().elements()) {
+      if (e->definition().name == "q0") q0_size = e->ByteSize();
+      if (e->definition().name == "d1") d1_size = e->ByteSize();
+      if (e->definition().name == "d2") d2_size = e->ByteSize();
+    }
+    return std::make_tuple(q0_size, d1_size, d2_size);
+  };
+  auto run_session = [&](Cms& cms) {
+    // Session 1 has no advice: q0's cached answer is unprotected. The
+    // cache persists into session 2, where d1 is advised and its query
+    // launches the d2 prefetch; nothing else runs before the drain, so
+    // the harvest install is the only insert that can evict.
+    cms.BeginSession(advice::AdviceSet{});
+    ASSERT_TRUE(cms.Query(q0).ok());
+    cms.BeginSession(RepeatingD1D2Advice());
+    ASSERT_TRUE(cms.Query(d1q).ok());
+  };
+
+  // Measuring pass: an effectively unbounded budget records each
+  // element's real footprint so the constrained budget below is exact.
+  size_t q0_size = 0, d1_size = 0, d2_size = 0;
+  {
+    dbms::RemoteDbms remote(TestDb());
+    Cms cms(&remote, CmsConfig{});
+    run_session(cms);
+    cms.DrainPrefetches();
+    std::tie(q0_size, d1_size, d2_size) = sizes_of(cms);
+    ASSERT_GT(q0_size, 0u);
+    ASSERT_GT(d1_size, 0u);
+    ASSERT_GT(d2_size, 0u);
+    // Evicting q0 alone must free enough for d2, so exactly one
+    // eviction settles the constrained pass.
+    ASSERT_GE(q0_size + 64, d2_size);
+  }
+
+  // Constrained pass: q0 and d1 fill the cache to within 64 bytes.
+  CmsConfig config;
+  config.cache_budget_bytes = q0_size + d1_size + 64;
+  dbms::RemoteDbms remote(TestDb());
+  Cms cms(&remote, config);
+  run_session(cms);
+  EXPECT_EQ(cms.cache().stats().evictions, 0u);
+
+  cms.DrainPrefetches();  // harvest installs d2 at capacity
+  EXPECT_EQ(cms.cache().stats().evictions, 1u);
+  auto [q0_after, d1_after, d2_after] = sizes_of(cms);
+  EXPECT_EQ(q0_after, 0u) << "unadvised element should be the victim";
+  EXPECT_GT(d1_after, 0u) << "advised element must survive the harvest";
+  EXPECT_GT(d2_after, 0u) << "harvested prefetch must be installed";
+}
+
+TEST(Prefetcher, OversizedHarvestIsCountedWastedNotInstalled) {
+  // The admission estimate for a skewed join is far below the actual
+  // result: d2 passes JudgeSpeculative (estimate 40 rows, well under
+  // budget/2) but the fetched extension (152 rows) exceeds the whole
+  // budget, so the harvest-time Insert refuses it and the pipeline
+  // charges prefetch.wasted instead of evicting everything else.
+  dbms::Database db;
+  rel::Relation b1("b1", rel::Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 20; ++i) {
+    b1.AppendUnchecked({Value::Int(i % 5), Value::Int(i)});
+  }
+  rel::Relation s1("s1", rel::Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 20; ++i) {
+    s1.AppendUnchecked({Value::Int(i), Value::Int(i < 10 ? i : 7)});
+  }
+  rel::Relation s2("s2", rel::Schema::FromNames({"b", "c"}));
+  for (int i = 0; i < 24; ++i) {
+    s2.AppendUnchecked({Value::Int(i < 12 ? i : 7), Value::Int(100 + i)});
+  }
+  (void)db.AddTable(std::move(b1));
+  (void)db.AddTable(std::move(s1));
+  (void)db.AddTable(std::move(s2));
+
+  advice::AdviceSet advice;
+  advice::ViewSpec d1;
+  d1.id = "d1";
+  d1.head = {advice::AnnotatedVar{"X", advice::Binding::kProducer},
+             advice::AnnotatedVar{"Y", advice::Binding::kProducer}};
+  d1.body = {logic::Atom("b1", {logic::Term::Var("X"),
+                                logic::Term::Var("Y")})};
+  advice.view_specs.push_back(d1);
+  advice::ViewSpec d2;
+  d2.id = "d2";
+  d2.head = {advice::AnnotatedVar{"A", advice::Binding::kProducer},
+             advice::AnnotatedVar{"C", advice::Binding::kProducer}};
+  d2.body = {logic::Atom("s1", {logic::Term::Var("A"),
+                                logic::Term::Var("B")}),
+             logic::Atom("s2", {logic::Term::Var("B"),
+                                logic::Term::Var("C")})};
+  advice.view_specs.push_back(d2);
+  advice.path_expression = advice::PathExpr::Sequence(
+      {advice::PathExpr::Pattern("d1", {}),
+       advice::PathExpr::Pattern("d2", {})},
+      advice::RepBound::Fixed(1), advice::RepBound::Fixed(1));
+
+  CmsConfig config;
+  config.cache_budget_bytes = 4000;
+  dbms::RemoteDbms remote(std::move(db));
+  Cms cms(&remote, config);
+  cms.BeginSession(advice);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t wasted_before = reg.CounterValue("prefetch.wasted");
+  ASSERT_TRUE(cms.Query(Q("d1(X, Y) :- b1(X, Y)")).ok());
+  cms.DrainPrefetches();
+
+  EXPECT_EQ(reg.CounterValue("prefetch.wasted"), wasted_before + 1);
+  EXPECT_EQ(cms.cache().stats().rejected_too_large, 1u);
+  // The refusal happened before MakeRoom: d1 was not pointlessly
+  // sacrificed for an element that could never fit.
+  EXPECT_EQ(cms.cache().stats().evictions, 0u);
+  bool has_d1 = false, has_d2 = false;
+  for (const auto& [id, e] : cms.cache().model().elements()) {
+    if (e->definition().name == "d1") has_d1 = true;
+    if (e->definition().name == "d2") has_d2 = true;
+  }
+  EXPECT_TRUE(has_d1);
+  EXPECT_FALSE(has_d2);
 }
 
 }  // namespace

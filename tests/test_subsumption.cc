@@ -369,6 +369,82 @@ TEST(Subsumption, TruncationAtCapIsCounted) {
       before);
 }
 
+TEST(Subsumption, ExactlyAtMappingCapNoTruncation) {
+  // A single-atom element against a query with exactly 1024 independent
+  // p-atoms yields exactly kMaxResults mappings: the cap is reached but
+  // never exceeded, so the truncation counter must not move and every
+  // covered set is represented.
+  CaqlQuery def = Q("v(A, B) :- p(A, B)");
+  CaqlQuery query;
+  query.name = "q";
+  query.head_args = {logic::Term::Var("X0")};
+  for (int i = 0; i < 1024; ++i) {
+    const std::string s = std::to_string(i);
+    query.body.push_back(logic::Atom(
+        "p", {logic::Term::Var("X" + s), logic::Term::Var("Y" + s)}));
+  }
+  ASSERT_TRUE(query.Validate().ok());
+
+  const uint64_t before =
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations");
+  auto all = ComputeSubsumptionAll(def, query);
+  EXPECT_EQ(all.size(), 1024u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations"),
+      before);
+}
+
+TEST(Subsumption, OneBeyondMappingCapTruncatesButStillMatches) {
+  // 1025 candidate mappings: the 1025th is cut off, the counter records
+  // the truncation, and a usable match — including one binding the head
+  // variable of the query — survives below the cap.
+  CaqlQuery def = Q("v(A, B) :- p(A, B)");
+  CaqlQuery query;
+  query.name = "q";
+  query.head_args = {logic::Term::Var("X0")};
+  for (int i = 0; i < 1025; ++i) {
+    const std::string s = std::to_string(i);
+    query.body.push_back(logic::Atom(
+        "p", {logic::Term::Var("X" + s), logic::Term::Var("Y" + s)}));
+  }
+  ASSERT_TRUE(query.Validate().ok());
+
+  const uint64_t before =
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations");
+  auto all = ComputeSubsumptionAll(def, query);
+  EXPECT_EQ(all.size(), 1024u);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().CounterValue("subsumption.truncations"),
+      before);
+  bool head_match = false;
+  for (const SubsumptionMatch& m : all) {
+    if (m.var_to_column.count("X0") > 0 &&
+        m.covered == std::vector<size_t>{0}) {
+      head_match = true;
+    }
+  }
+  EXPECT_TRUE(head_match);
+}
+
+TEST(Subsumption, DistinctElementNeverServesBagQuery) {
+  // Regression for a transparency bug the differential harness caught
+  // (seed 25): a cached SETOF element reused for a BAGOF query loses
+  // duplicate multiplicities. SETOF -> BAGOF reuse must be rejected;
+  // BAGOF -> SETOF and SETOF -> SETOF remain sound (assembly dedups).
+  CaqlQuery set_def = Q("v(A) :- p(A, B)");
+  set_def.distinct = true;
+  CaqlQuery bag_def = Q("v(A) :- p(A, B)");
+
+  CaqlQuery bag_query = Q("q(X) :- p(X, Y)");
+  CaqlQuery set_query = Q("q(X) :- p(X, Y)");
+  set_query.distinct = true;
+
+  EXPECT_TRUE(ComputeSubsumptionAll(set_def, bag_query).empty());
+  EXPECT_FALSE(ComputeSubsumptionAll(bag_def, bag_query).empty());
+  EXPECT_FALSE(ComputeSubsumptionAll(bag_def, set_query).empty());
+  EXPECT_FALSE(ComputeSubsumptionAll(set_def, set_query).empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, SubsumptionSoundness,
                          ::testing::Values(SoundnessCase{1}, SoundnessCase{2},
                                            SoundnessCase{3}, SoundnessCase{4},
