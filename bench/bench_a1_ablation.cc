@@ -34,7 +34,7 @@ RunResult RunSession(const cms::CmsConfig& config) {
   options.cms = config;
   options.network = net;
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+  BRAID_CHECK_OK(logic::ParseProgram(workload::GenealogyKb(), &kb));
   BraidSystem braid(workload::MakeGenealogyDatabase(params), std::move(kb),
                     options);
 

@@ -96,8 +96,8 @@ dbms::Database TwoTableDb() {
     b1.AppendUnchecked({rel::Value::Int(i % 64), rel::Value::Int(i)});
     b2.AppendUnchecked({rel::Value::Int(i), rel::Value::Int(i + 1000)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   return db;
 }
 

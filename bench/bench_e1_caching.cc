@@ -35,7 +35,7 @@ RunResult RunSession(baselines::CouplingMode mode, size_t distinct,
   BraidSystem braid(workload::MakeGenealogyDatabase(params),
                     [] {
                       logic::KnowledgeBase kb;
-                      (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+                      BRAID_CHECK_OK(logic::ParseProgram(workload::GenealogyKb(), &kb));
                       return kb;
                     }(),
                     options);

@@ -51,7 +51,7 @@ RunResult Run(bool enable_lazy, double fraction) {
   // Prime the cache so the join is fully local (lazy evaluation requires
   // all data in the cache, §5.1).
   auto prime = caql::ParseCaql("all(X, Y) :- parent(X, Y)");
-  (void)cms.Query(prime.value());
+  BRAID_CHECK_OK(cms.Query(prime.value()));
 
   auto q = caql::ParseCaql("j(X, Z) :- parent(X, Y) & parent(Y, Z)");
   auto a = cms.Query(q.value());

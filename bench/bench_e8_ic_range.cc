@@ -43,7 +43,7 @@ RunResult Run(ie::StrategyKind strategy, size_t conj, size_t max_solutions,
   options.cms.enable_prefetch = advice;
   options.cms.enable_generalization = advice;
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+  BRAID_CHECK_OK(logic::ParseProgram(workload::GenealogyKb(), &kb));
   BraidSystem braid(workload::MakeGenealogyDatabase(params), std::move(kb),
                     options);
   auto out = braid.Ask(query);

@@ -45,9 +45,9 @@ braid::dbms::Database ExampleDatabase() {
   Relation b3("b3", Schema::FromNames({"a", "b", "c"}));
   b3.AppendUnchecked({Value::Int(20), Value::String("c2"), Value::Int(1)});
   b3.AppendUnchecked({Value::Int(9), Value::String("c3"), Value::Int(9)});
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
-  (void)db.AddTable(std::move(b3));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b3)));
   return db;
 }
 

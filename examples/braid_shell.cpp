@@ -48,7 +48,7 @@ std::unique_ptr<BraidSystem> LoadWorkload(const std::string& name,
   if (name == "genealogy") {
     workload::GenealogyParams params;
     if (size > 0) params.people = size;
-    (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+    BRAID_CHECK_OK(logic::ParseProgram(workload::GenealogyKb(), &kb));
     return std::make_unique<BraidSystem>(
         workload::MakeGenealogyDatabase(params), std::move(kb));
   }
@@ -59,7 +59,7 @@ std::unique_ptr<BraidSystem> LoadWorkload(const std::string& name,
       params.parts = size;
       params.supplies = size * 5;
     }
-    (void)logic::ParseProgram(workload::SupplierKb(), &kb);
+    BRAID_CHECK_OK(logic::ParseProgram(workload::SupplierKb(), &kb));
     return std::make_unique<BraidSystem>(
         workload::MakeSupplierDatabase(params), std::move(kb));
   }
@@ -69,7 +69,7 @@ std::unique_ptr<BraidSystem> LoadWorkload(const std::string& name,
       params.items = size;
       params.leaves = size * 3 / 5;
     }
-    (void)logic::ParseProgram(workload::BomKb(), &kb);
+    BRAID_CHECK_OK(logic::ParseProgram(workload::BomKb(), &kb));
     return std::make_unique<BraidSystem>(workload::MakeBomDatabase(params),
                                          std::move(kb));
   }
@@ -79,7 +79,7 @@ std::unique_ptr<BraidSystem> LoadWorkload(const std::string& name,
       params.nodes = size;
       params.edges = size * 3;
     }
-    (void)logic::ParseProgram(workload::GraphKb(), &kb);
+    BRAID_CHECK_OK(logic::ParseProgram(workload::GraphKb(), &kb));
     return std::make_unique<BraidSystem>(workload::MakeGraphDatabase(params),
                                          std::move(kb));
   }

@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
                         rel::Value::Int(1)});
     b3.AppendUnchecked({rel::Value::Int(21), rel::Value::String("c2"),
                         rel::Value::Int(2)});
-    (void)db.AddTable(std::move(b1));
-    (void)db.AddTable(std::move(b2));
-    (void)db.AddTable(std::move(b3));
+    BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+    BRAID_CHECK_OK(db.AddTable(std::move(b2)));
+    BRAID_CHECK_OK(db.AddTable(std::move(b3)));
   }
 
   // 2. The knowledge base: the paper's Example-1 rules.

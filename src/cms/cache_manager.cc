@@ -10,6 +10,7 @@
 namespace braid::cms {
 
 bool CacheManager::Insert(CacheElementPtr element) {
+  BRAID_SINGLE_THREAD(sequence_);
   const size_t size = element->ByteSize();
   if (size > budget_bytes_) {
     ++stats_.rejected_too_large;
@@ -33,6 +34,7 @@ bool CacheManager::Insert(CacheElementPtr element) {
 }
 
 void CacheManager::Touch(const std::string& id) {
+  BRAID_SINGLE_THREAD(sequence_);
   CacheElementPtr e = model_.Find(id);
   if (e == nullptr) return;
   e->stats().last_used_seq = clock_;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cms/cache_model.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace braid::cms {
 
@@ -33,16 +35,29 @@ class CacheManager {
   CacheManager(size_t budget_bytes, size_t replacement_horizon)
       : budget_bytes_(budget_bytes), horizon_(replacement_horizon) {}
 
-  CacheModel& model() { return model_; }
-  const CacheModel& model() const { return model_; }
+  CacheModel& model() {
+    BRAID_SINGLE_THREAD(sequence_);
+    return model_;
+  }
+  const CacheModel& model() const {
+    BRAID_SINGLE_THREAD(sequence_);
+    return model_;
+  }
 
   void set_replacement_advisor(ReplacementAdvisor advisor) {
+    BRAID_SINGLE_THREAD(sequence_);
     advisor_ = std::move(advisor);
   }
 
   /// Advances the logical clock (call once per IE query).
-  void Tick() { ++clock_; }
-  uint64_t clock() const { return clock_; }
+  void Tick() {
+    BRAID_SINGLE_THREAD(sequence_);
+    ++clock_;
+  }
+  uint64_t clock() const {
+    BRAID_SINGLE_THREAD(sequence_);
+    return clock_;
+  }
 
   /// Inserts `element`, evicting as needed. Returns false if the element
   /// alone exceeds the budget (it is not cached).
@@ -52,19 +67,29 @@ class CacheManager {
   void Touch(const std::string& id);
 
   size_t budget_bytes() const { return budget_bytes_; }
-  const CacheManagerStats& stats() const { return stats_; }
+  const CacheManagerStats& stats() const {
+    BRAID_SINGLE_THREAD(sequence_);
+    return stats_;
+  }
 
  private:
   /// Evicts elements until at least `needed` bytes are free (or nothing
-  /// evictable remains). `exclude` is never evicted.
-  void MakeRoom(size_t needed, const std::string& exclude);
+  /// evictable remains). `exclude` is never evicted. Callers hold the
+  /// sequence capability (every public entry point checks it).
+  void MakeRoom(size_t needed, const std::string& exclude)
+      BRAID_REQUIRES(sequence_);
 
-  CacheModel model_;
-  size_t budget_bytes_;
-  size_t horizon_;
-  uint64_t clock_ = 0;
-  ReplacementAdvisor advisor_;
-  CacheManagerStats stats_;
+  /// Single-threaded by design, like the CacheModel it owns: all mutation
+  /// happens on the foreground CMS thread (prefetch results install
+  /// foreground-side). Checked at runtime; see DESIGN.md §"Concurrency
+  /// contract".
+  mutable SequenceChecker sequence_;
+  CacheModel model_ BRAID_GUARDED_BY(sequence_);
+  const size_t budget_bytes_;  // immutable after construction
+  const size_t horizon_;       // immutable after construction
+  uint64_t clock_ BRAID_GUARDED_BY(sequence_) = 0;
+  ReplacementAdvisor advisor_ BRAID_GUARDED_BY(sequence_);
+  CacheManagerStats stats_ BRAID_GUARDED_BY(sequence_);
 };
 
 }  // namespace braid::cms

@@ -6,9 +6,13 @@
 
 namespace braid::cms {
 
-std::string CacheModel::NextId() { return StrCat("E", next_id_++); }
+std::string CacheModel::NextId() {
+  BRAID_SINGLE_THREAD(sequence_);
+  return StrCat("E", next_id_++);
+}
 
 void CacheModel::Register(CacheElementPtr element) {
+  BRAID_SINGLE_THREAD(sequence_);
   const std::string& id = element->id();
   Remove(id);
   for (const logic::Atom& a : element->definition().RelationAtoms()) {
@@ -20,6 +24,7 @@ void CacheModel::Register(CacheElementPtr element) {
 }
 
 void CacheModel::Remove(const std::string& id) {
+  BRAID_SINGLE_THREAD(sequence_);
   auto it = elements_.find(id);
   if (it == elements_.end()) return;
   for (const logic::Atom& a : it->second->definition().RelationAtoms()) {
@@ -39,12 +44,14 @@ void CacheModel::Remove(const std::string& id) {
 }
 
 CacheElementPtr CacheModel::Find(const std::string& id) const {
+  BRAID_SINGLE_THREAD(sequence_);
   auto it = elements_.find(id);
   return it == elements_.end() ? nullptr : it->second;
 }
 
 std::vector<CacheElementPtr> CacheModel::ByPredicate(
     const std::string& predicate) const {
+  BRAID_SINGLE_THREAD(sequence_);
   std::vector<CacheElementPtr> out;
   auto it = by_predicate_.find(predicate);
   if (it == by_predicate_.end()) return out;
@@ -57,11 +64,13 @@ std::vector<CacheElementPtr> CacheModel::ByPredicate(
 }
 
 CacheElementPtr CacheModel::ByCanonicalKey(const std::string& key) const {
+  BRAID_SINGLE_THREAD(sequence_);
   auto it = by_canonical_key_.find(key);
   return it == by_canonical_key_.end() ? nullptr : Find(it->second);
 }
 
 bool CacheModel::HasMaterializedFor(const std::string& predicate) const {
+  BRAID_SINGLE_THREAD(sequence_);
   auto it = by_predicate_.find(predicate);
   if (it == by_predicate_.end()) return false;
   for (const std::string& id : it->second) {
@@ -72,6 +81,7 @@ bool CacheModel::HasMaterializedFor(const std::string& predicate) const {
 }
 
 rel::Relation CacheModel::AsRelation() const {
+  BRAID_SINGLE_THREAD(sequence_);
   rel::Relation out("cache_model",
                     rel::Schema::FromNames(
                         {"e_id", "e_def", "form", "tuples", "bytes", "hits"}));
@@ -90,12 +100,14 @@ rel::Relation CacheModel::AsRelation() const {
 }
 
 size_t CacheModel::TotalBytes() const {
+  BRAID_SINGLE_THREAD(sequence_);
   size_t total = 0;
   for (const auto& [id, e] : elements_) total += e->ByteSize();
   return total;
 }
 
 std::string CacheModel::ToString() const {
+  BRAID_SINGLE_THREAD(sequence_);
   std::ostringstream os;
   os << "cache: " << elements_.size() << " elements, " << TotalBytes()
      << " bytes";

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "cms/cache_element.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace braid::cms {
 
@@ -44,15 +46,22 @@ class CacheModel {
   CacheElementPtr ByCanonicalKey(const std::string& key) const;
 
   const std::map<std::string, CacheElementPtr>& elements() const {
+    BRAID_SINGLE_THREAD(sequence_);
     return elements_;
   }
-  size_t size() const { return elements_.size(); }
+  size_t size() const {
+    BRAID_SINGLE_THREAD(sequence_);
+    return elements_.size();
+  }
 
   /// Monotonic content version: bumped by every Register and every
   /// effective Remove. Decisions derived from cache contents (e.g.
   /// memoized prefetch-admission rejections) carry the version they were
   /// judged against and detect staleness with one comparison.
-  uint64_t version() const { return version_; }
+  uint64_t version() const {
+    BRAID_SINGLE_THREAD(sequence_);
+    return version_;
+  }
 
   /// Total bytes across all elements.
   size_t TotalBytes() const;
@@ -72,11 +81,19 @@ class CacheModel {
   std::string ToString() const;
 
  private:
-  std::map<std::string, CacheElementPtr> elements_;
-  std::map<std::string, std::set<std::string>> by_predicate_;
-  std::map<std::string, std::string> by_canonical_key_;
-  int next_id_ = 1;
-  uint64_t version_ = 0;
+  /// Single-threaded by design (paper §3: the CMS owns the cache model;
+  /// prefetch results install foreground-side). The checker makes that a
+  /// verified contract — see DESIGN.md §"Concurrency contract". The
+  /// ROADMAP-1 concurrent-CMS refactor replaces this capability with real
+  /// locks; until then, cross-thread access aborts instead of racing.
+  mutable SequenceChecker sequence_;
+  std::map<std::string, CacheElementPtr> elements_ BRAID_GUARDED_BY(sequence_);
+  std::map<std::string, std::set<std::string>> by_predicate_
+      BRAID_GUARDED_BY(sequence_);
+  std::map<std::string, std::string> by_canonical_key_
+      BRAID_GUARDED_BY(sequence_);
+  int next_id_ BRAID_GUARDED_BY(sequence_) = 1;
+  uint64_t version_ BRAID_GUARDED_BY(sequence_) = 0;
 };
 
 }  // namespace braid::cms

@@ -30,7 +30,7 @@ Prefetcher::~Prefetcher() {
 bool Prefetcher::Launch(PrefetchJob job) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (inflight_.size() >= max_inflight_) return false;
     if (inflight_.count(job.canonical_key) > 0) return false;
     entry = std::make_shared<Entry>();
@@ -43,7 +43,7 @@ bool Prefetcher::Launch(PrefetchJob job) {
   // deliver its result.
   if (pool_ != nullptr) {
     std::future<void> done = pool_->Submit([this, entry] { RunJob(entry); });
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // The task may already have finished (inline execution or a fast pool
     // thread) and erased the entry; parking the future on the shared Entry
     // keeps it reachable for Drain either way.
@@ -55,32 +55,34 @@ bool Prefetcher::Launch(PrefetchJob job) {
 }
 
 bool Prefetcher::InFlight(const std::string& canonical_key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return inflight_.count(canonical_key) > 0;
 }
 
-bool Prefetcher::InFlightForView(const std::string& view_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+bool Prefetcher::PendingForViewLocked(const std::string& view_id) const {
   for (const auto& [key, entry] : inflight_) {
     if (entry->job.view_id == view_id) return true;
   }
   return false;
 }
 
+bool Prefetcher::InFlightForView(const std::string& view_id) const {
+  MutexLock lock(&mu_);
+  return PendingForViewLocked(view_id);
+}
+
 size_t Prefetcher::NumInFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return inflight_.size();
 }
 
 bool Prefetcher::Join(const std::string& canonical_key) {
   const auto start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (inflight_.count(canonical_key) == 0) return false;
   obs::SpanScope span(tracer_, "prefetch.join");
   span.Annotate("key", canonical_key);
-  cv_.wait(lock, [this, &canonical_key] {
-    return inflight_.count(canonical_key) == 0;
-  });
+  while (inflight_.count(canonical_key) > 0) cv_.Wait(mu_);
   joined_->Increment();
   join_wait_ms_->Observe(std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -90,17 +92,11 @@ bool Prefetcher::Join(const std::string& canonical_key) {
 
 bool Prefetcher::JoinView(const std::string& view_id) {
   const auto start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
-  auto pending_for_view = [this, &view_id] {
-    for (const auto& [key, entry] : inflight_) {
-      if (entry->job.view_id == view_id) return true;
-    }
-    return false;
-  };
-  if (!pending_for_view()) return false;
+  MutexLock lock(&mu_);
+  if (!PendingForViewLocked(view_id)) return false;
   obs::SpanScope span(tracer_, "prefetch.join");
   span.Annotate("view", view_id);
-  cv_.wait(lock, [&pending_for_view] { return !pending_for_view(); });
+  while (PendingForViewLocked(view_id)) cv_.Wait(mu_);
   joined_->Increment();
   join_wait_ms_->Observe(std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -109,7 +105,7 @@ bool Prefetcher::JoinView(const std::string& view_id) {
 }
 
 std::vector<Prefetcher::Completed> Prefetcher::Harvest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::exchange(completed_, {});
 }
 
@@ -119,7 +115,7 @@ std::vector<Prefetcher::Completed> Prefetcher::Drain() {
   // can still be inside RunJob touching the registry.
   std::vector<std::future<void>> waits;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [key, entry] : inflight_) {
       if (entry->pool_future.valid()) {
         waits.push_back(std::move(entry->pool_future));
@@ -127,15 +123,15 @@ std::vector<Prefetcher::Completed> Prefetcher::Drain() {
     }
   }
   for (std::future<void>& f : waits) f.wait();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Backstop for entries whose future had not been parked yet (Launch
   // racing with Drain): RunJob's erase + notify wakes this up.
-  cv_.wait(lock, [this] { return inflight_.empty(); });
+  while (!inflight_.empty()) cv_.Wait(mu_);
   return std::exchange(completed_, {});
 }
 
 void Prefetcher::CancelAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, entry] : inflight_) {
     entry->cancelled.store(true, std::memory_order_relaxed);
   }
@@ -143,7 +139,7 @@ void Prefetcher::CancelAll() {
 
 void Prefetcher::RunJob(const std::shared_ptr<Entry>& entry) {
   PrefetchOutcome outcome = Execute(entry->job, entry->cancelled);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Completed done;
   done.cancelled = entry->cancelled.load(std::memory_order_relaxed);
   // Copy the key before the job moves into the completion record.
@@ -152,7 +148,7 @@ void Prefetcher::RunJob(const std::shared_ptr<Entry>& entry) {
   done.outcome = std::move(outcome);
   completed_.push_back(std::move(done));
   inflight_.erase(key);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 PrefetchOutcome Prefetcher::Execute(const PrefetchJob& job,

@@ -2,18 +2,18 @@
 #define BRAID_CMS_PREFETCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "caql/caql_query.h"
 #include "cms/planner.h"
 #include "cms/remote_interface.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -111,16 +111,25 @@ class Prefetcher {
   PrefetchOutcome Execute(const PrefetchJob& job,
                           const std::atomic<bool>& cancelled);
 
+  /// True while some in-flight job originates from `view_id`.
+  bool PendingForViewLocked(const std::string& view_id) const
+      BRAID_REQUIRES(mu_);
+
   exec::ThreadPool* pool_;
   RemoteDbmsInterface* rdi_;
   const double local_per_tuple_ms_;
   const size_t max_inflight_;
   obs::Tracer* tracer_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, std::shared_ptr<Entry>> inflight_;
-  std::vector<Completed> completed_;
+  // The registry guards the *maps*; an Entry's job is immutable from
+  // launch until its RunJob completion moves it out under the lock, and
+  // its `cancelled` flag is atomic, so the executing pool thread reads the
+  // job without taking mu_.
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, std::shared_ptr<Entry>> inflight_
+      BRAID_GUARDED_BY(mu_);
+  std::vector<Completed> completed_ BRAID_GUARDED_BY(mu_);
 
   // Registry-owned instrument handles (process lifetime).
   obs::Counter* issued_;

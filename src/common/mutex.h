@@ -1,0 +1,153 @@
+#ifndef BRAID_COMMON_MUTEX_H_
+#define BRAID_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace braid {
+
+/// Annotated wrapper over std::mutex. Every mutex in `src/` goes through
+/// this type (enforced by tools/braid_lint) so that Clang Thread Safety
+/// Analysis sees every acquisition: fields are declared
+/// `BRAID_GUARDED_BY(mu_)`, helpers that expect the lock are declared
+/// `BRAID_REQUIRES(mu_)`, and the `-Wthread-safety -Werror` CI job turns
+/// violations into build breaks.
+class BRAID_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BRAID_ACQUIRE() { mu_.lock(); }
+  void Unlock() BRAID_RELEASE() { mu_.unlock(); }
+  bool TryLock() BRAID_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis and the reader) that the caller knows the
+  /// lock is held on this path without holding a scoped lock object.
+  void AssertHeld() const BRAID_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for `braid::Mutex`, annotated as a scoped capability so the
+/// analysis tracks the critical section's extent.
+class BRAID_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BRAID_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() BRAID_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with `braid::Mutex`. There is deliberately no
+/// predicate-lambda overload: the analysis cannot see a capability across
+/// a lambda boundary, so waits are written as explicit loops in the
+/// function that holds the lock —
+///
+///   MutexLock lock(&mu_);
+///   while (!condition_over_guarded_fields) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`
+  /// before returning. Spurious wakeups are possible; always re-test the
+  /// condition in a loop.
+  void Wait(Mutex& mu) BRAID_REQUIRES(mu) BRAID_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Like Wait but gives up after `timeout`; returns false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      BRAID_REQUIRES(mu) BRAID_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Runtime-checked "capability" for components that are single-threaded by
+/// design (CacheManager, CacheModel): the checker binds to the first
+/// thread that touches the component and aborts the process if any other
+/// thread ever does. To the static analysis it is a capability like a
+/// mutex — fields are declared `BRAID_GUARDED_BY(sequence_)` and each
+/// public method opens with `BRAID_SINGLE_THREAD(sequence_);`, so when the
+/// ROADMAP-1 concurrent-CMS refactor starts moving these components across
+/// threads, every unprotected field access is already enumerated by the
+/// compiler instead of rediscovered by TSan.
+class BRAID_CAPABILITY("sequence") SequenceChecker {
+ public:
+  SequenceChecker() = default;
+  /// Copies and moves deliberately do not inherit the binding: the new
+  /// object may legitimately live on a different thread.
+  SequenceChecker(const SequenceChecker&) {}
+  SequenceChecker& operator=(const SequenceChecker&) { return *this; }
+
+  /// Binds to the calling thread on first use; aborts on any later call
+  /// from a different thread. The check is one relaxed atomic load on the
+  /// happy path — cheap enough to keep on in release builds.
+  void Check() const BRAID_ASSERT_CAPABILITY(this) {
+    const std::size_t me = SelfId();
+    std::size_t expected = 0;
+    if (owner_.compare_exchange_strong(expected, me,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;  // first use: bound to this thread
+    }
+    if (expected == me) return;
+    std::fprintf(stderr,
+                 "braid: FATAL: single-threaded component accessed from a "
+                 "second thread (owner=%zx self=%zx); see DESIGN.md "
+                 "\"Concurrency contract\"\n",
+                 expected, me);
+    std::abort();
+  }
+
+  /// Unbinds the checker; the next Check() rebinds to its calling thread.
+  /// For explicit ownership handoff between phases (e.g. a session moved
+  /// to a scheduler thread while quiesced).
+  void Detach() { owner_.store(0, std::memory_order_release); }
+
+ private:
+  static std::size_t SelfId() {
+    const std::size_t id =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return id == 0 ? 1 : id;  // reserve 0 for "unbound"
+  }
+
+  mutable std::atomic<std::size_t> owner_{0};
+};
+
+}  // namespace braid
+
+/// Marks the start of a method of a single-threaded-by-design component:
+/// runtime-checks the sequence binding and tells the static analysis the
+/// `sequence` capability is held from here on.
+#define BRAID_SINGLE_THREAD(checker) (checker).Check()
+
+#endif  // BRAID_COMMON_MUTEX_H_

@@ -2,6 +2,8 @@
 #define BRAID_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -34,7 +36,12 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The default-constructed `Status` is OK. Error statuses carry a code and a
 /// message describing the failure. `Status` is copyable and movable.
-class Status {
+///
+/// `[[nodiscard]]`: ignoring a returned Status silently swallows the error
+/// (exactly the bug class the fault-injecting difftest exists to catch), so
+/// the compiler flags every discarded call. A deliberate discard must be
+/// spelled `(void)expr;` with a comment saying why losing the error is OK.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -96,8 +103,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// Accessing `value()` on an error result aborts in debug builds; call
 /// `ok()` first or use the BRAID_ASSIGN_OR_RETURN macro.
+///
+/// `[[nodiscard]]` for the same reason as Status: a discarded Result drops
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -138,7 +148,33 @@ class Result {
   std::optional<T> value_;
 };
 
+namespace internal {
+
+inline void CheckOkImpl(const Status& status, const char* expr_text,
+                        const char* file, int line) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s:%d: BRAID_CHECK_OK(%s) failed: %s\n", file, line,
+               expr_text, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <typename T>
+void CheckOkImpl(const Result<T>& result, const char* expr_text,
+                 const char* file, int line) {
+  CheckOkImpl(result.status(), expr_text, file, line);
+}
+
+}  // namespace internal
 }  // namespace braid
+
+/// Aborts the process (with the status message) when `expr` — a Status or
+/// Result<T> — is not OK. For call sites where failure is a programming
+/// error (fixture setup, statically-known-valid programs): the alternative,
+/// `(void)expr;`, swallows the error and surfaces as a confusing
+/// missing-table/empty-KB failure far downstream.
+#define BRAID_CHECK_OK(expr) \
+  ::braid::internal::CheckOkImpl((expr), #expr, __FILE__, __LINE__)
 
 /// Propagates a non-OK Status from an expression that evaluates to Status.
 #define BRAID_RETURN_IF_ERROR(expr)            \

@@ -1,0 +1,78 @@
+#ifndef BRAID_COMMON_THREAD_ANNOTATIONS_H_
+#define BRAID_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (no-ops on other
+/// compilers), in the style of the macros shipped with the analysis
+/// documentation and used by abseil. Together with the `braid::Mutex` /
+/// `braid::MutexLock` / `braid::CondVar` wrappers in common/mutex.h they
+/// make the locking discipline of every concurrent component a
+/// compile-time contract: a dedicated CI job builds the tree with
+/// `-Wthread-safety -Werror`, so a guarded field read without its mutex —
+/// or a REQUIRES helper called unlocked — is a build break, not a TSan
+/// coin-flip.
+///
+/// Vocabulary (see DESIGN.md §"Concurrency contract"):
+///  * BRAID_CAPABILITY("mutex")   — class is a lockable capability
+///  * BRAID_GUARDED_BY(mu)        — field may only be touched holding mu
+///  * BRAID_REQUIRES(mu)          — function must be called holding mu
+///  * BRAID_EXCLUDES(mu)          — function must NOT be called holding mu
+///  * BRAID_ACQUIRE/RELEASE(mu)   — function takes / drops mu itself
+///  * BRAID_ASSERT_CAPABILITY(mu) — function checks mu at runtime and the
+///                                  analysis may assume it afterwards
+
+#if defined(__clang__) && !defined(SWIG)
+#define BRAID_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define BRAID_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#define BRAID_CAPABILITY(x) BRAID_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define BRAID_SCOPED_CAPABILITY \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define BRAID_GUARDED_BY(x) BRAID_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define BRAID_PT_GUARDED_BY(x) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define BRAID_ACQUIRED_BEFORE(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define BRAID_ACQUIRED_AFTER(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define BRAID_REQUIRES(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define BRAID_REQUIRES_SHARED(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define BRAID_ACQUIRE(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define BRAID_ACQUIRE_SHARED(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define BRAID_RELEASE(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define BRAID_RELEASE_SHARED(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define BRAID_TRY_ACQUIRE(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define BRAID_EXCLUDES(...) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define BRAID_ASSERT_CAPABILITY(x) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define BRAID_RETURN_CAPABILITY(x) \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define BRAID_NO_THREAD_SAFETY_ANALYSIS \
+  BRAID_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // BRAID_COMMON_THREAD_ANNOTATIONS_H_

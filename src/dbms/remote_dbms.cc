@@ -49,7 +49,7 @@ Result<RemoteResult> RemoteDbms::Execute(const SqlQuery& query) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_.queries += 1;
     stats_.messages += cost.messages;
     stats_.tuples_shipped += cost.tuples_shipped;

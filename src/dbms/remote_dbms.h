@@ -1,10 +1,11 @@
 #ifndef BRAID_DBMS_REMOTE_DBMS_H_
 #define BRAID_DBMS_REMOTE_DBMS_H_
 
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dbms/database.h"
 #include "dbms/executor.h"
 #include "dbms/sql.h"
@@ -108,9 +109,16 @@ class RemoteDbms {
   const NetworkModel& network() const { return network_; }
   const DbmsCostModel& costs() const { return costs_; }
 
-  const RemoteStats& stats() const { return stats_; }
+  /// Snapshot of the accumulated session statistics. Returns a copy taken
+  /// under the lock: concurrent Execute calls (pool fetches, async
+  /// prefetches) mutate the counters, so handing out a reference would
+  /// let callers read a struct mid-update.
+  RemoteStats stats() const {
+    MutexLock lock(&stats_mu_);
+    return stats_;
+  }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_ = RemoteStats{};
   }
 
@@ -119,8 +127,8 @@ class RemoteDbms {
   NetworkModel network_;
   DbmsCostModel costs_;
   Executor executor_;
-  std::mutex stats_mu_;
-  RemoteStats stats_;
+  mutable Mutex stats_mu_;
+  RemoteStats stats_ BRAID_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace braid::dbms

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -32,8 +32,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,9 +58,9 @@ struct LoopState {
   size_t morsels = 0;
   obs::Counter* morsels_executed = nullptr;
   std::function<void(size_t, size_t)> fn;
-  std::mutex mu;
-  std::condition_variable done;
-  std::exception_ptr error;  // first exception wins; guarded by mu
+  Mutex mu;
+  CondVar done;
+  std::exception_ptr error BRAID_GUARDED_BY(mu);  // first exception wins
 
   void Drain() {
     for (;;) {
@@ -71,12 +71,12 @@ struct LoopState {
       try {
         fn(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (!error) error = std::current_exception();
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == morsels) {
-        std::lock_guard<std::mutex> lock(mu);  // pair with the waiter
-        done.notify_all();
+        MutexLock lock(&mu);  // pair with the waiter
+        done.NotifyAll();
       }
     }
   }
@@ -104,21 +104,21 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
       std::min(workers_.size(), state->morsels > 0 ? state->morsels - 1 : 0);
   if (helpers > 0) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (size_t i = 0; i < helpers; ++i) {
         queue_.emplace_back([state] { state->Drain(); });
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   state->Drain();
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done.wait(lock, [&state] {
-      return state->completed.load(std::memory_order_acquire) ==
-             state->morsels;
-    });
+    MutexLock lock(&state->mu);
+    while (state->completed.load(std::memory_order_acquire) !=
+           state->morsels) {
+      state->done.Wait(state->mu);
+    }
     if (state->error) std::rethrow_exception(state->error);
   }
 }

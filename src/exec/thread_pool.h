@@ -2,16 +2,16 @@
 #define BRAID_EXEC_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace braid::exec {
@@ -57,7 +57,7 @@ class ThreadPool {
       return result;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.emplace_back([task, this] {
         const auto start = std::chrono::steady_clock::now();
         (*task)();
@@ -65,7 +65,7 @@ class ThreadPool {
       });
       queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return result;
   }
 
@@ -87,11 +87,13 @@ class ThreadPool {
         .count();
   }
 
+  // `workers_` is written only during construction/destruction, before any
+  // worker can observe it / after all have joined, so it needs no guard.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ BRAID_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ BRAID_GUARDED_BY(mu_) = false;
 
   // Process-wide instruments (resolved once; updates are lock-free).
   obs::Counter* tasks_submitted_;

@@ -35,7 +35,7 @@ std::string Ms(double v) {
 
 SpanId Tracer::StartSpan(const std::string& name, SpanId parent) {
   const double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Span span;
   span.id = spans_.size() + 1;
   span.parent = parent;
@@ -49,20 +49,20 @@ SpanId Tracer::StartSpan(const std::string& name, SpanId parent) {
 
 void Tracer::EndSpan(SpanId id) {
   const double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
   if (span.open()) span.measured_ms = now - span.start_ms;
 }
 
 void Tracer::SetModeledMs(SpanId id, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].modeled_ms = ms;
 }
 
 void Tracer::AddModeledMs(SpanId id, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
   span.modeled_ms = (span.modeled_ms < 0 ? 0 : span.modeled_ms) + ms;
@@ -70,28 +70,28 @@ void Tracer::AddModeledMs(SpanId id, double ms) {
 
 void Tracer::Annotate(SpanId id, const std::string& key,
                       const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].attrs.emplace_back(key, value);
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   spans_.clear();
 }
 
 size_t Tracer::NumSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 
 std::vector<Span> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 
 bool Tracer::FindSpan(const std::string& name, Span* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Span& span : spans_) {
     if (span.name == name) {
       if (out != nullptr) *out = span;

@@ -3,10 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace braid::obs {
 
@@ -84,9 +86,9 @@ class Tracer {
         .count();
   }
 
-  mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point epoch_;
-  std::vector<Span> spans_;
+  mutable Mutex mu_;
+  const std::chrono::steady_clock::time_point epoch_;  // set once, immutable
+  std::vector<Span> spans_ BRAID_GUARDED_BY(mu_);
 };
 
 /// RAII span: opens on construction, closes on destruction (or at an

@@ -3,11 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dbms/remote_dbms.h"
 
 namespace braid::testing {
@@ -49,7 +50,7 @@ class FaultyRemoteDbms : public dbms::RemoteDbms {
     bool fail = false;
     bool delay = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       const size_t ordinal = calls_++;
       if (ordinal >= plan_.warmup_calls) {
         // Draw both coins unconditionally so the fault sequence for a
@@ -71,25 +72,25 @@ class FaultyRemoteDbms : public dbms::RemoteDbms {
   }
 
   size_t calls() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return calls_;
   }
   size_t injected_errors() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return injected_errors_;
   }
   size_t injected_delays() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return injected_delays_;
   }
 
  private:
-  FaultPlan plan_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  size_t calls_ = 0;
-  size_t injected_errors_ = 0;
-  size_t injected_delays_ = 0;
+  FaultPlan plan_;  // immutable after construction
+  mutable Mutex mu_;
+  Rng rng_ BRAID_GUARDED_BY(mu_);
+  size_t calls_ BRAID_GUARDED_BY(mu_) = 0;
+  size_t injected_errors_ BRAID_GUARDED_BY(mu_) = 0;
+  size_t injected_delays_ BRAID_GUARDED_BY(mu_) = 0;
 };
 
 /// True if `status` is (or wraps) an injected fault from a

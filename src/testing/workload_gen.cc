@@ -73,7 +73,7 @@ dbms::Database MakeDatabase(GenState* g) {
       }
       table.AppendUnchecked(std::move(t));
     }
-    (void)db.AddTable(std::move(table));
+    BRAID_CHECK_OK(db.AddTable(std::move(table)));
   }
   return db;
 }

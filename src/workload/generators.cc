@@ -40,8 +40,8 @@ dbms::Database MakeGenealogyDatabase(const GenealogyParams& params) {
                                                       1)))});
   }
 
-  (void)db.AddTable(std::move(parent));
-  (void)db.AddTable(std::move(person));
+  BRAID_CHECK_OK(db.AddTable(std::move(parent)));
+  BRAID_CHECK_OK(db.AddTable(std::move(person)));
   return db;
 }
 
@@ -95,9 +95,9 @@ dbms::Database MakeSupplierDatabase(const SupplierParams& params) {
               Value::Int(rng.Uniform(1, 1000))});
   }
 
-  (void)db.AddTable(std::move(supplier));
-  (void)db.AddTable(std::move(part));
-  (void)db.AddTable(std::move(supplies));
+  BRAID_CHECK_OK(db.AddTable(std::move(supplier)));
+  BRAID_CHECK_OK(db.AddTable(std::move(part)));
+  BRAID_CHECK_OK(db.AddTable(std::move(supplies)));
   return db;
 }
 
@@ -147,8 +147,8 @@ dbms::Database MakeBomDatabase(const BomParams& params) {
                                Value::Int(rng.Uniform(1, 500))});
   }
 
-  (void)db.AddTable(std::move(component));
-  (void)db.AddTable(std::move(item));
+  BRAID_CHECK_OK(db.AddTable(std::move(component)));
+  BRAID_CHECK_OK(db.AddTable(std::move(item)));
   return db;
 }
 
@@ -181,7 +181,7 @@ dbms::Database MakeGraphDatabase(const GraphParams& params) {
     if (params.acyclic && a > b) std::swap(a, b);
     edge.AppendUnchecked(Tuple{Value::Int(a), Value::Int(b)});
   }
-  (void)db.AddTable(std::move(edge));
+  BRAID_CHECK_OK(db.AddTable(std::move(edge)));
   return db;
 }
 

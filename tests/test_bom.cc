@@ -112,7 +112,7 @@ TEST(ClosureSoa, DerivedBaseFallsBackToFixpoint) {
                      rel::Value::Int(0)});
   e.AppendUnchecked({rel::Value::Int(2), rel::Value::Int(3),
                      rel::Value::Int(0)});
-  (void)db.AddTable(std::move(e));
+  BRAID_CHECK_OK(db.AddTable(std::move(e)));
   logic::KnowledgeBase kb;
   ASSERT_TRUE(logic::ParseProgram(R"(
 #base e(s, d, w).

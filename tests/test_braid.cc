@@ -17,17 +17,17 @@ dbms::Database SmallDb() {
   rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
   b.AppendUnchecked({Value::Int(1), Value::Int(2)});
   b.AppendUnchecked({Value::Int(2), Value::Int(3)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   return db;
 }
 
 logic::KnowledgeBase SmallKb() {
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(R"(
+  BRAID_CHECK_OK(logic::ParseProgram(R"(
 #base b(x, y).
 hop2(X, Z) :- b(X, Y), b(Y, Z).
 )",
-                            &kb);
+                            &kb));
   return kb;
 }
 
@@ -62,11 +62,11 @@ TEST(BraidSystem, KbDeclaresTableMissingFromDatabase) {
   // does not have. The error surfaces as NotFound from the RDI, not a
   // crash.
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(R"(
+  BRAID_CHECK_OK(logic::ParseProgram(R"(
 #base ghost(x).
 p(X) :- ghost(X).
 )",
-                            &kb);
+                            &kb));
   BraidSystem braid(SmallDb(), std::move(kb));
   auto out = braid.Ask("p(X)?");
   EXPECT_FALSE(out.ok());
@@ -77,11 +77,11 @@ TEST(BraidSystem, KbArityMismatchWithDatabase) {
   // KB declares b/3 but the table is binary: the translation layer
   // reports InvalidArgument.
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(R"(
+  BRAID_CHECK_OK(logic::ParseProgram(R"(
 #base b(x, y, z).
 p(X) :- b(X, Y, Z).
 )",
-                            &kb);
+                            &kb));
   BraidSystem braid(SmallDb(), std::move(kb));
   auto out = braid.Ask("p(X)?");
   EXPECT_FALSE(out.ok());
@@ -121,7 +121,7 @@ TEST(BraidSystem, MetricsVisibleThroughFacade) {
 TEST(BraidSystem, EmptyDatabaseTableYieldsNoSolutions) {
   dbms::Database db;
   rel::Relation empty("b", rel::Schema::FromNames({"x", "y"}));
-  (void)db.AddTable(std::move(empty));
+  BRAID_CHECK_OK(db.AddTable(std::move(empty)));
   BraidSystem braid(std::move(db), SmallKb());
   auto out = braid.Ask("hop2(X, Z)?");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
@@ -134,7 +134,7 @@ TEST(BraidSystem, LargeSessionStaysWithinCacheBudget) {
   BraidOptions options;
   options.cms.cache_budget_bytes = 8192;
   logic::KnowledgeBase kb;
-  (void)logic::ParseProgram(workload::GenealogyKb(), &kb);
+  BRAID_CHECK_OK(logic::ParseProgram(workload::GenealogyKb(), &kb));
   BraidSystem braid(workload::MakeGenealogyDatabase(params), std::move(kb),
                     options);
   for (int i = 0; i < 10; ++i) {

@@ -19,7 +19,7 @@ TEST(CacheModelRelation, ReflectsElements) {
   rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
   b.AppendUnchecked({Value::Int(1), Value::Int(2)});
   b.AppendUnchecked({Value::Int(3), Value::Int(4)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
 
@@ -58,7 +58,7 @@ TEST(CacheAwareShaping, CachedRelationOrderedFirst) {
     for (int i = 0; i < 50; ++i) {
       t.AppendUnchecked({Value::Int(i), Value::Int(i + 1)});
     }
-    (void)db.AddTable(std::move(t));
+    BRAID_CHECK_OK(db.AddTable(std::move(t)));
   }
   logic::KnowledgeBase kb;
   ASSERT_TRUE(logic::ParseProgram(R"(

@@ -31,8 +31,8 @@ dbms::Database TestDb() {
   for (int i = 0; i < 20; ++i) {
     b2.AppendUnchecked({Value::Int(i), Value::Int(i * 10)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   return db;
 }
 
@@ -238,7 +238,7 @@ TEST_F(CmsTest, TransitiveClosureComputedAndCached) {
   rel::Relation edge("edge", rel::Schema::FromNames({"s", "d"}));
   edge.AppendUnchecked({Value::Int(1), Value::Int(2)});
   edge.AppendUnchecked({Value::Int(2), Value::Int(3)});
-  (void)db.AddTable(std::move(edge));
+  BRAID_CHECK_OK(db.AddTable(std::move(edge)));
   dbms::RemoteDbms remote(std::move(db));
   Cms cms(&remote, CmsConfig{});
 
@@ -295,7 +295,7 @@ TEST(SimplestAdvice, BaseRelationListProtectsSessionRelevantElements) {
     for (int i = 0; i < 40; ++i) {
       t.AppendUnchecked({rel::Value::Int(i), rel::Value::Int(i)});
     }
-    (void)db.AddTable(std::move(t));
+    BRAID_CHECK_OK(db.AddTable(std::move(t)));
   }
   dbms::RemoteDbms remote(std::move(db));
 

@@ -129,7 +129,7 @@ TEST(RdiEdge, GroundFalseComparisonYieldsEmpty) {
   dbms::Database db;
   rel::Relation b("b", rel::Schema::FromNames({"x"}));
   b.AppendUnchecked({Value::Int(1)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::RemoteDbmsInterface rdi(&remote);
   auto fetch = rdi.Fetch(
@@ -150,8 +150,8 @@ TEST(RdiEdge, VarVarComparisonAcrossTables) {
     a.AppendUnchecked({Value::Int(i)});
     b.AppendUnchecked({Value::Int(i)});
   }
-  (void)db.AddTable(std::move(a));
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(a)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::RemoteDbmsInterface rdi(&remote);
   auto fetch = rdi.Fetch(
@@ -163,7 +163,7 @@ TEST(RdiEdge, VarVarComparisonAcrossTables) {
 TEST(RdiEdge, ComparisonOverForeignVariableRejected) {
   dbms::Database db;
   rel::Relation b("b", rel::Schema::FromNames({"x"}));
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::RemoteDbmsInterface rdi(&remote);
   caql::CaqlQuery q;

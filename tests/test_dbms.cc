@@ -22,8 +22,8 @@ Database TwoTableDb() {
   rel::Relation s("s", rel::Schema::FromNames({"b", "c"}));
   s.AppendUnchecked({Value::Int(10), Value::String("x")});
   s.AppendUnchecked({Value::Int(20), Value::String("y")});
-  (void)db.AddTable(std::move(r));
-  (void)db.AddTable(std::move(s));
+  BRAID_CHECK_OK(db.AddTable(std::move(r)));
+  BRAID_CHECK_OK(db.AddTable(std::move(s)));
   return db;
 }
 
@@ -238,8 +238,8 @@ TEST_P(ExecutorEquivalence, MatchesReferenceJoin) {
   }
   rel::Relation ref = rel::NestedLoopJoin(
       a, b, *rel::Predicate::ColumnColumn(0, rel::CompareOp::kEq, 2));
-  (void)db.AddTable(std::move(a));
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(a)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   Executor exec(&db);
   SqlQuery q;
   q.from = {"a", "b"};

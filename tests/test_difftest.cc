@@ -40,8 +40,8 @@ dbms::Database SmallDb() {
   rel::Relation r("r", Schema::FromNames({"x"}));
   r.AppendUnchecked({Value::Int(10)});
   r.AppendUnchecked({Value::Int(20)});
-  (void)db.AddTable(std::move(p));
-  (void)db.AddTable(std::move(r));
+  BRAID_CHECK_OK(db.AddTable(std::move(p)));
+  BRAID_CHECK_OK(db.AddTable(std::move(r)));
   return db;
 }
 

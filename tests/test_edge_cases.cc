@@ -32,7 +32,7 @@ TEST(ExecutorEdge, ThreeTableChainMatchesReference) {
       t.AppendUnchecked({Value::Int(rng.Uniform(0, 5)),
                          Value::Int(rng.Uniform(0, 5))});
     }
-    (void)db.AddTable(std::move(t));
+    BRAID_CHECK_OK(db.AddTable(std::move(t)));
   }
   // Chain: t1.b = t2.a, t2.b = t3.a — via the executor.
   dbms::Executor exec(&db);
@@ -69,8 +69,8 @@ TEST(ExecutorEdge, InequalityOnlyJoin) {
     a.AppendUnchecked({Value::Int(i)});
     b.AppendUnchecked({Value::Int(i)});
   }
-  (void)db.AddTable(std::move(a));
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(a)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::Executor exec(&db);
   dbms::SqlQuery q;
   q.from = {"a", "b"};
@@ -159,7 +159,7 @@ TEST(CmsEdge, ExactHitDistinguishesDistinctFlag) {
   rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
   b.AppendUnchecked({Value::Int(1), Value::Int(1)});
   b.AppendUnchecked({Value::Int(1), Value::Int(2)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
 
@@ -181,7 +181,7 @@ TEST(CmsEdge, TransitiveClosureUnderSingleRelationPolicy) {
   rel::Relation e("edge", rel::Schema::FromNames({"s", "d"}));
   e.AppendUnchecked({Value::Int(1), Value::Int(2)});
   e.AppendUnchecked({Value::Int(2), Value::Int(3)});
-  (void)db.AddTable(std::move(e));
+  BRAID_CHECK_OK(db.AddTable(std::move(e)));
   dbms::RemoteDbms remote(std::move(db));
   cms::CmsConfig config;
   config.single_relation_only = true;
@@ -200,7 +200,7 @@ TEST(CmsEdge, AggregateRejectsUnknownGroupVariable) {
   dbms::Database db;
   rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
   b.AppendUnchecked({Value::Int(1), Value::Int(2)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
   auto q = ParseCaql("q(X, Y) :- b(X, Y)").value();
@@ -218,7 +218,7 @@ TEST(InterpreterEdge, DepthLimitPrunesInsteadOfErroring) {
   dbms::Database db;
   rel::Relation e("e", rel::Schema::FromNames({"s", "d"}));
   e.AppendUnchecked({Value::Int(1), Value::Int(2)});
-  (void)db.AddTable(std::move(e));
+  BRAID_CHECK_OK(db.AddTable(std::move(e)));
   logic::KnowledgeBase kb;
   ASSERT_TRUE(logic::ParseProgram(R"(
 #base e(s, d).
@@ -251,8 +251,8 @@ TEST(InterpreterEdge, NafWithUnboundVariableIsExistential) {
   rel::Relation full("full_rel", rel::Schema::FromNames({"x"}));
   full.AppendUnchecked({Value::Int(1)});
   rel::Relation empty("empty_rel", rel::Schema::FromNames({"x"}));
-  (void)db.AddTable(std::move(full));
-  (void)db.AddTable(std::move(empty));
+  BRAID_CHECK_OK(db.AddTable(std::move(full)));
+  BRAID_CHECK_OK(db.AddTable(std::move(empty)));
   logic::KnowledgeBase kb;
   ASSERT_TRUE(logic::ParseProgram(R"(
 #base full_rel(x).
@@ -279,8 +279,8 @@ TEST(InterpreterEdge, DuplicateSolutionsPreservedInBagMode) {
   b1.AppendUnchecked({Value::Int(7)});
   rel::Relation b2("b2", rel::Schema::FromNames({"x"}));
   b2.AppendUnchecked({Value::Int(7)});
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   logic::KnowledgeBase kb;
   ASSERT_TRUE(logic::ParseProgram(R"(
 #base b1(x).

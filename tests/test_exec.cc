@@ -279,8 +279,8 @@ dbms::Database TwoTableDb() {
     b1.AppendUnchecked({Value::Int(i % 6), Value::Int(i)});
     b2.AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   return db;
 }
 

@@ -28,8 +28,8 @@ dbms::Database TestDb() {
   for (int i = 0; i < 30; ++i) {
     b2.AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   return db;
 }
 
@@ -257,7 +257,7 @@ TEST(ExecutionMonitorTypes, RemoteFetchCarriesBaseTableTypes) {
   rel::Relation t("t", rel::Schema({rel::Column{"a", rel::ValueType::kInt},
                                     rel::Column{"b", rel::ValueType::kString}}));
   t.AppendUnchecked({Value::Int(1), Value::String("x")});
-  (void)db.AddTable(std::move(t));
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
   dbms::RemoteDbms remote(std::move(db));
   RemoteDbmsInterface rdi(&remote);
 
@@ -276,7 +276,7 @@ TEST(ExecutionMonitorTypes, ElementProjectionCarriesExtensionTypes) {
   rel::Relation t("t", rel::Schema({rel::Column{"a", rel::ValueType::kInt},
                                     rel::Column{"b", rel::ValueType::kString}}));
   t.AppendUnchecked({Value::Int(1), Value::String("x")});
-  (void)db.AddTable(std::move(t));
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
   dbms::RemoteDbms remote(std::move(db));
   RemoteDbmsInterface rdi(&remote);
   CacheManager cache(1 << 20, 4);

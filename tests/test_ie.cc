@@ -146,8 +146,8 @@ TEST(Shaper, ReordersSelectiveConjunctFirst) {
   rel::Relation small("small", rel::Schema::FromNames({"a", "b"}));
   small.AppendUnchecked({Value::Int(1), Value::Int(2)});
   small.AppendUnchecked({Value::Int(3), Value::Int(4)});
-  (void)db.AddTable(std::move(big));
-  (void)db.AddTable(std::move(small));
+  BRAID_CHECK_OK(db.AddTable(std::move(big)));
+  BRAID_CHECK_OK(db.AddTable(std::move(small)));
 
   logic::KnowledgeBase kb = Kb(R"(
 #base big(a, b).
@@ -178,8 +178,8 @@ TEST(Shaper, FunctionalDependencyTightensEstimate) {
     person.AppendUnchecked({Value::Int(i), Value::Int(i % 50)});
     other.AppendUnchecked({Value::Int(i % 10), Value::Int(i)});
   }
-  (void)db.AddTable(std::move(person));
-  (void)db.AddTable(std::move(other));
+  BRAID_CHECK_OK(db.AddTable(std::move(person)));
+  BRAID_CHECK_OK(db.AddTable(std::move(other)));
   logic::KnowledgeBase kb = Kb(R"(
 #base person(id, age).
 #base other(a, b).
@@ -567,7 +567,7 @@ TEST(Strategies, BuiltinEvaluationInRules) {
   dbms::Database db;
   rel::Relation nums("nums", rel::Schema::FromNames({"n"}));
   for (int i = 0; i < 10; ++i) nums.AppendUnchecked({Value::Int(i)});
-  (void)db.AddTable(std::move(nums));
+  BRAID_CHECK_OK(db.AddTable(std::move(nums)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
   logic::KnowledgeBase kb = Kb(R"(
@@ -585,7 +585,7 @@ TEST(Strategies, FactsOnlyPredicates) {
   dbms::Database db;
   rel::Relation b("b", rel::Schema::FromNames({"x"}));
   b.AppendUnchecked({Value::Int(1)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
   logic::KnowledgeBase kb = Kb(R"(

@@ -33,9 +33,9 @@ dbms::Database ExampleDatabase() {
       {rel::Value::Int(22), rel::Value::String("c3"), rel::Value::Int(2)});
   b3.AppendUnchecked(
       {rel::Value::Int(7), rel::Value::String("c3"), rel::Value::Int(8)});
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
-  (void)db.AddTable(std::move(b3));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b3)));
   return db;
 }
 

@@ -34,8 +34,8 @@ TEST(RemoteEstimates, ServerMsScalesWithTables) {
   small.AppendUnchecked({Value::Int(1)});
   rel::Relation big("big", rel::Schema::FromNames({"x"}));
   for (int i = 0; i < 5000; ++i) big.AppendUnchecked({Value::Int(i)});
-  (void)db.AddTable(std::move(small));
-  (void)db.AddTable(std::move(big));
+  BRAID_CHECK_OK(db.AddTable(std::move(small)));
+  BRAID_CHECK_OK(db.AddTable(std::move(big)));
   dbms::RemoteDbms remote(std::move(db));
 
   dbms::SqlQuery q_small;
@@ -52,7 +52,7 @@ TEST(RemoteEstimates, CardinalityDropsWithSelections) {
   for (int i = 0; i < 100; ++i) {
     t.AppendUnchecked({Value::Int(i % 10), Value::Int(i)});
   }
-  (void)db.AddTable(std::move(t));
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
   dbms::RemoteDbms remote(std::move(db));
 
   dbms::SqlQuery scan;
@@ -85,7 +85,7 @@ TEST(NetworkModel, BufferSizeChangesMessageCount) {
   dbms::Database db;
   rel::Relation t("t", rel::Schema::FromNames({"x"}));
   for (int i = 0; i < 100; ++i) t.AppendUnchecked({Value::Int(i)});
-  (void)db.AddTable(std::move(t));
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
 
   dbms::NetworkModel tiny;
   tiny.buffer_tuples = 10;

@@ -26,8 +26,8 @@ dbms::Database TestDb() {
   edge.AppendUnchecked({Value::Int(0), Value::Int(1)});
   edge.AppendUnchecked({Value::Int(1), Value::Int(2)});
   edge.AppendUnchecked({Value::Int(3), Value::Int(4)});
-  (void)db.AddTable(std::move(node));
-  (void)db.AddTable(std::move(edge));
+  BRAID_CHECK_OK(db.AddTable(std::move(node)));
+  BRAID_CHECK_OK(db.AddTable(std::move(edge)));
   return db;
 }
 
@@ -133,8 +133,8 @@ TEST(NegationCms, AntiSourceUsesCacheWhenAvailable) {
   dbms::RemoteDbms remote(TestDb());
   cms::Cms cms(&remote, cms::CmsConfig{});
   // Prime both relations.
-  (void)cms.Query(caql::ParseCaql("alln(X) :- node(X)").value());
-  (void)cms.Query(caql::ParseCaql("alle(X, Y) :- edge(X, Y)").value());
+  BRAID_CHECK_OK(cms.Query(caql::ParseCaql("alln(X) :- node(X)").value()));
+  BRAID_CHECK_OK(cms.Query(caql::ParseCaql("alle(X, Y) :- edge(X, Y)").value()));
   const size_t remote_before = remote.stats().queries;
   auto a = cms.Query(
       caql::ParseCaql("noedge(X, Y) :- node(X) & node(Y) & not edge(X, Y)")

@@ -240,7 +240,7 @@ dbms::Database ObsDb() {
   for (int i = 0; i < 20; ++i) {
     t.AppendUnchecked({rel::Value::Int(i % 4), rel::Value::Int(i)});
   }
-  (void)db.AddTable(std::move(t));
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
   return db;
 }
 
@@ -275,7 +275,9 @@ TEST(CmsTracing, EveryQueryProducesCompleteSpanTree) {
   std::set<SpanId> ids;
   for (const Span& s : spans) ids.insert(s.id);
   for (const Span& s : spans) {
-    if (s.parent != 0) EXPECT_TRUE(ids.count(s.parent)) << s.name;
+    if (s.parent != 0) {
+      EXPECT_TRUE(ids.count(s.parent)) << s.name;
+    }
   }
   EXPECT_TRUE(LooksLikeJson(cms.tracer().ToJson()));
 

@@ -33,9 +33,9 @@ dbms::Database ExampleDb() {
                       rel::Value::Int(1)});
   b3.AppendUnchecked({rel::Value::Int(8), rel::Value::String("c3"),
                       rel::Value::Int(8)});
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
-  (void)db.AddTable(std::move(b3));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b3)));
   return db;
 }
 

@@ -29,8 +29,8 @@ dbms::Database TestDb() {
   rel::Relation b2("b2", rel::Schema::FromNames({"a", "b"}));
   b2.AppendUnchecked({Value::Int(10), Value::Int(5)});
   b2.AppendUnchecked({Value::Int(20), Value::Int(6)});
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
   return db;
 }
 

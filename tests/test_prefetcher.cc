@@ -13,6 +13,7 @@
 #include "cms/cms.h"
 #include "cms/prefetcher.h"
 #include "obs/metrics.h"
+#include "testing/fault_remote.h"
 #include "workload/generators.h"
 
 namespace braid::cms {
@@ -44,9 +45,9 @@ dbms::Database TestDb() {
   for (int i = 0; i < 60; ++i) {
     b3.AppendUnchecked({Value::Int(i), Value::Int(i + 100)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(b2));
-  (void)db.AddTable(std::move(b3));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b2)));
+  BRAID_CHECK_OK(db.AddTable(std::move(b3)));
   return db;
 }
 
@@ -383,9 +384,9 @@ TEST(Prefetcher, OversizedHarvestIsCountedWastedNotInstalled) {
   for (int i = 0; i < 24; ++i) {
     s2.AppendUnchecked({Value::Int(i < 12 ? i : 7), Value::Int(100 + i)});
   }
-  (void)db.AddTable(std::move(b1));
-  (void)db.AddTable(std::move(s1));
-  (void)db.AddTable(std::move(s2));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(s1)));
+  BRAID_CHECK_OK(db.AddTable(std::move(s2)));
 
   advice::AdviceSet advice;
   advice::ViewSpec d1;
@@ -432,6 +433,45 @@ TEST(Prefetcher, OversizedHarvestIsCountedWastedNotInstalled) {
   }
   EXPECT_TRUE(has_d1);
   EXPECT_FALSE(has_d2);
+}
+
+TEST(Prefetcher, FailedPrefetchIsCountedAndNeverInstalled) {
+  // Regression for the swallowed-error class the [[nodiscard]] audit
+  // targets, driven through the fault-injecting remote: a prefetch whose
+  // fetch fails must be counted on the prefetch.errors counter and must
+  // NOT install a cache element — and the follow-up foreground query for
+  // the same definition re-issues the fetch and surfaces the injected
+  // fault status to the caller, never an OK-but-empty answer.
+  testing::FaultPlan plan;
+  plan.seed = 7;
+  plan.error_rate = 1.0;
+  plan.warmup_calls = 1;  // d1's own fetch succeeds; everything after fails
+  testing::FaultyRemoteDbms remote(TestDb(), plan);
+  Cms cms(&remote, CmsConfig{});
+  cms.BeginSession(D1ThenD2Advice());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t errors_before = reg.CounterValue("prefetch.errors");
+  const uint64_t installs_before = cms.metrics().prefetches;
+
+  ASSERT_TRUE(cms.Query(Q("d1(X, Y) :- b1(X, Y)")).ok());
+  cms.DrainPrefetches();
+  EXPECT_EQ(reg.CounterValue("prefetch.errors"), errors_before + 1);
+  EXPECT_EQ(cms.metrics().prefetches, installs_before);
+  EXPECT_GE(remote.injected_errors(), 1u);
+
+  // No d2 element was installed, so the foreground query goes remote and
+  // the injected fault reaches the caller intact.
+  auto a2 = cms.Query(Q("d2(A, B) :- b2(A, B)"));
+  ASSERT_FALSE(a2.ok());
+  EXPECT_TRUE(testing::IsInjectedFault(a2.status()))
+      << a2.status().ToString();
+
+  // d1 is still cached and still answerable: the failed speculative work
+  // did not poison the session.
+  auto a1 = cms.Query(Q("d1(X, Y) :- b1(X, Y)"));
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->relation->NumTuples(), 20u);
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ dbms::Database RandomDatabase(Rng* rng, size_t rows_per_table) {
       table.AppendUnchecked(
           {Value::Int(rng->Uniform(0, 7)), Value::Int(rng->Uniform(0, 7))});
     }
-    (void)db.AddTable(std::move(table));
+    BRAID_CHECK_OK(db.AddTable(std::move(table)));
   }
   return db;
 }

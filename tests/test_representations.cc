@@ -20,7 +20,7 @@ dbms::Database TestDb() {
   b1.AppendUnchecked({Value::Int(1), Value::Int(10)});
   b1.AppendUnchecked({Value::Int(2), Value::Int(20)});
   b1.AppendUnchecked({Value::Int(1), Value::Int(5)});
-  (void)db.AddTable(std::move(b1));
+  BRAID_CHECK_OK(db.AddTable(std::move(b1)));
   return db;
 }
 

@@ -26,7 +26,7 @@ dbms::Database TestDb() {
   supplies.AppendUnchecked({Value::Int(2), Value::Int(10), Value::Int(9)});
   supplies.AppendUnchecked({Value::Int(2), Value::Int(11), Value::Int(1)});
   supplies.AppendUnchecked({Value::Int(3), Value::Int(12), Value::Int(4)});
-  (void)db.AddTable(std::move(supplies));
+  BRAID_CHECK_OK(db.AddTable(std::move(supplies)));
   return db;
 }
 
@@ -169,7 +169,7 @@ TEST(Setof, DistinctFlagDedupesCmsAnswers) {
   b.AppendUnchecked({Value::Int(1), Value::Int(10)});
   b.AppendUnchecked({Value::Int(1), Value::Int(20)});
   b.AppendUnchecked({Value::Int(2), Value::Int(30)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
 
@@ -198,7 +198,7 @@ TEST(Setof, LazyStreamAlsoDedupes) {
   rel::Relation b("b", rel::Schema::FromNames({"x", "y"}));
   b.AppendUnchecked({Value::Int(1), Value::Int(10)});
   b.AppendUnchecked({Value::Int(1), Value::Int(20)});
-  (void)db.AddTable(std::move(b));
+  BRAID_CHECK_OK(db.AddTable(std::move(b)));
   dbms::RemoteDbms remote(std::move(db));
   cms::Cms cms(&remote, cms::CmsConfig{});
   advice::AdviceSet advice;
@@ -209,7 +209,7 @@ TEST(Setof, LazyStreamAlsoDedupes) {
   advice.view_specs.push_back(v);
   cms.BeginSession(advice);
   // Prime so the lazy plan is fully local.
-  (void)cms.Query(caql::ParseCaql("warm(X, Y) :- b(X, Y)").value());
+  BRAID_CHECK_OK(cms.Query(caql::ParseCaql("warm(X, Y) :- b(X, Y)").value()));
   caql::CaqlQuery q = caql::ParseCaql("setview(X) :- b(X, Y)").value();
   q.distinct = true;
   auto a = cms.Query(q);

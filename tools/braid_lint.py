@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""braid_lint: project-invariant checker for the BrAID tree.
+
+Enforces the rules that are regex-checkable without libclang and that the
+compiler cannot (or does not) check for us; see DESIGN.md §"Concurrency
+contract" for the rationale of each:
+
+  naked-mutex      No std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable / std::shared_mutex outside the
+                   annotated wrappers in src/common/mutex.h. Naked
+                   primitives are invisible to Clang Thread Safety
+                   Analysis, so a lock taken through them is a lock the
+                   compiler cannot reason about.
+
+  wall-clock       No rand()/srand()/std::random_device or calendar time
+                   (time(), system_clock, localtime, ...) in src/.
+                   Deterministic components draw randomness from the
+                   seeded braid::Rng and charge time to the simulated
+                   NetworkModel clock; nondeterminism here breaks the
+                   differential oracle's seed-reproducibility.
+
+  sleep            No sleeping in src/ (sleep_for/sleep_until/usleep/
+                   nanosleep). Blocking waits go through braid::CondVar;
+                   sleeps hide latency bugs and slow the whole suite.
+
+  include-guard    Every header under src/ uses a BRAID_<PATH>_H_ include
+                   guard matching its path (#ifndef/#define pair and a
+                   trailing #endif comment).
+
+Legitimate exceptions are listed in tools/braid_lint_allowlist.txt as
+"<rule> <path> — <reason>" lines; an allowlist entry that no longer
+matches anything is itself an error, so the list cannot rot.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+
+Run locally:  python3 tools/braid_lint.py
+Self-test:    python3 tools/braid_lint.py --self-test
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (rule, regex, message). Patterns are matched per line with comments and
+# string literals stripped, so a mention in a doc comment does not trip.
+LINE_RULES = [
+    (
+        "naked-mutex",
+        re.compile(
+            r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+            r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+            r"condition_variable(_any)?)\b"
+        ),
+        "naked std synchronization primitive; use braid::Mutex / "
+        "braid::MutexLock / braid::CondVar from common/mutex.h so Clang "
+        "Thread Safety Analysis can see the lock",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"(\brand\s*\(|\bsrand\s*\(|std::random_device\b|"
+            r"std::time\b|[^\w.]time\s*\(\s*(NULL|nullptr|0)?\s*\)|"
+            r"system_clock\b|\blocaltime\s*\(|\bgmtime\s*\()"
+        ),
+        "unseeded randomness / calendar time in deterministic code; use "
+        "braid::Rng (seeded) or the simulated NetworkModel clock",
+    ),
+    (
+        "sleep",
+        re.compile(r"(sleep_for|sleep_until|\busleep\s*\(|\bnanosleep\s*\()"),
+        "sleeping in src/; block on a braid::CondVar or model the delay in "
+        "simulated time",
+    ),
+]
+
+GUARD_RULE = "include-guard"
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+
+
+def strip_noncode(line, in_block_comment):
+    """Removes string literals and comments; tracks /* */ state."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
+        if line[i] == '"':
+            m = STRING_RE.match(line, i)
+            if m:
+                out.append('""')
+                i = m.end()
+                continue
+        if line[i] == "'":
+            m = CHAR_RE.match(line, i)
+            if m:
+                out.append("''")
+                i = m.end()
+                continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def expected_guard(relpath):
+    """src/cms/cache_model.h -> BRAID_CMS_CACHE_MODEL_H_"""
+    assert relpath.startswith("src" + os.sep)
+    stem = relpath[len("src" + os.sep):]
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return "BRAID_" + token + "_"
+
+
+def check_include_guard(relpath, text):
+    want = expected_guard(relpath)
+    lines = text.splitlines()
+    code = [l for l in lines if l.strip() and not l.strip().startswith("//")]
+    problems = []
+    if (
+        len(code) < 2
+        or code[0].strip() != "#ifndef " + want
+        or code[1].strip() != "#define " + want
+    ):
+        problems.append(
+            (1, "expected include guard '#ifndef %s' / '#define %s'"
+             % (want, want))
+        )
+    endif_ok = any(
+        l.strip() == "#endif  // " + want or l.strip() == "#endif // " + want
+        for l in reversed(lines[-5:])
+    )
+    if not endif_ok:
+        problems.append(
+            (len(lines), "expected closing '#endif  // %s'" % want)
+        )
+    return problems
+
+
+def load_allowlist(path):
+    """Returns {(rule, relpath): reason}."""
+    allow = {}
+    if not os.path.exists(path):
+        return allow
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 2:
+                print("braid_lint: malformed allowlist line: %r" % line,
+                      file=sys.stderr)
+                sys.exit(2)
+            rule, rel = parts[0], parts[1]
+            reason = parts[2] if len(parts) > 2 else ""
+            allow[(rule, rel.replace("/", os.sep))] = reason
+    return allow
+
+
+def lint_file(relpath, text):
+    """Returns [(rule, line_number, message)] for one file."""
+    findings = []
+    in_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code, in_block = strip_noncode(line, in_block)
+        if "braid-lint: allow-next-line" in line:
+            # (the directive lives in a comment; it suppresses nothing by
+            # itself — allowlisting is per-file, to keep review pressure on)
+            pass
+        for rule, pattern, message in LINE_RULES:
+            if pattern.search(code):
+                findings.append((rule, lineno, message))
+    if relpath.endswith(".h") and relpath.startswith("src" + os.sep):
+        for lineno, message in check_include_guard(relpath, text):
+            findings.append((GUARD_RULE, lineno, message))
+    return findings
+
+
+def iter_source_files(root):
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root)
+
+
+def run_lint(root, allowlist_path, verbose=False):
+    allow = load_allowlist(allowlist_path)
+    used = set()
+    violations = []
+    for rel in iter_source_files(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            text = f.read()
+        for rule, lineno, message in lint_file(rel, text):
+            key = (rule, rel.replace(os.sep, "/"))
+            oskey = (rule, rel)
+            if oskey in allow or key in allow:
+                used.add(oskey if oskey in allow else key)
+                continue
+            violations.append("%s:%d: [%s] %s" % (rel, lineno, rule, message))
+    for key, reason in allow.items():
+        if key not in used:
+            violations.append(
+                "%s: [allowlist] entry for rule '%s' matches nothing "
+                "(%s); remove it" % (key[1], key[0], reason or "no reason")
+            )
+    for v in violations:
+        print(v)
+    if verbose and not violations:
+        print("braid_lint: clean")
+    return 0 if not violations else 1
+
+
+# ---------------------------------------------------------------------------
+# Self-test: deliberately bad snippets must be rejected, good ones accepted.
+
+BAD_SNIPPETS = {
+    "naked-mutex": "#include <mutex>\nstd::mutex mu;\n",
+    "naked-mutex-lock": "void F() { std::lock_guard<std::mutex> l(m); }\n",
+    "naked-condvar": "std::condition_variable cv;\n",
+    "wall-clock-rand": "int X() { return rand() % 7; }\n",
+    "wall-clock-time": "long Y() { return time(nullptr); }\n",
+    "wall-clock-chrono":
+        "auto Z() { return std::chrono::system_clock::now(); }\n",
+    "sleep":
+        "void W() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
+}
+
+GOOD_SNIPPETS = {
+    # Mentions in comments and strings must NOT trip the linter.
+    "comment": "// std::mutex is banned; use braid::Mutex\n",
+    "string": 'const char* kMsg = "do not call rand() here";\n',
+    "wrapper": "braid::MutexLock lock(&mu_);\n",
+    "member-time": "double t = sim.time_ms();  // simulated, fine\n",
+}
+
+GOOD_HEADER = (
+    "#ifndef BRAID_SELFTEST_GOOD_H_\n"
+    "#define BRAID_SELFTEST_GOOD_H_\n"
+    "int F();\n"
+    "#endif  // BRAID_SELFTEST_GOOD_H_\n"
+)
+
+BAD_HEADER = "#pragma once\nint F();\n"
+
+
+def self_test():
+    failures = []
+
+    def expect(name, text, relpath, want_dirty):
+        findings = lint_file(relpath, text)
+        dirty = bool(findings)
+        if dirty != want_dirty:
+            failures.append(
+                "%s: expected %s, got %s (%r)"
+                % (name, "violations" if want_dirty else "clean",
+                   "violations" if dirty else "clean", findings)
+            )
+
+    for name, text in BAD_SNIPPETS.items():
+        expect(name, text, os.path.join("src", "x", "snippet.cc"), True)
+    for name, text in GOOD_SNIPPETS.items():
+        expect(name, text, os.path.join("src", "x", "snippet.cc"), False)
+    expect("good-header", GOOD_HEADER,
+           os.path.join("src", "selftest", "good.h"), False)
+    expect("bad-header", BAD_HEADER,
+           os.path.join("src", "selftest", "bad.h"), True)
+
+    # End-to-end over a temp tree: one bad file, plus a stale allowlist
+    # entry that must itself be flagged.
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src", "x"))
+        with open(os.path.join(tmp, "src", "x", "bad.cc"), "w") as f:
+            f.write(BAD_SNIPPETS["naked-mutex"])
+        allowlist = os.path.join(tmp, "allow.txt")
+        with open(allowlist, "w") as f:
+            f.write("sleep src/x/never.cc — stale entry\n")
+        import contextlib
+        import io
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = run_lint(tmp, allowlist)
+        out = buf.getvalue()
+        if rc != 1:
+            failures.append("end-to-end: expected exit 1, got %d" % rc)
+        if "naked-mutex" not in out:
+            failures.append("end-to-end: naked-mutex not reported: %r" % out)
+        if "matches nothing" not in out:
+            failures.append("end-to-end: stale allowlist not reported")
+
+    if failures:
+        for f in failures:
+            print("braid_lint self-test FAILED: " + f)
+        return 1
+    print("braid_lint self-test: all %d snippets behaved"
+          % (len(BAD_SNIPPETS) + len(GOOD_SNIPPETS) + 2))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root (default: the checkout)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist path (default: "
+                             "tools/braid_lint_allowlist.txt under root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own snippet tests")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    allowlist = args.allowlist or os.path.join(
+        args.root, "tools", "braid_lint_allowlist.txt")
+    sys.exit(run_lint(args.root, allowlist, verbose=args.verbose))
+
+
+if __name__ == "__main__":
+    main()
