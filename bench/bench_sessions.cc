@@ -1,0 +1,199 @@
+// bench_sessions — multi-session scaling of the concurrent CMS: aggregate
+// QPS and per-query latency (p50/p95) against one shared warm cache, for
+// 1/2/4/8 concurrent IE sessions.
+//
+// Each session interleaves two kinds of queries per iteration:
+//  * a warm query answered exactly from a shared cached element — the
+//    striped cache's snapshot-read path under concurrent lookups;
+//  * a cold query with a session-and-iteration-unique constant, forcing a
+//    remote fetch. The simulated link sleeps for real (wall_clock_scale),
+//    so with N sessions the link latencies overlap on the pool and
+//    aggregate QPS scales with N even on one core — the same
+//    latency-hiding argument as prefetching (paper §4.2.2), applied
+//    across sessions instead of within one.
+//
+// Sessions go through the session scheduler (QueryAsync) with one
+// outstanding query each, driven by one thread per session; installs and
+// evictions race for real. The speedup column at 8 sessions is the
+// ROADMAP-1 acceptance number (>= 3x over 1 session).
+//
+// `--json <path>` (default BENCH_sessions.json) dumps the table; the obs
+// registry (cache.lock_wait_ms, cache.stripe_contention, sessions.*) is
+// printed afterwards so lock behavior ships with the bench output.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+constexpr size_t kIterations = 30;  // per session; 2 queries per iteration
+
+caql::CaqlQuery Parse(const std::string& text) {
+  auto q = caql::ParseCaql(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bench_sessions parse failed: %s\n",
+                 q.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(q.value());
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  size_t queries = 0;
+  size_t exact_hits = 0;
+  size_t remote_queries = 0;
+};
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+RunResult Run(size_t num_sessions) {
+  workload::GenealogyParams params;
+  params.people = 600;
+  dbms::NetworkModel net;
+  net.msg_latency_ms = 10;
+  net.wall_clock_scale = 0.25;  // every remote fetch sleeps ~3ms for real
+  dbms::RemoteDbms remote(workload::MakeGenealogyDatabase(params), net,
+                          dbms::DbmsCostModel{});
+
+  cms::CmsConfig config;
+  config.enable_advice = false;  // isolate the session-scaling effect
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.num_threads = 8;  // constant across rows; workers sleep on the link
+  cms::Cms cms(&remote, config);
+
+  // Warm the shared cache: the full parent relation, which every
+  // session's warm query then answers exactly.
+  const caql::CaqlQuery warm = Parse("warm(X, Y) :- parent(X, Y)");
+  if (auto a = cms.Query(warm); !a.ok()) {
+    std::fprintf(stderr, "bench_sessions warm-up failed: %s\n",
+                 a.status().ToString().c_str());
+    std::exit(1);
+  }
+  const size_t warm_remote = remote.stats().queries;
+
+  std::vector<cms::CmsSession*> sessions;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    sessions.push_back(cms.OpenSession());
+  }
+
+  // Pre-parse every cold query: each (session, iteration) pair binds a
+  // distinct constant over `person` — a relation the warm `parent`
+  // element cannot subsume — so every one pays one real (scaled) link
+  // sleep.
+  std::vector<std::vector<caql::CaqlQuery>> cold(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    for (size_t i = 0; i < kIterations; ++i) {
+      const size_t id = s * kIterations + i;
+      cold[s].push_back(Parse(StrCat("cold", s, "_", i,
+                                     "(A, C) :- person(", id, ", A, C)")));
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(num_sessions);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    drivers.emplace_back([&cms, &warm, &cold, &latencies, &sessions, s] {
+      cms::CmsSession& session = *sessions[s];
+      std::vector<double>& lat = latencies[s];
+      lat.reserve(2 * kIterations);
+      auto ask = [&cms, &session, &lat](const caql::CaqlQuery& q) {
+        const auto start = std::chrono::steady_clock::now();
+        auto answer = cms.QueryAsync(session, q).get();
+        lat.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+        if (!answer.ok()) {
+          std::fprintf(stderr, "bench_sessions query failed: %s\n",
+                       answer.status().ToString().c_str());
+          std::exit(1);
+        }
+      };
+      for (size_t i = 0; i < kIterations; ++i) {
+        ask(warm);
+        ask(cold[s][i]);
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  RunResult result;
+  result.wall_ms = wall_ms;
+  std::vector<double> all;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    result.queries += latencies[s].size();
+    result.exact_hits += sessions[s]->metrics().exact_hits;
+    all.insert(all.end(), latencies[s].begin(), latencies[s].end());
+  }
+  result.qps = result.queries / (wall_ms / 1000.0);
+  result.p50_ms = Quantile(all, 0.50);
+  result.p95_ms = Quantile(all, 0.95);
+  result.remote_queries = remote.stats().queries - warm_remote;
+
+  cms.DrainSessions();
+  for (cms::CmsSession* s : sessions) cms.CloseSession(s);
+  return result;
+}
+
+}  // namespace
+}  // namespace braid
+
+int main(int argc, char** argv) {
+  braid::benchutil::Table table(
+      "Sessions: N concurrent IE sessions over one shared CMS — 30 "
+      "iterations each of {warm exact hit, cold remote fetch}, 10ms link "
+      "at 0.25 wall-clock scale, 8 pool workers",
+      {"sessions", "queries", "wall_ms", "qps", "speedup", "p50_ms",
+       "p95_ms", "exact_hits", "remote_queries"});
+  double base_qps = 0;
+  double speedup_at_8 = 0;
+  for (size_t n : {1, 2, 4, 8}) {
+    auto r = braid::Run(n);
+    if (n == 1) base_qps = r.qps;
+    const double speedup = base_qps > 0 ? r.qps / base_qps : 0;
+    if (n == 8) speedup_at_8 = speedup;
+    table.AddRow(n, r.queries, r.wall_ms, r.qps, speedup, r.p50_ms,
+                 r.p95_ms, r.exact_hits, r.remote_queries);
+  }
+  table.Print();
+  table.WriteJson(braid::benchutil::JsonPathFromArgs(argc, argv,
+                                                     "BENCH_sessions.json"));
+  std::printf("\n-- obs registry after final run --\n%s\n",
+              braid::obs::MetricsRegistry::Global().ToJson().c_str());
+  if (speedup_at_8 < 3.0) {
+    std::fprintf(stderr,
+                 "WARN: 8-session speedup %.2fx below the 3x target\n",
+                 speedup_at_8);
+  }
+  return 0;
+}

@@ -7,11 +7,17 @@
 namespace braid::cms {
 
 std::shared_ptr<const rel::HashIndex> CacheElement::index(size_t column) const {
+  MutexLock lock(&repr_mu_);
   auto it = indexes_.find(column);
   return it == indexes_.end() ? nullptr : it->second;
 }
 
 std::shared_ptr<const rel::HashIndex> CacheElement::EnsureIndex(size_t column) {
+  // The build runs under the lock: two sessions racing to index the same
+  // column then share one index instead of building twice. Extensions are
+  // small enough that holding the (per-element) lock across the build is
+  // cheaper than a double-build.
+  MutexLock lock(&repr_mu_);
   auto it = indexes_.find(column);
   if (it != indexes_.end()) return it->second;
   if (extension_ == nullptr) return nullptr;
@@ -22,6 +28,7 @@ std::shared_ptr<const rel::HashIndex> CacheElement::EnsureIndex(size_t column) {
 
 std::shared_ptr<const rel::Relation> CacheElement::EnsureSorted(
     const std::vector<size_t>& columns) {
+  MutexLock lock(&repr_mu_);
   auto it = sorted_.find(columns);
   if (it != sorted_.end()) return it->second;
   if (extension_ == nullptr) return nullptr;
@@ -33,11 +40,18 @@ std::shared_ptr<const rel::Relation> CacheElement::EnsureSorted(
 
 std::shared_ptr<const rel::Relation> CacheElement::sorted(
     const std::vector<size_t>& columns) const {
+  MutexLock lock(&repr_mu_);
   auto it = sorted_.find(columns);
   return it == sorted_.end() ? nullptr : it->second;
 }
 
+size_t CacheElement::NumSortedRepresentations() const {
+  MutexLock lock(&repr_mu_);
+  return sorted_.size();
+}
+
 size_t CacheElement::ByteSize() const {
+  MutexLock lock(&repr_mu_);
   size_t total = 128;  // definition + bookkeeping
   if (extension_ != nullptr) total += extension_->ByteSize();
   for (const auto& [col, idx] : indexes_) total += idx->ByteSize();
@@ -51,7 +65,8 @@ std::string CacheElement::ToString() const {
      << (is_materialized()
              ? std::to_string(extension_->NumTuples()) + " tuples"
              : "generator")
-     << ", " << ByteSize() << " bytes, hits=" << stats_.hits << "]";
+     << ", " << ByteSize() << " bytes, hits="
+     << stats_.hits.load(std::memory_order_relaxed) << "]";
   return os.str();
 }
 

@@ -1,11 +1,14 @@
 #ifndef BRAID_CMS_CACHE_ELEMENT_H_
 #define BRAID_CMS_CACHE_ELEMENT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "caql/caql_query.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "relational/index.h"
 #include "relational/relation.h"
 
@@ -14,12 +17,14 @@ namespace braid::cms {
 /// Usage metadata kept per cache element: the "historical meta-data to
 /// support cache replacement and accumulate performance measurement
 /// statistics" of §5.4. Sequence numbers come from the CMS's logical
-/// clock (one tick per IE query).
+/// clock (one tick per IE query). Fields are relaxed atomics: concurrent
+/// sessions touch elements from many threads, and every field is an
+/// independent monotone counter where word-level atomicity suffices.
 struct CacheElementStats {
-  uint64_t created_seq = 0;
-  uint64_t last_used_seq = 0;
-  size_t hits = 0;
-  double cost_to_recompute_ms = 0;  // estimated remote cost saved per hit
+  std::atomic<uint64_t> created_seq{0};
+  std::atomic<uint64_t> last_used_seq{0};
+  std::atomic<size_t> hits{0};
+  std::atomic<double> cost_to_recompute_ms{0};  // est. remote cost saved/hit
 };
 
 /// A cache element: a relation defined by a CAQL expression (paper §5).
@@ -30,6 +35,12 @@ struct CacheElementStats {
 ///
 /// Elements may carry hash indexes over extension columns ("attribute
 /// indexing", built when advice marks the column's variable as a consumer).
+///
+/// Thread safety: id, definition, extension, and origin view are immutable
+/// after the element is installed in the cache model, so readers touch
+/// them without synchronization. The co-existing representations (indexes
+/// and sorted copies) are built lazily from any session's thread and are
+/// guarded by a per-element mutex; stats fields are atomics.
 class CacheElement {
  public:
   /// Materialized element.
@@ -52,7 +63,8 @@ class CacheElement {
   }
 
   /// View-spec id this element originated from (for advice lookups); empty
-  /// when the element was not created from a view specification.
+  /// when the element was not created from a view specification. Set once
+  /// before the element is published to the cache model.
   const std::string& origin_view() const { return origin_view_; }
   void set_origin_view(std::string view) { origin_view_ = std::move(view); }
 
@@ -75,7 +87,7 @@ class CacheElement {
       const std::vector<size_t>& columns) const;
 
   /// Number of alternative (sorted) representations currently held.
-  size_t NumSortedRepresentations() const { return sorted_.size(); }
+  size_t NumSortedRepresentations() const;
 
   /// Bytes consumed by the extension plus indexes (a small constant for
   /// generator-form elements).
@@ -91,8 +103,14 @@ class CacheElement {
   caql::CaqlQuery definition_;
   std::shared_ptr<const rel::Relation> extension_;  // null => generator form
   std::string origin_view_;
-  std::map<size_t, std::shared_ptr<const rel::HashIndex>> indexes_;
-  std::map<std::vector<size_t>, std::shared_ptr<const rel::Relation>> sorted_;
+
+  /// Guards the lazily built representations; a leaf lock (nothing else is
+  /// acquired while it is held).
+  mutable Mutex repr_mu_;
+  std::map<size_t, std::shared_ptr<const rel::HashIndex>> indexes_
+      BRAID_GUARDED_BY(repr_mu_);
+  std::map<std::vector<size_t>, std::shared_ptr<const rel::Relation>> sorted_
+      BRAID_GUARDED_BY(repr_mu_);
   CacheElementStats stats_;
 };
 

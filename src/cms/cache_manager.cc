@@ -2,30 +2,40 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <tuple>
-#include <vector>
+#include <utility>
 
 #include "obs/metrics.h"
 
 namespace braid::cms {
 
 bool CacheManager::Insert(CacheElementPtr element) {
-  BRAID_SINGLE_THREAD(sequence_);
   const size_t size = element->ByteSize();
   if (size > budget_bytes_) {
-    ++stats_.rejected_too_large;
+    stats_.rejected_too_large.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Global().counter("cache.rejected_too_large")
         .Increment();
     return false;
   }
-  element->stats().created_seq = clock_;
-  element->stats().last_used_seq = clock_;
+  const uint64_t now = clock();
+  element->stats().created_seq.store(now, std::memory_order_relaxed);
+  element->stats().last_used_seq.store(now, std::memory_order_relaxed);
+  const std::string id = element->id();
   const size_t current = model_.TotalBytes();
   if (current + size > budget_bytes_) {
-    MakeRoom(current + size - budget_bytes_, element->id());
+    MakeRoom(current + size - budget_bytes_, id);
   }
   model_.Register(std::move(element));
-  ++stats_.insertions;
+  stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+  // Concurrent inserts each pre-evict for their own projection, but two
+  // installs can still land together; whichever re-checks last pulls the
+  // footprint back under budget (the invariant holds whenever no Insert
+  // is mid-flight).
+  const size_t after = model_.TotalBytes();
+  if (after > budget_bytes_) {
+    MakeRoom(after - budget_bytes_, id);
+  }
   auto& registry = obs::MetricsRegistry::Global();
   registry.counter("cache.insertions").Increment();
   registry.gauge("cache.resident_bytes")
@@ -34,11 +44,10 @@ bool CacheManager::Insert(CacheElementPtr element) {
 }
 
 void CacheManager::Touch(const std::string& id) {
-  BRAID_SINGLE_THREAD(sequence_);
   CacheElementPtr e = model_.Find(id);
   if (e == nullptr) return;
-  e->stats().last_used_seq = clock_;
-  ++e->stats().hits;
+  e->stats().last_used_seq.store(clock(), std::memory_order_relaxed);
+  e->stats().hits.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::Global().counter("cache.touches").Increment();
 }
 
@@ -46,24 +55,33 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
   if (needed == 0) return;
   auto& registry = obs::MetricsRegistry::Global();
 
+  ReplacementAdvisor advisor;
+  {
+    MutexLock lock(&advisor_mu_);
+    advisor = advisor_;
+  }
+
   // Victim ordering: elements not predicted within the horizon first,
   // then by farthest predicted distance, then least recently used, with
   // the element id as a final tie-break so eviction order is fully
   // deterministic. The advisor's prediction (an NFA reachability search)
   // is the expensive part, so it is consulted exactly once per element
   // per pass — evicting a victim changes no other element's rank, which
-  // makes one ranking pass sufficient for the whole batch.
+  // makes one ranking pass sufficient for the whole batch. The candidate
+  // set is a snapshot; a concurrently removed element simply frees no
+  // bytes when its turn comes.
   struct Candidate {
     std::tuple<int, size_t, uint64_t> rank;
     CacheElementPtr element;
   };
+  const std::map<std::string, CacheElementPtr> resident = model_.elements();
   std::vector<Candidate> candidates;
-  candidates.reserve(model_.elements().size());
-  for (const auto& [id, e] : model_.elements()) {
+  candidates.reserve(resident.size());
+  for (const auto& [id, e] : resident) {
     if (id == exclude) continue;
     std::optional<size_t> dist;
-    if (advisor_) {
-      dist = advisor_(*e);
+    if (advisor) {
+      dist = advisor(*e);
       registry.counter("cache.advisor_calls").Increment();
     }
     const bool is_protected = dist.has_value() && *dist < horizon_;
@@ -72,7 +90,8 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
     candidates.push_back(
         {std::make_tuple(is_protected ? 0 : 1, d,
                          std::numeric_limits<uint64_t>::max() -
-                             e->stats().last_used_seq),
+                             e->stats().last_used_seq.load(
+                                 std::memory_order_relaxed)),
          e});
   }
   // Best victims first (larger rank = better victim).
@@ -84,9 +103,11 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
 
   for (const Candidate& c : candidates) {
     if (needed == 0) break;
-    const size_t freed = c.element->ByteSize();
-    model_.Remove(c.element->id());
-    ++stats_.evictions;
+    // Remove locks exactly one stripe and reports the bytes actually
+    // freed (0 when a concurrent pass already evicted this element).
+    const size_t freed = model_.Remove(c.element->id());
+    if (freed == 0) continue;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     registry.counter("cache.evictions").Increment();
     needed = freed >= needed ? 0 : needed - freed;
   }

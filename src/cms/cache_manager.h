@@ -1,6 +1,7 @@
 #ifndef BRAID_CMS_CACHE_MANAGER_H_
 #define BRAID_CMS_CACHE_MANAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -12,16 +13,19 @@
 
 namespace braid::cms {
 
-/// Counters published by the cache manager.
+/// Counters published by the cache manager. Atomics: concurrent sessions
+/// insert and evict in parallel; each field is independently monotone.
 struct CacheManagerStats {
-  size_t insertions = 0;
-  size_t evictions = 0;
-  size_t rejected_too_large = 0;
+  std::atomic<size_t> insertions{0};
+  std::atomic<size_t> evictions{0};
+  std::atomic<size_t> rejected_too_large{0};
 };
 
 /// Returns the advice-predicted minimum distance (in queries) until the
 /// element may be needed again, or nullopt when there is no prediction.
-/// Provided by the Advice Manager; plain LRU is used when absent.
+/// Provided by the Advice Manager; plain LRU is used when absent. Must be
+/// callable from any session thread and must not call back into the cache
+/// (MakeRoom invokes it while an eviction pass is in progress).
 using ReplacementAdvisor =
     std::function<std::optional<size_t>(const CacheElement&)>;
 
@@ -30,66 +34,60 @@ using ReplacementAdvisor =
 /// predicts an element will be needed within the replacement horizon it is
 /// protected; among the rest, the victim is the element predicted farthest
 /// in the future, breaking ties by least recent use.
+///
+/// Thread safety: fully concurrent. The model is striped (see CacheModel);
+/// the logical clock and stats are atomics; the advisor is swapped under a
+/// small leaf mutex and copied per eviction pass. `MakeRoom` is
+/// stripe-aware: candidates are collected and ranked from snapshots with
+/// no lock held, and each eviction locks exactly one stripe (via
+/// CacheModel::Remove), so an eviction pass never blocks reads or installs
+/// on other stripes.
 class CacheManager {
  public:
   CacheManager(size_t budget_bytes, size_t replacement_horizon)
       : budget_bytes_(budget_bytes), horizon_(replacement_horizon) {}
 
-  CacheModel& model() {
-    BRAID_SINGLE_THREAD(sequence_);
-    return model_;
-  }
-  const CacheModel& model() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return model_;
-  }
+  CacheModel& model() { return model_; }
+  const CacheModel& model() const { return model_; }
 
   void set_replacement_advisor(ReplacementAdvisor advisor) {
-    BRAID_SINGLE_THREAD(sequence_);
+    MutexLock lock(&advisor_mu_);
     advisor_ = std::move(advisor);
   }
 
   /// Advances the logical clock (call once per IE query).
-  void Tick() {
-    BRAID_SINGLE_THREAD(sequence_);
-    ++clock_;
-  }
-  uint64_t clock() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return clock_;
-  }
+  void Tick() { clock_.fetch_add(1, std::memory_order_acq_rel); }
+  uint64_t clock() const { return clock_.load(std::memory_order_acquire); }
 
   /// Inserts `element`, evicting as needed. Returns false if the element
-  /// alone exceeds the budget (it is not cached).
+  /// alone exceeds the budget (it is not cached). Safe to call from any
+  /// session thread; when concurrent inserts overshoot the budget, the
+  /// post-install re-check evicts back under it before returning.
   bool Insert(CacheElementPtr element);
 
   /// Marks a use of the element for LRU purposes.
   void Touch(const std::string& id);
 
   size_t budget_bytes() const { return budget_bytes_; }
-  const CacheManagerStats& stats() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return stats_;
-  }
+  const CacheManagerStats& stats() const { return stats_; }
 
  private:
   /// Evicts elements until at least `needed` bytes are free (or nothing
-  /// evictable remains). `exclude` is never evicted. Callers hold the
-  /// sequence capability (every public entry point checks it).
-  void MakeRoom(size_t needed, const std::string& exclude)
-      BRAID_REQUIRES(sequence_);
+  /// evictable remains). `exclude` is never evicted. Holds at most one
+  /// stripe lock at a time and no lock while ranking or consulting the
+  /// advisor.
+  void MakeRoom(size_t needed, const std::string& exclude);
 
-  /// Single-threaded by design, like the CacheModel it owns: all mutation
-  /// happens on the foreground CMS thread (prefetch results install
-  /// foreground-side). Checked at runtime; see DESIGN.md §"Concurrency
-  /// contract".
-  mutable SequenceChecker sequence_;
-  CacheModel model_ BRAID_GUARDED_BY(sequence_);
+  CacheModel model_;
   const size_t budget_bytes_;  // immutable after construction
   const size_t horizon_;       // immutable after construction
-  uint64_t clock_ BRAID_GUARDED_BY(sequence_) = 0;
-  ReplacementAdvisor advisor_ BRAID_GUARDED_BY(sequence_);
-  CacheManagerStats stats_ BRAID_GUARDED_BY(sequence_);
+  std::atomic<uint64_t> clock_{0};
+
+  /// Leaf mutex for advisor replacement; MakeRoom copies the advisor out
+  /// and calls it without holding this (the advisor takes session locks).
+  mutable Mutex advisor_mu_;
+  ReplacementAdvisor advisor_ BRAID_GUARDED_BY(advisor_mu_);
+  CacheManagerStats stats_;
 };
 
 }  // namespace braid::cms

@@ -1,91 +1,205 @@
 #include "cms/cache_model.h"
 
+#include <chrono>
+#include <functional>
 #include <sstream>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace braid::cms {
 
+CacheModel::CacheModel()
+    : stripe_contention_(
+          &obs::MetricsRegistry::Global().counter("cache.stripe_contention")),
+      lock_wait_ms_(
+          &obs::MetricsRegistry::Global().histogram("cache.lock_wait_ms")) {}
+
+CacheModel::StripeLock::StripeLock(const CacheModel* model, const Stripe& s)
+    : mu_(&s.mu) {
+  if (mu_->TryLock()) return;
+  model->stripe_contention_->Increment();
+  const auto start = std::chrono::steady_clock::now();
+  mu_->Lock();
+  model->lock_wait_ms_->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+CacheModel::StripeLock::~StripeLock() { mu_->Unlock(); }
+
+size_t CacheModel::StripeOf(const std::string& canonical_key) const {
+  return std::hash<std::string>{}(canonical_key) % kNumStripes;
+}
+
 std::string CacheModel::NextId() {
-  BRAID_SINGLE_THREAD(sequence_);
-  return StrCat("E", next_id_++);
+  return StrCat("E", next_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
 void CacheModel::Register(CacheElementPtr element) {
-  BRAID_SINGLE_THREAD(sequence_);
   const std::string& id = element->id();
+  const std::string key = element->definition().CanonicalKey();
+  // A same-id re-register may carry a different definition and therefore
+  // land on a different stripe: clear the old entry first (rare — ids are
+  // normally fresh).
   Remove(id);
-  for (const logic::Atom& a : element->definition().RelationAtoms()) {
-    by_predicate_[a.predicate].insert(id);
+
+  Stripe& s = stripes_[StripeOf(key)];
+  StripeLock lock(this, s);
+  // Same canonical key under another id: concurrent sessions raced to
+  // install the same definition; the earlier element is dropped so the
+  // key maps to exactly one element.
+  auto kit = s.by_canonical_key.find(key);
+  if (kit != s.by_canonical_key.end() && kit->second != id) {
+    RemoveLocked(s, kit->second);
   }
-  by_canonical_key_[element->definition().CanonicalKey()] = id;
-  elements_[id] = std::move(element);
-  ++version_;
+  for (const logic::Atom& a : element->definition().RelationAtoms()) {
+    s.by_predicate[a.predicate].insert(id);
+  }
+  s.by_canonical_key[key] = id;
+  s.elements[id] = std::move(element);
+  ++s.version;
+  s.snapshot = nullptr;
+  {
+    MutexLock idlock(&id_mu_);
+    id_stripe_[id] = StripeOf(key);
+  }
+  count_.fetch_add(1, std::memory_order_acq_rel);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-void CacheModel::Remove(const std::string& id) {
-  BRAID_SINGLE_THREAD(sequence_);
-  auto it = elements_.find(id);
-  if (it == elements_.end()) return;
+size_t CacheModel::RemoveLocked(Stripe& s, std::string id) {
+  auto it = s.elements.find(id);
+  if (it == s.elements.end()) return 0;
+  const size_t freed = it->second->ByteSize();
   for (const logic::Atom& a : it->second->definition().RelationAtoms()) {
-    auto pit = by_predicate_.find(a.predicate);
-    if (pit != by_predicate_.end()) {
+    auto pit = s.by_predicate.find(a.predicate);
+    if (pit != s.by_predicate.end()) {
       pit->second.erase(id);
-      if (pit->second.empty()) by_predicate_.erase(pit);
+      if (pit->second.empty()) s.by_predicate.erase(pit);
     }
   }
   const std::string key = it->second->definition().CanonicalKey();
-  auto kit = by_canonical_key_.find(key);
-  if (kit != by_canonical_key_.end() && kit->second == id) {
-    by_canonical_key_.erase(kit);
+  auto kit = s.by_canonical_key.find(key);
+  if (kit != s.by_canonical_key.end() && kit->second == id) {
+    s.by_canonical_key.erase(kit);
   }
-  elements_.erase(it);
-  ++version_;
+  s.elements.erase(it);
+  ++s.version;
+  s.snapshot = nullptr;
+  {
+    MutexLock idlock(&id_mu_);
+    id_stripe_.erase(id);
+  }
+  count_.fetch_sub(1, std::memory_order_acq_rel);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return freed;
+}
+
+size_t CacheModel::Remove(const std::string& id) {
+  for (;;) {
+    size_t idx;
+    {
+      MutexLock lock(&id_mu_);
+      auto it = id_stripe_.find(id);
+      if (it == id_stripe_.end()) return 0;
+      idx = it->second;
+    }
+    Stripe& s = stripes_[idx];
+    StripeLock lock(this, s);
+    if (s.elements.find(id) == s.elements.end()) {
+      // Raced with another Remove (or a same-id re-register that moved the
+      // element): re-read the directory.
+      continue;
+    }
+    return RemoveLocked(s, id);
+  }
+}
+
+std::shared_ptr<const StripeSnapshot> CacheModel::Snapshot(size_t i) const {
+  const Stripe& s = stripes_[i];
+  StripeLock lock(this, s);
+  if (s.snapshot == nullptr || s.snapshot->version != s.version) {
+    auto snap = std::make_shared<StripeSnapshot>();
+    snap->version = s.version;
+    snap->elements = s.elements;
+    for (const auto& [pred, ids] : s.by_predicate) {
+      std::vector<CacheElementPtr>& out = snap->by_predicate[pred];
+      out.reserve(ids.size());
+      for (const std::string& id : ids) {
+        auto eit = s.elements.find(id);
+        if (eit != s.elements.end()) out.push_back(eit->second);
+      }
+    }
+    for (const auto& [key, id] : s.by_canonical_key) {
+      auto eit = s.elements.find(id);
+      if (eit != s.elements.end()) snap->by_canonical_key[key] = eit->second;
+    }
+    s.snapshot = std::move(snap);
+  }
+  return s.snapshot;
 }
 
 CacheElementPtr CacheModel::Find(const std::string& id) const {
-  BRAID_SINGLE_THREAD(sequence_);
-  auto it = elements_.find(id);
-  return it == elements_.end() ? nullptr : it->second;
+  size_t idx;
+  {
+    MutexLock lock(&id_mu_);
+    auto it = id_stripe_.find(id);
+    if (it == id_stripe_.end()) return nullptr;
+    idx = it->second;
+  }
+  std::shared_ptr<const StripeSnapshot> snap = Snapshot(idx);
+  auto it = snap->elements.find(id);
+  return it == snap->elements.end() ? nullptr : it->second;
 }
 
 std::vector<CacheElementPtr> CacheModel::ByPredicate(
     const std::string& predicate) const {
-  BRAID_SINGLE_THREAD(sequence_);
+  // Every stripe may hold definitions mentioning the predicate (stripes
+  // hash the whole canonical definition, not individual predicates).
   std::vector<CacheElementPtr> out;
-  auto it = by_predicate_.find(predicate);
-  if (it == by_predicate_.end()) return out;
-  out.reserve(it->second.size());
-  for (const std::string& id : it->second) {
-    auto eit = elements_.find(id);
-    if (eit != elements_.end()) out.push_back(eit->second);
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    std::shared_ptr<const StripeSnapshot> snap = Snapshot(i);
+    auto it = snap->by_predicate.find(predicate);
+    if (it == snap->by_predicate.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
   }
   return out;
 }
 
 CacheElementPtr CacheModel::ByCanonicalKey(const std::string& key) const {
-  BRAID_SINGLE_THREAD(sequence_);
-  auto it = by_canonical_key_.find(key);
-  return it == by_canonical_key_.end() ? nullptr : Find(it->second);
+  std::shared_ptr<const StripeSnapshot> snap = Snapshot(StripeOf(key));
+  auto it = snap->by_canonical_key.find(key);
+  return it == snap->by_canonical_key.end() ? nullptr : it->second;
+}
+
+std::map<std::string, CacheElementPtr> CacheModel::elements() const {
+  std::map<std::string, CacheElementPtr> out;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    std::shared_ptr<const StripeSnapshot> snap = Snapshot(i);
+    out.insert(snap->elements.begin(), snap->elements.end());
+  }
+  return out;
 }
 
 bool CacheModel::HasMaterializedFor(const std::string& predicate) const {
-  BRAID_SINGLE_THREAD(sequence_);
-  auto it = by_predicate_.find(predicate);
-  if (it == by_predicate_.end()) return false;
-  for (const std::string& id : it->second) {
-    auto eit = elements_.find(id);
-    if (eit != elements_.end() && eit->second->is_materialized()) return true;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    std::shared_ptr<const StripeSnapshot> snap = Snapshot(i);
+    auto it = snap->by_predicate.find(predicate);
+    if (it == snap->by_predicate.end()) continue;
+    for (const CacheElementPtr& e : it->second) {
+      if (e->is_materialized()) return true;
+    }
   }
   return false;
 }
 
 rel::Relation CacheModel::AsRelation() const {
-  BRAID_SINGLE_THREAD(sequence_);
   rel::Relation out("cache_model",
                     rel::Schema::FromNames(
                         {"e_id", "e_def", "form", "tuples", "bytes", "hits"}));
-  for (const auto& [id, e] : elements_) {
+  for (const auto& [id, e] : elements()) {
     out.AppendUnchecked(
         {rel::Value::String(id),
          rel::Value::String(e->definition().ToString()),
@@ -94,24 +208,26 @@ rel::Relation CacheModel::AsRelation() const {
                              ? static_cast<int64_t>(e->extension()->NumTuples())
                              : 0),
          rel::Value::Int(static_cast<int64_t>(e->ByteSize())),
-         rel::Value::Int(static_cast<int64_t>(e->stats().hits))});
+         rel::Value::Int(static_cast<int64_t>(
+             e->stats().hits.load(std::memory_order_relaxed)))});
   }
   return out;
 }
 
 size_t CacheModel::TotalBytes() const {
-  BRAID_SINGLE_THREAD(sequence_);
   size_t total = 0;
-  for (const auto& [id, e] : elements_) total += e->ByteSize();
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    std::shared_ptr<const StripeSnapshot> snap = Snapshot(i);
+    for (const auto& [id, e] : snap->elements) total += e->ByteSize();
+  }
   return total;
 }
 
 std::string CacheModel::ToString() const {
-  BRAID_SINGLE_THREAD(sequence_);
+  const std::map<std::string, CacheElementPtr> all = elements();
   std::ostringstream os;
-  os << "cache: " << elements_.size() << " elements, " << TotalBytes()
-     << " bytes";
-  for (const auto& [id, e] : elements_) {
+  os << "cache: " << all.size() << " elements, " << TotalBytes() << " bytes";
+  for (const auto& [id, e] : all) {
     os << "\n  " << e->ToString();
   }
   return os.str();

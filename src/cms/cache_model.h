@@ -1,8 +1,11 @@
 #ifndef BRAID_CMS_CACHE_MODEL_H_
 #define BRAID_CMS_CACHE_MODEL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,8 +13,22 @@
 #include "cms/cache_element.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace braid::cms {
+
+/// Immutable point-in-time copy of one stripe's indexes. Readers grab the
+/// current snapshot under a brief stripe lock (rebuilding it first when the
+/// stripe changed since the last build) and then run arbitrarily long
+/// lookups — the subsumption search in particular — without holding any
+/// lock, so reads never block installs and installs never block reads
+/// beyond the pointer swap.
+struct StripeSnapshot {
+  uint64_t version = 0;
+  std::map<std::string, CacheElementPtr> elements;  // id -> element
+  std::map<std::string, std::vector<CacheElementPtr>> by_predicate;
+  std::map<std::string, CacheElementPtr> by_canonical_key;
+};
 
 /// The cache model: meta-information about what is in the cache (paper §3:
 /// "the CMS controls the cache and the cache model (i.e., meta-information
@@ -23,47 +40,62 @@ namespace braid::cms {
 ///    considered for subsumption.
 /// A third map keys materialized results by canonical definition for the
 /// exact-match fast path.
+///
+/// Concurrency (DESIGN.md §10 "Striped cache & session model"): storage is
+/// striped by a hash of the canonical definition key; each stripe has its
+/// own `braid::Mutex` and a lazily rebuilt immutable snapshot. Writers
+/// (Register/Remove) lock exactly one stripe; readers copy a snapshot
+/// pointer under the stripe lock and search lock-free. A separate leaf
+/// mutex guards the id -> stripe directory (ids hash to nothing useful —
+/// the canonical key determines the stripe). Lock order: a stripe mutex
+/// may be held while taking `id_mu_`, never the reverse, and no operation
+/// ever holds two stripe locks at once.
 class CacheModel {
  public:
-  CacheModel() = default;
+  static constexpr size_t kNumStripes = 8;
+
+  CacheModel();
 
   /// Fresh element id ("E1", "E2", ...).
   std::string NextId();
 
   /// Registers an element under its id, predicate index, and canonical
-  /// key. Replaces any same-id entry.
+  /// key. Replaces any same-id entry and any same-canonical-key entry
+  /// (concurrent sessions may race to install the same definition under
+  /// different ids; last install wins, the loser's element is dropped).
   void Register(CacheElementPtr element);
 
-  /// Removes the element (no-op if absent).
-  void Remove(const std::string& id);
+  /// Removes the element (no-op if absent). Returns the bytes it occupied
+  /// at removal, 0 when another thread removed it first — so concurrent
+  /// evictions never double-count freed space.
+  size_t Remove(const std::string& id);
 
   CacheElementPtr Find(const std::string& id) const;
 
-  /// Elements whose definitions mention `predicate`.
+  /// Elements whose definitions mention `predicate` (snapshot read).
   std::vector<CacheElementPtr> ByPredicate(const std::string& predicate) const;
 
-  /// Element whose definition has this canonical key, or null.
+  /// Element whose definition has this canonical key, or null (snapshot
+  /// read).
   CacheElementPtr ByCanonicalKey(const std::string& key) const;
 
-  const std::map<std::string, CacheElementPtr>& elements() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return elements_;
-  }
-  size_t size() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return elements_.size();
-  }
+  /// Point-in-time copy of the full id -> element map, merged from the
+  /// per-stripe snapshots. (Pre-striping this returned a reference into
+  /// the model; a copy is the only sound shape once installs are
+  /// concurrent. Element pointers stay valid after eviction.)
+  std::map<std::string, CacheElementPtr> elements() const;
+
+  size_t size() const { return count_.load(std::memory_order_acquire); }
 
   /// Monotonic content version: bumped by every Register and every
   /// effective Remove. Decisions derived from cache contents (e.g.
   /// memoized prefetch-admission rejections) carry the version they were
   /// judged against and detect staleness with one comparison.
-  uint64_t version() const {
-    BRAID_SINGLE_THREAD(sequence_);
-    return version_;
-  }
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
-  /// Total bytes across all elements.
+  /// Total bytes across all elements, computed live: co-existing
+  /// representations (indexes, sorted copies) built after install count
+  /// against the budget too.
   size_t TotalBytes() const;
 
   /// True if some materialized element's definition mentions `predicate` —
@@ -81,19 +113,62 @@ class CacheModel {
   std::string ToString() const;
 
  private:
-  /// Single-threaded by design (paper §3: the CMS owns the cache model;
-  /// prefetch results install foreground-side). The checker makes that a
-  /// verified contract — see DESIGN.md §"Concurrency contract". The
-  /// ROADMAP-1 concurrent-CMS refactor replaces this capability with real
-  /// locks; until then, cross-thread access aborts instead of racing.
-  mutable SequenceChecker sequence_;
-  std::map<std::string, CacheElementPtr> elements_ BRAID_GUARDED_BY(sequence_);
-  std::map<std::string, std::set<std::string>> by_predicate_
-      BRAID_GUARDED_BY(sequence_);
-  std::map<std::string, std::string> by_canonical_key_
-      BRAID_GUARDED_BY(sequence_);
-  int next_id_ BRAID_GUARDED_BY(sequence_) = 1;
-  uint64_t version_ BRAID_GUARDED_BY(sequence_) = 0;
+  struct Stripe {
+    mutable Mutex mu;
+    std::map<std::string, CacheElementPtr> elements BRAID_GUARDED_BY(mu);
+    std::map<std::string, std::set<std::string>> by_predicate
+        BRAID_GUARDED_BY(mu);
+    std::map<std::string, std::string> by_canonical_key BRAID_GUARDED_BY(mu);
+    uint64_t version BRAID_GUARDED_BY(mu) = 0;
+    /// Cached immutable copy; null or stale (version mismatch) after a
+    /// write, rebuilt by the next reader.
+    mutable std::shared_ptr<const StripeSnapshot> snapshot
+        BRAID_GUARDED_BY(mu);
+  };
+
+  /// Contention-instrumented stripe lock: an uncontended acquisition is
+  /// one TryLock; a contended one counts on `cache.stripe_contention` and
+  /// records the wait on `cache.lock_wait_ms`.
+  class BRAID_SCOPED_CAPABILITY StripeLock {
+   public:
+    StripeLock(const CacheModel* model, const Stripe& s) BRAID_ACQUIRE(s.mu);
+    ~StripeLock() BRAID_RELEASE();
+
+    StripeLock(const StripeLock&) = delete;
+    StripeLock& operator=(const StripeLock&) = delete;
+
+   private:
+    Mutex* mu_;
+  };
+
+  size_t StripeOf(const std::string& canonical_key) const;
+
+  /// Removes `id` from stripe `s` (which must own it) and from the id
+  /// directory; returns the bytes freed.
+  // `id` is taken by value: callers may pass a reference into one of the
+  // stripe maps this function erases from (e.g. Register passes the
+  // by_canonical_key value of the element being displaced), and the id
+  // must outlive those erases.
+  size_t RemoveLocked(Stripe& s, std::string id) BRAID_REQUIRES(s.mu);
+
+  /// Current (rebuilt-if-stale) snapshot of stripe `i`.
+  std::shared_ptr<const StripeSnapshot> Snapshot(size_t i) const;
+
+  std::array<Stripe, kNumStripes> stripes_;
+
+  /// id -> stripe index directory. Leaf lock: may be taken while a stripe
+  /// lock is held (Register/Remove update it inside the stripe's critical
+  /// section), but no stripe lock is ever taken while holding it.
+  mutable Mutex id_mu_;
+  std::map<std::string, size_t> id_stripe_ BRAID_GUARDED_BY(id_mu_);
+
+  std::atomic<int> next_id_{1};
+  std::atomic<uint64_t> version_{0};
+  std::atomic<size_t> count_{0};
+
+  // Registry-owned instrument handles (process lifetime).
+  obs::Counter* stripe_contention_;
+  obs::Histogram* lock_wait_ms_;
 };
 
 }  // namespace braid::cms

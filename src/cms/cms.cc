@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -54,18 +53,6 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
   return "?";
 }
 
-std::string CmsMetrics::ToString() const {
-  std::ostringstream os;
-  os << "queries=" << ie_queries << " exact=" << exact_hits
-     << " full_local=" << full_local_hits << " lazy=" << lazy_answers
-     << " partial=" << partial_hits << " remote_only=" << remote_only
-     << " prefetches=" << prefetches << " prefetch_joins=" << prefetch_joins
-     << " generalizations=" << generalizations
-     << " response_ms=" << response_ms << " local_ms=" << local_ms
-     << " prefetch_ms=" << prefetch_ms;
-  return os.str();
-}
-
 Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
     : remote_(remote),
       config_(config),
@@ -80,47 +67,88 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
                exec::ExecContext{pool_.get(), config.parallel_threshold}),
       prefetcher_(std::make_unique<Prefetcher>(
           pool_.get(), &rdi_, config.local_per_tuple_ms,
-          config.prefetch_max_inflight, &tracer_)) {
-  // Replacement advice: the tracker's predicted distance for the
-  // element's origin view; when the tracker has no prediction, the
-  // simplest advice form (the relevant-base-relation list) still protects
-  // session-relevant elements at the horizon boundary.
+          config.prefetch_max_inflight, &tracer_)),
+      scheduler_(std::make_unique<SessionScheduler>(pool_.get())) {
+  {
+    MutexLock lock(&sessions_mu_);
+    sessions_.push_back(std::make_unique<CmsSession>(/*id=*/0));
+    default_session_ = sessions_.back().get();
+  }
+  // Replacement advice: the minimum predicted distance any open session's
+  // tracker gives the element's origin view; when no tracker predicts,
+  // the simplest advice form (the relevant-base-relation list) still
+  // protects session-relevant elements at the horizon boundary. Called by
+  // the cache manager with no cache lock held, from whichever session
+  // thread triggers an eviction.
   cache_.set_replacement_advisor(
       [this](const CacheElement& e) -> std::optional<size_t> {
         if (!config_.enable_advice) return std::nullopt;
-        auto distance = advice_.PredictedDistance(e.origin_view());
-        if (distance.has_value()) return distance;
-        for (const logic::Atom& a : e.definition().RelationAtoms()) {
-          if (advice_.SessionRelevant(a.predicate)) {
-            return config_.replacement_horizon > 0
-                       ? config_.replacement_horizon - 1
-                       : 0;
-          }
+        MutexLock lock(&sessions_mu_);
+        std::optional<size_t> best;
+        for (const std::unique_ptr<CmsSession>& s : sessions_) {
+          auto d = s->AdvisedDistance(e, config_.replacement_horizon);
+          if (d.has_value() && (!best.has_value() || *d < *best)) best = d;
         }
-        return std::nullopt;
+        return best;
       });
 }
 
-void Cms::BeginSession(advice::AdviceSet advice) {
-  // A session change invalidates the predictions behind the in-flight
-  // prefetches: cancel what has not started, wait out what has, and keep
-  // the non-cancelled completions (the cache is cross-session).
-  prefetcher_->CancelAll();
-  InstallCompletedPrefetches(prefetcher_->Drain());
-  prefetch_rejects_.clear();
-  prefetch_rejects_version_ = cache_.model().version();
+CmsSession* Cms::OpenSession(advice::AdviceSet advice) {
   if (!config_.enable_advice) {
     advice = advice::AdviceSet{};  // The CMS functions without advice.
   }
-  advice_.BeginSession(std::move(advice));
+  MutexLock lock(&sessions_mu_);
+  sessions_.push_back(std::make_unique<CmsSession>(next_session_id_++));
+  CmsSession* session = sessions_.back().get();
+  session->InstallAdvice(std::move(advice));
+  session->prefetch_rejects_version() = cache_.model().version();
+  return session;
+}
+
+void Cms::CloseSession(CmsSession* session) {
+  if (session == nullptr || session == default_session_) return;
+  std::unique_ptr<CmsSession> owned;
+  {
+    // Unregister first: once out of the vector the replacement advisor no
+    // longer consults it, and the drain below (which can trigger installs
+    // → evictions → the advisor) cannot deadlock on sessions_mu_.
+    MutexLock lock(&sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->get() == session) {
+        owned = std::move(*it);
+        sessions_.erase(it);
+        break;
+      }
+    }
+  }
+  if (owned == nullptr) return;
+  prefetcher_->CancelSession(owned->id());
+  InstallCompletedPrefetches(*owned, prefetcher_->DrainSession(owned->id()));
+}
+
+void Cms::BeginSession(advice::AdviceSet advice) {
+  // A session change invalidates the predictions behind the session's
+  // in-flight prefetches: cancel what has not started, wait out what has,
+  // and keep the non-cancelled completions (the cache is cross-session).
+  prefetcher_->CancelSession(default_session_->id());
+  InstallCompletedPrefetches(
+      *default_session_, prefetcher_->DrainSession(default_session_->id()));
+  default_session_->prefetch_rejects().clear();
+  default_session_->prefetch_rejects_version() = cache_.model().version();
+  if (!config_.enable_advice) {
+    advice = advice::AdviceSet{};  // The CMS functions without advice.
+  }
+  default_session_->InstallAdvice(std::move(advice));
 }
 
 void Cms::DrainPrefetches() {
-  InstallCompletedPrefetches(prefetcher_->Drain());
+  InstallCompletedPrefetches(*default_session_, prefetcher_->Drain());
 }
 
+void Cms::DrainSessions() { scheduler_->Drain(); }
+
 void Cms::InstallCompletedPrefetches(
-    std::vector<Prefetcher::Completed> done) {
+    CmsSession& session, std::vector<Prefetcher::Completed> done) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   for (Prefetcher::Completed& c : done) {
     if (!c.outcome.status.ok()) {
@@ -132,13 +160,13 @@ void Cms::InstallCompletedPrefetches(
     // prefetch was in flight (it lost the race); the fetch was wasted
     // but harmless.
     if (cache_.model().ByCanonicalKey(c.job.canonical_key) != nullptr ||
-        CacheResult(c.job.query, std::move(c.outcome.result),
+        CacheResult(session, c.job.query, std::move(c.outcome.result),
                     c.job.view_id).empty()) {
       reg.counter("prefetch.wasted").Increment();
       continue;
     }
-    metrics_.prefetch_ms += c.outcome.modeled_ms;
-    ++metrics_.prefetches;
+    session.metrics().prefetch_ms += c.outcome.modeled_ms;
+    ++session.metrics().prefetches;
   }
 }
 
@@ -154,7 +182,8 @@ bool Cms::CachingPolicyAdmits(const CaqlQuery& definition) const {
          definition.head_args.size() == atom.arity();
 }
 
-std::string Cms::CacheResult(const CaqlQuery& definition, rel::Relation result,
+std::string Cms::CacheResult(CmsSession& session, const CaqlQuery& definition,
+                             rel::Relation result,
                              const std::string& origin_view) {
   // Result caching is cross-session ("eliminates the cost of recomputing
   // repeated CAQL queries", §5.3): admission is unconditional within the
@@ -167,10 +196,13 @@ std::string Cms::CacheResult(const CaqlQuery& definition, rel::Relation result,
   element->set_origin_view(origin_view);
 
   // Attribute indexing from consumer annotations (paper §4.2.1): index the
-  // extension columns of consumer-annotated head variables.
+  // extension columns of consumer-annotated head variables. The hints come
+  // from the installing session's advice (for a harvested cross-session
+  // prefetch that may miss the owner's hints — indexes are then built
+  // lazily on first advised use instead).
   if (config_.enable_indexing && config_.enable_advice &&
       !origin_view.empty()) {
-    for (const std::string& var : advice_.IndexHints(origin_view)) {
+    for (const std::string& var : session.IndexHints(origin_view)) {
       for (size_t i = 0; i < definition.head_args.size(); ++i) {
         const Term& t = definition.head_args[i];
         if (t.is_variable() && t.var_name() == var) {
@@ -184,7 +216,8 @@ std::string Cms::CacheResult(const CaqlQuery& definition, rel::Relation result,
   return cache_.Insert(std::move(element)) ? id : "";
 }
 
-Result<Cms::EagerExec> Cms::ExecuteEager(const CaqlQuery& query,
+Result<Cms::EagerExec> Cms::ExecuteEager(CmsSession& session,
+                                         const CaqlQuery& query,
                                          obs::SpanId parent) {
   obs::Tracer* tracer = parent != 0 ? &tracer_ : nullptr;
   BRAID_ASSIGN_OR_RETURN(Plan plan,
@@ -201,7 +234,7 @@ Result<Cms::EagerExec> Cms::ExecuteEager(const CaqlQuery& query,
       break;
     }
   }
-  metrics_.local_ms += outcome.local_ms;
+  session.metrics().local_ms += outcome.local_ms;
   return exec;
 }
 
@@ -212,14 +245,14 @@ double Cms::EstimateResultBytes(const CaqlQuery& query) const {
   return remote_->EstimateCardinality(*sql) * 40.0;
 }
 
-Result<bool> Cms::MaybeGeneralize(const CaqlQuery& query,
+Result<bool> Cms::MaybeGeneralize(CmsSession& session, const CaqlQuery& query,
                                   const std::string& view_id,
                                   double* response_ms) {
   if (!config_.enable_generalization || !config_.enable_advice ||
       !config_.enable_caching || view_id.empty()) {
     return false;
   }
-  const advice::ViewSpec* view = advice_.FindView(view_id);
+  const advice::ViewSpec* view = session.FindView(view_id);
   if (view == nullptr) return false;
   // Only useful when the instance actually binds constants.
   bool has_constant = false;
@@ -227,15 +260,15 @@ Result<bool> Cms::MaybeGeneralize(const CaqlQuery& query,
     if (t.is_constant()) has_constant = true;
   }
   if (!has_constant) return false;
-  if (!advice_.ShouldGeneralize(view_id, query)) return false;
+  if (!session.ShouldGeneralize(view_id, query)) return false;
 
   const CaqlQuery general = GeneralizedForm(*view);
   // A background prefetch may already be computing exactly this general
   // form: wait for it rather than duplicating its remote fetches, then
   // install its result so the admission probe below sees it cached.
   if (prefetcher_->Join(general.CanonicalKey())) {
-    ++metrics_.prefetch_joins;
-    InstallCompletedPrefetches(prefetcher_->Harvest());
+    ++session.metrics().prefetch_joins;
+    InstallCompletedPrefetches(session, prefetcher_->Harvest());
   }
   // Already cached? Too large to pay off? (Generalization has no
   // fully-local skip: deriving the general form from cached data is
@@ -247,14 +280,14 @@ Result<bool> Cms::MaybeGeneralize(const CaqlQuery& query,
       SpeculativeAdmission::kAdmit) {
     return false;
   }
-  BRAID_ASSIGN_OR_RETURN(EagerExec exec, ExecuteEager(general));
+  BRAID_ASSIGN_OR_RETURN(EagerExec exec, ExecuteEager(session, general));
   *response_ms += exec.response_ms;
-  CacheResult(general, std::move(exec.result), view_id);
-  ++metrics_.generalizations;
+  CacheResult(session, general, std::move(exec.result), view_id);
+  ++session.metrics().generalizations;
   return true;
 }
 
-void Cms::MaybePrefetch(const std::string& current_view) {
+void Cms::MaybePrefetch(CmsSession& session, const std::string& current_view) {
   if (!config_.enable_prefetch || !config_.enable_advice ||
       !config_.enable_caching) {
     return;
@@ -264,30 +297,30 @@ void Cms::MaybePrefetch(const std::string& current_view) {
   // Memoized rejections are judged against one cache-content version;
   // any insert or eviction since then can flip a verdict, so the memo is
   // dropped wholesale. (Advice changes clear it in BeginSession.)
-  if (prefetch_rejects_version_ != cache_.model().version()) {
-    prefetch_rejects_.clear();
-    prefetch_rejects_version_ = cache_.model().version();
+  if (session.prefetch_rejects_version() != cache_.model().version()) {
+    session.prefetch_rejects().clear();
+    session.prefetch_rejects_version() = cache_.model().version();
   }
 
   // Soonest-predicted-first: with a bounded number of in-flight slots,
   // the views the tracker expects next deserve them.
   std::vector<std::pair<size_t, std::string>> ranked;
-  for (const std::string& candidate : advice_.PrefetchCandidates()) {
+  for (const std::string& candidate : session.PrefetchCandidates()) {
     if (candidate == current_view) continue;
     ranked.emplace_back(
-        advice_.PredictedDistance(candidate)
+        session.PredictedDistance(candidate)
             .value_or(std::numeric_limits<size_t>::max()),
         candidate);
   }
   std::sort(ranked.begin(), ranked.end());
 
   for (const auto& [distance, candidate] : ranked) {
-    const advice::ViewSpec* view = advice_.FindView(candidate);
+    const advice::ViewSpec* view = session.FindView(candidate);
     if (view == nullptr) continue;
     const CaqlQuery general = GeneralizedForm(*view);
     const std::string key = general.CanonicalKey();
     if (prefetcher_->InFlight(key)) continue;  // already being fetched
-    if (prefetch_rejects_.count(key) > 0) {
+    if (session.prefetch_rejects().count(key) > 0) {
       reg.counter("prefetch.memo_hits").Increment();
       continue;
     }
@@ -301,13 +334,15 @@ void Cms::MaybePrefetch(const std::string& current_view) {
     if (verdict != SpeculativeAdmission::kAdmit) {
       // Stable for the current cache contents + advice — memoize so the
       // next query's admission pass skips the size estimate and planning.
-      prefetch_rejects_.insert(key);
+      session.prefetch_rejects().insert(key);
       reg.counter("prefetch.rejected").Increment();
       continue;
     }
 
-    // Background execution requires an all-remote plan: a plan reading
-    // cache elements must run here, on the thread that owns the cache.
+    // Background execution requires an all-remote plan: a plan that reads
+    // cache elements would pin them from a task that nothing serializes
+    // against the session's own query flow, for little gain (there is no
+    // remote latency to hide in the cached part anyway).
     bool all_remote = true;
     for (const PlanSource& s : plan.sources) {
       if (s.kind != PlanSource::Kind::kRemote) all_remote = false;
@@ -320,6 +355,7 @@ void Cms::MaybePrefetch(const std::string& current_view) {
       job.query = general;
       job.view_id = candidate;
       job.canonical_key = key;
+      job.session_id = session.id();
       job.plan = std::move(plan);
       prefetcher_->Launch(std::move(job));  // capacity refusal: retry later
       continue;
@@ -327,21 +363,21 @@ void Cms::MaybePrefetch(const std::string& current_view) {
 
     // Foreground fallback (async disabled, or the plan touches cache
     // elements). Cost is still charged to prefetch_ms, not any response.
-    auto exec = ExecuteEager(general);
+    auto exec = ExecuteEager(session, general);
     if (!exec.ok()) continue;
-    metrics_.prefetch_ms += exec->response_ms;
-    CacheResult(general, std::move(exec->result), candidate);
-    ++metrics_.prefetches;
+    session.metrics().prefetch_ms += exec->response_ms;
+    CacheResult(session, general, std::move(exec->result), candidate);
+    ++session.metrics().prefetches;
   }
 }
 
-bool Cms::TryAnswerExact(const CaqlQuery& query, obs::SpanId parent,
-                         CmsAnswer* answer) {
+bool Cms::TryAnswerExact(CmsSession& session, const CaqlQuery& query,
+                         obs::SpanId parent, CmsAnswer* answer) {
   obs::SpanScope probe(&tracer_, "exact_probe", parent);
   CacheElementPtr exact = cache_.model().ByCanonicalKey(query.CanonicalKey());
   if (exact == nullptr || !exact->is_materialized()) return false;
   cache_.Touch(exact->id());
-  ++metrics_.exact_hits;
+  ++session.metrics().exact_hits;
   answer->relation = exact->extension();
   answer->stream = std::make_unique<stream::ScanStream>(answer->relation);
   answer->outcome = CacheOutcome::kExact;
@@ -349,18 +385,33 @@ bool Cms::TryAnswerExact(const CaqlQuery& query, obs::SpanId parent,
       exact->extension()->NumTuples() * config_.local_per_tuple_ms;
   probe.SetModeledMs(answer->response_ms);
   probe.Annotate("hit", exact->id());
-  metrics_.response_ms += answer->response_ms;
+  session.metrics().response_ms += answer->response_ms;
   return true;
 }
 
 Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
+  return Query(*default_session_, query);
+}
+
+std::future<Result<CmsAnswer>> Cms::QueryAsync(CmsSession& session,
+                                               const caql::CaqlQuery& query) {
+  auto promise = std::make_shared<std::promise<Result<CmsAnswer>>>();
+  std::future<Result<CmsAnswer>> future = promise->get_future();
+  scheduler_->Enqueue(session.id(), [this, &session, query, promise] {
+    promise->set_value(Query(session, query));
+  });
+  return future;
+}
+
+Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
   BRAID_RETURN_IF_ERROR(query.Validate());
-  // Background prefetches that finished since the last query are
-  // installed here, on the foreground thread — pool tasks never touch
-  // the cache, so a query mid-plan can never see an element vanish.
-  InstallCompletedPrefetches(prefetcher_->Harvest());
+  CmsMetrics& metrics = session.metrics();
+  // Background prefetches that finished since this session's last query
+  // are installed here; the striped cache makes the install safe alongside
+  // other sessions' concurrent lookups.
+  InstallCompletedPrefetches(session, prefetcher_->Harvest());
   cache_.Tick();
-  ++metrics_.ie_queries;
+  ++metrics.ie_queries;
   // Every query records a span tree rooted here; children are added by
   // the planner (plan/subsumption) and the execution monitor
   // (prep/fetch/assembly), the latter possibly from pool threads.
@@ -369,18 +420,19 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   const std::string view_id = config_.enable_advice ? query.name : "";
   {
     obs::SpanScope advice_span(&tracer_, "advice", root.id());
-    advice_.OnQuery(view_id);
+    session.OnQuery(view_id);
   }
 
   CmsAnswer answer;
   double response_ms = 0;
 
   // Exact-match fast path (result caching).
-  if (config_.enable_caching && TryAnswerExact(query, root.id(), &answer)) {
+  if (config_.enable_caching &&
+      TryAnswerExact(session, query, root.id(), &answer)) {
     root.SetModeledMs(answer.response_ms);
     root.Annotate("outcome", CacheOutcomeName(answer.outcome));
     root.End();
-    MaybePrefetch(view_id);
+    MaybePrefetch(session, view_id);
     return answer;
   }
 
@@ -392,14 +444,14 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   if (config_.enable_caching && config_.enable_prefetch &&
       (prefetcher_->Join(query.CanonicalKey()) ||
        (!view_id.empty() && prefetcher_->JoinView(view_id)))) {
-    ++metrics_.prefetch_joins;
-    InstallCompletedPrefetches(prefetcher_->Harvest());
-    if (TryAnswerExact(query, root.id(), &answer)) {
+    ++metrics.prefetch_joins;
+    InstallCompletedPrefetches(session, prefetcher_->Harvest());
+    if (TryAnswerExact(session, query, root.id(), &answer)) {
       root.SetModeledMs(answer.response_ms);
       root.Annotate("outcome", CacheOutcomeName(answer.outcome));
       root.Annotate("joined_prefetch", "yes");
       root.End();
-      MaybePrefetch(view_id);
+      MaybePrefetch(session, view_id);
       return answer;
     }
   }
@@ -408,8 +460,8 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   bool generalized = false;
   {
     obs::SpanScope gen(&tracer_, "generalize", root.id());
-    BRAID_ASSIGN_OR_RETURN(generalized,
-                           MaybeGeneralize(query, view_id, &response_ms));
+    BRAID_ASSIGN_OR_RETURN(
+        generalized, MaybeGeneralize(session, query, view_id, &response_ms));
     gen.Annotate("generalized", generalized ? "yes" : "no");
     if (generalized) gen.SetModeledMs(response_ms);
   }
@@ -422,19 +474,19 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   // Lazy evaluation: only when every needed datum is cached (§5.1) and
   // advice marks the view all-producer (§5.3.3 guideline).
   if (plan.fully_local && config_.enable_lazy && config_.enable_advice &&
-      advice_.LazyHint(view_id)) {
+      session.LazyHint(view_id)) {
     auto stream = monitor_.BuildLazyStream(plan);
     if (stream.ok()) {
-      ++metrics_.lazy_answers;
+      ++metrics.lazy_answers;
       answer.lazy = true;
       answer.stream = std::move(*stream);
       answer.outcome = CacheOutcome::kLazy;
       answer.response_ms = response_ms;  // setup only; tuples are on demand
-      metrics_.response_ms += answer.response_ms;
+      metrics.response_ms += answer.response_ms;
       root.SetModeledMs(response_ms);
       root.Annotate("outcome", CacheOutcomeName(answer.outcome));
       root.End();
-      MaybePrefetch(view_id);
+      MaybePrefetch(session, view_id);
       return answer;
     }
   }
@@ -443,37 +495,37 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
   BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome,
                          monitor_.ExecutePlan(plan, &tracer_, root.id()));
   response_ms += outcome.response_ms;
-  metrics_.local_ms += outcome.local_ms;
+  metrics.local_ms += outcome.local_ms;
 
   bool any_element = false;
   for (const PlanSource& s : plan.sources) {
     if (s.kind == PlanSource::Kind::kElement) any_element = true;
   }
   if (plan.fully_local) {
-    ++metrics_.full_local_hits;
+    ++metrics.full_local_hits;
     answer.outcome = CacheOutcome::kFullLocal;
   } else if (any_element) {
-    ++metrics_.partial_hits;
+    ++metrics.partial_hits;
     answer.outcome = CacheOutcome::kPartial;
   } else {
-    ++metrics_.remote_only;
+    ++metrics.remote_only;
     answer.outcome = CacheOutcome::kRemote;
   }
 
   // Result caching (repeats then take the exact-match fast path).
   {
     rel::Relation copy = outcome.result;
-    CacheResult(query, std::move(copy), view_id);
+    CacheResult(session, query, std::move(copy), view_id);
   }
 
   answer.relation = std::make_shared<rel::Relation>(std::move(outcome.result));
   answer.stream = std::make_unique<stream::ScanStream>(answer.relation);
   answer.response_ms = response_ms;
-  metrics_.response_ms += response_ms;
+  metrics.response_ms += response_ms;
   root.SetModeledMs(response_ms);
   root.Annotate("outcome", CacheOutcomeName(answer.outcome));
   root.End();
-  MaybePrefetch(view_id);
+  MaybePrefetch(session, view_id);
   return answer;
 }
 
@@ -543,7 +595,7 @@ Result<rel::Relation> Cms::QuerySorted(
       if (!reused) rep = element->EnsureSorted(cols);
       if (rep != nullptr) {
         if (!reused) {
-          metrics_.local_ms += rep->NumTuples() * config_.local_per_tuple_ms;
+          metrics().local_ms += rep->NumTuples() * config_.local_per_tuple_ms;
         }
         return *rep;
       }
@@ -552,7 +604,7 @@ Result<rel::Relation> Cms::QuerySorted(
   rel::Relation input = answer.relation != nullptr
                             ? *answer.relation
                             : stream::Drain(*answer.stream, query.name);
-  metrics_.local_ms += input.NumTuples() * config_.local_per_tuple_ms;
+  metrics().local_ms += input.NumTuples() * config_.local_per_tuple_ms;
   return rel::Sort(input, cols);
 }
 
@@ -620,8 +672,8 @@ Result<rel::Relation> Cms::TransitiveClosure(const std::string& edge_predicate) 
   LocalWork work;
   rel::Relation closure =
       QueryProcessor::TransitiveClosure(edge_rel, 0, 1, &work);
-  metrics_.local_ms += work.tuples_processed * config_.local_per_tuple_ms;
-  metrics_.response_ms += work.tuples_processed * config_.local_per_tuple_ms;
+  metrics().local_ms += work.tuples_processed * config_.local_per_tuple_ms;
+  metrics().response_ms += work.tuples_processed * config_.local_per_tuple_ms;
 
   if (config_.enable_caching && !config_.single_relation_only) {
     rel::Relation copy = closure;

@@ -2,9 +2,9 @@
 #define BRAID_CMS_CMS_H_
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "advice/advice.h"
@@ -15,7 +15,11 @@
 #include "cms/prefetcher.h"
 #include "cms/query_processor.h"
 #include "cms/remote_interface.h"
+#include "cms/session.h"
+#include "cms/session_scheduler.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dbms/remote_dbms.h"
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
@@ -37,9 +41,8 @@ struct CmsConfig {
   bool enable_prefetch = true;
   /// Prefetches run as background pool tasks, overlapping the IE's think
   /// time; off = the pre-pipeline behaviour of executing them inline on
-  /// the foreground thread. Only all-remote prefetch plans go async (a
-  /// plan reading cache elements must run on the foreground thread, which
-  /// owns the cache), and a null pool degrades to inline execution.
+  /// the session's thread. Only all-remote prefetch plans go async, and a
+  /// null pool degrades to inline execution.
   bool prefetch_async = true;
   /// Background prefetches in flight at once; further admitted candidates
   /// are reconsidered after a later query.
@@ -55,7 +58,10 @@ struct CmsConfig {
   /// always participates in morsel loops, so total parallelism is
   /// num_threads + 1). 0 = one less than the hardware concurrency, at
   /// least 1. Only consulted when enable_parallel is set; with parallel
-  /// execution off the CMS runs poolless and fully serial.
+  /// execution off the CMS runs poolless and fully serial. Concurrent
+  /// sessions ride the same pool: size it at least to the number of
+  /// sessions expected to run at once (their queries mostly block on the
+  /// modeled remote link, so workers >> cores is normal and cheap).
   size_t num_threads = 0;
   /// Operator inputs below this many tuples skip the morsel machinery.
   size_t parallel_threshold = 4096;
@@ -71,24 +77,6 @@ enum class CacheOutcome {
 };
 
 const char* CacheOutcomeName(CacheOutcome outcome);
-
-/// Counters accumulated across a session.
-struct CmsMetrics {
-  size_t ie_queries = 0;
-  size_t exact_hits = 0;
-  size_t full_local_hits = 0;
-  size_t lazy_answers = 0;
-  size_t partial_hits = 0;
-  size_t remote_only = 0;
-  size_t prefetches = 0;
-  size_t prefetch_joins = 0;  // foreground queries that joined an in-flight
-                              // prefetch instead of re-fetching
-  size_t generalizations = 0;
-  double response_ms = 0;   // simulated time the IE waited
-  double local_ms = 0;      // workstation compute
-  double prefetch_ms = 0;   // remote time hidden behind the session
-  std::string ToString() const;
-};
 
 /// A query answer: materialized relation and/or a stream over it. For lazy
 /// answers `relation` is null and the stream is a generator that computes
@@ -109,20 +97,62 @@ struct CmsAnswer {
 ///
 /// The CMS is usable without any advice and by clients other than the IE
 /// (paper §3) — every advice-driven behaviour degrades to a default.
+///
+/// ## Sessions and concurrency
+///
+/// One CMS serves N independent IE sessions against one shared cache.
+/// OpenSession creates a `CmsSession` (its own advice, tracker, metrics);
+/// queries run either synchronously — `Query(session, q)`, one caller
+/// thread per session — or through the session scheduler (`QueryAsync`),
+/// which multiplexes sessions over the execution pool with a fair
+/// per-session FIFO and serializes each session's queries. The shared
+/// components (striped cache, planner, monitor, prefetcher, remote link)
+/// are all concurrency-safe; per-session state needs no lock because at
+/// most one query of a session runs at a time. Do not mix QueryAsync with
+/// concurrent synchronous calls on the *same* session.
+///
+/// The no-argument Query/metrics/BeginSession entry points operate on a
+/// built-in default session, preserving the single-session API.
 class Cms {
  public:
   Cms(dbms::RemoteDbms* remote, CmsConfig config);
 
-  /// Starts a session: installs advice (ignored when advice is disabled)
-  /// and resets the tracker.
+  /// Opens an independent session with its own advice and metrics. The
+  /// returned pointer stays valid until CloseSession (Cms owns it).
+  CmsSession* OpenSession(advice::AdviceSet advice = advice::AdviceSet{});
+
+  /// Closes `session`: cancels its in-flight prefetches, waits them out,
+  /// installs salvageable completions, and destroys the session. The
+  /// caller must have no query of the session in flight. Closing the
+  /// default session or a null/unknown pointer is a no-op.
+  void CloseSession(CmsSession* session);
+
+  /// (Re)starts the default session: installs advice (ignored when advice
+  /// is disabled) and resets the tracker; the default session's in-flight
+  /// prefetches are cancelled and waited out first (their predictions
+  /// died with the old advice).
   void BeginSession(advice::AdviceSet advice);
 
-  /// Answers one IE query.
+  /// Answers one IE query on `session`. Synchronous; a session's queries
+  /// must not overlap (use one caller thread per session, or QueryAsync).
+  Result<CmsAnswer> Query(CmsSession& session, const caql::CaqlQuery& query);
+
+  /// Answers one IE query on the default session.
   Result<CmsAnswer> Query(const caql::CaqlQuery& query);
 
+  /// Queues `query` on the session scheduler. Queries of one session run
+  /// FIFO, one at a time; distinct sessions run concurrently on the pool
+  /// (round-robin when it is oversubscribed). Poolless CMS degrades to
+  /// synchronous execution inside this call.
+  std::future<Result<CmsAnswer>> QueryAsync(CmsSession& session,
+                                            const caql::CaqlQuery& query);
+
+  /// Waits until every scheduled query has completed.
+  void DrainSessions();
+
   /// CMS-only aggregation service (the remote DML has no aggregates):
-  /// evaluates `query`, then groups by the named head variables and
-  /// applies the aggregate to `agg_var`.
+  /// evaluates `query` on the default session, then groups by the named
+  /// head variables and applies the aggregate to `agg_var`.
   Result<rel::Relation> Aggregate(const caql::CaqlQuery& query,
                                   const std::vector<std::string>& group_by,
                                   rel::AggFn fn, const std::string& agg_var);
@@ -154,17 +184,21 @@ class Cms {
 
   CacheManager& cache() { return cache_; }
   const CacheManager& cache() const { return cache_; }
-  AdviceManager& advice_manager() { return advice_; }
+  /// Default session's advice manager (tests; quiescent use only).
+  AdviceManager& advice_manager() {
+    return default_session_->advice_manager_unlocked();
+  }
   const CmsConfig& config() const { return config_; }
 
-  CmsMetrics& metrics() { return metrics_; }
-  void ResetMetrics() { metrics_ = CmsMetrics{}; }
+  /// Default session's metrics (quiescent use, like any session metrics).
+  CmsMetrics& metrics() { return default_session_->metrics(); }
+  void ResetMetrics() { default_session_->ResetMetrics(); }
 
   /// Waits for every in-flight background prefetch and installs the
-  /// completed results into the cache. Benches and tests call this before
-  /// reading prefetch metrics or asserting on cache contents; query
-  /// processing itself never needs it (results are harvested at the next
-  /// Query / joined on demand).
+  /// completed results into the cache (credited to the default session).
+  /// Benches and tests call this before reading prefetch metrics or
+  /// asserting on cache contents; query processing itself never needs it
+  /// (results are harvested at the next Query / joined on demand).
   void DrainPrefetches();
 
   /// Background prefetches currently executing or queued on the pool.
@@ -175,9 +209,10 @@ class Cms {
   /// Per-query span recorder: every Query() records a `query` root span
   /// with `advice`, `plan` (nesting `subsumption`), `prep`, `fetch`, and
   /// `assembly` children, carrying both measured wall time and modeled
-  /// simulated cost. Spans accumulate across queries; callers inspect
-  /// or export (`tracer().WriteJson(...)`, `tracer().PrettyTree()`) and
-  /// may `tracer().Clear()` between queries.
+  /// simulated cost. Spans accumulate across queries (all sessions; the
+  /// tracer is internally locked); callers inspect or export
+  /// (`tracer().WriteJson(...)`, `tracer().PrettyTree()`) and may
+  /// `tracer().Clear()` between queries.
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
@@ -197,13 +232,16 @@ class Cms {
 
   /// Plans and eagerly executes `query` (no caching of the result here).
   /// Spans are recorded into `tracer_` under `parent` when nonzero.
-  Result<EagerExec> ExecuteEager(const caql::CaqlQuery& query,
+  Result<EagerExec> ExecuteEager(CmsSession& session,
+                                 const caql::CaqlQuery& query,
                                  obs::SpanId parent = 0);
 
   /// Caches `result` as a materialized element defined by `definition`,
-  /// subject to the caching policy; builds advised indexes. Returns the
-  /// element id or "" when not cached.
-  std::string CacheResult(const caql::CaqlQuery& definition,
+  /// subject to the caching policy; builds advised indexes using
+  /// `session`'s consumer annotations. Returns the element id or "" when
+  /// not cached.
+  std::string CacheResult(CmsSession& session,
+                          const caql::CaqlQuery& definition,
                           rel::Relation result,
                           const std::string& origin_view);
 
@@ -211,27 +249,29 @@ class Cms {
   /// the constants of `query` will vary across a recurring view, execute
   /// the all-variable generalization and cache it. Charges the cost to the
   /// current response time. Returns true if a generalization was cached.
-  Result<bool> MaybeGeneralize(const caql::CaqlQuery& query,
+  Result<bool> MaybeGeneralize(CmsSession& session,
+                               const caql::CaqlQuery& query,
                                const std::string& view_id,
                                double* response_ms);
 
   /// Prefetch: execute predicted-next views (in generalized form) whose
   /// data is not yet locally derivable, ranked by the path tracker's
   /// predicted distance. With `prefetch_async`, admitted all-remote
-  /// candidates launch as background pool tasks; costs accrue to
-  /// prefetch_ms, not to any query's response.
-  void MaybePrefetch(const std::string& current_view);
+  /// candidates launch as background pool tasks tagged with the session;
+  /// costs accrue to prefetch_ms, not to any query's response.
+  void MaybePrefetch(CmsSession& session, const std::string& current_view);
 
   /// Answers `query` from an exact materialized cache element if present;
   /// fills `answer` and returns true on a hit (shared by the fast path
   /// and the post-join re-probe).
-  bool TryAnswerExact(const caql::CaqlQuery& query, obs::SpanId parent,
-                      CmsAnswer* answer);
+  bool TryAnswerExact(CmsSession& session, const caql::CaqlQuery& query,
+                      obs::SpanId parent, CmsAnswer* answer);
 
-  /// Installs harvested background-prefetch results into the cache (on
-  /// the foreground thread — the cache is single-threaded by design) and
-  /// settles their metrics.
-  void InstallCompletedPrefetches(std::vector<Prefetcher::Completed> done);
+  /// Installs harvested background-prefetch results into the (striped,
+  /// concurrency-safe) cache and settles their metrics. Completions may
+  /// belong to any session; they are credited to the harvesting one.
+  void InstallCompletedPrefetches(CmsSession& session,
+                                  std::vector<Prefetcher::Completed> done);
 
   /// Estimated bytes of the result of `query` if fetched remotely.
   double EstimateResultBytes(const caql::CaqlQuery& query) const;
@@ -242,25 +282,30 @@ class Cms {
   dbms::RemoteDbms* remote_;
   CmsConfig config_;
   CacheManager cache_;
-  AdviceManager advice_;
   RemoteDbmsInterface rdi_;
   QueryPlanner planner_;
   std::unique_ptr<exec::ThreadPool> pool_;  // before monitor_: it borrows it
   ExecutionMonitor monitor_;
-  CmsMetrics metrics_;
   obs::Tracer tracer_;
 
-  /// Memoized prefetch-admission rejections (too-large / fully-local /
-  /// unplannable), keyed by canonical key and valid for one cache-content
-  /// version and advice epoch; capacity skips are transient and are not
-  /// memoized.
-  std::unordered_set<std::string> prefetch_rejects_;
-  uint64_t prefetch_rejects_version_ = 0;
+  /// Session registry. The replacement advisor walks it (min predicted
+  /// distance across all open sessions), so it is locked; the default
+  /// session (index 0, id 0) lives for the whole CMS.
+  ///
+  /// Lock order: `sessions_mu_` → per-session `advice_mu_` only. Never
+  /// acquired with any cache stripe lock held (the cache calls the
+  /// advisor lock-free), and nothing below it calls back into the cache.
+  mutable Mutex sessions_mu_;
+  std::vector<std::unique_ptr<CmsSession>> sessions_
+      BRAID_GUARDED_BY(sessions_mu_);
+  uint64_t next_session_id_ BRAID_GUARDED_BY(sessions_mu_) = 1;
+  CmsSession* default_session_;  // == sessions_[0].get(), set once
 
-  /// Declared last on purpose: destroyed first, so its destructor can
-  /// cancel and wait out in-flight background tasks while the pool, RDI,
-  /// and tracer they use are all still alive.
+  /// Declared after the components their tasks use: destroyed first, so
+  /// teardown drains scheduled queries, then cancels and waits out
+  /// background prefetches, while pool, RDI and tracer are still alive.
   std::unique_ptr<Prefetcher> prefetcher_;
+  std::unique_ptr<SessionScheduler> scheduler_;
 };
 
 }  // namespace braid::cms

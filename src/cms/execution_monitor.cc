@@ -1,6 +1,7 @@
 #include "cms/execution_monitor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <iterator>
 #include <map>
@@ -57,7 +58,12 @@ Result<rel::PredicatePtr> ComparisonPredicate(const rel::Schema& schema,
 
 Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
     const PlanSource& source, LocalWork* work) {
-  CacheElementPtr element = cache_->model().Find(source.element_id);
+  // Prefer the pin taken at plan time: a concurrent session's eviction
+  // between planning and execution must not fail this plan (the pinned
+  // extension is immutable and stays alive through the shared_ptr).
+  CacheElementPtr element = source.element != nullptr
+                                ? source.element
+                                : cache_->model().Find(source.element_id);
   if (element == nullptr || !element->is_materialized()) {
     return Status::NotFound(
         StrCat("cache element ", source.element_id, " vanished"));
@@ -198,7 +204,19 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
     const PlanSource& source = source_at(i);
     if (source.kind != PlanSource::Kind::kRemote) continue;
     Result<RemoteFetch> fetch = [&]() -> Result<RemoteFetch> {
-      if (concurrent_remote) return fetches[i].get();
+      if (concurrent_remote) {
+        // Help-drain while waiting: when every pool worker is occupied by
+        // a session task, the fetch we submitted may still be queued —
+        // running inner tasks here guarantees progress instead of
+        // deadlocking the saturated pool.
+        while (fetches[i].wait_for(std::chrono::seconds(0)) ==
+               std::future_status::timeout) {
+          if (!exec_ctx_.pool->HelpOne()) {
+            fetches[i].wait_for(std::chrono::microseconds(500));
+          }
+        }
+        return fetches[i].get();
+      }
       obs::SpanScope span(tracer, "fetch", parent);
       span.Annotate("subquery", source.remote_query.name);
       Result<RemoteFetch> f =

@@ -118,6 +118,7 @@ Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query,
     PlanSource source;
     source.kind = PlanSource::Kind::kElement;
     source.element_id = element->id();
+    source.element = element;
     source.match = std::move(match);
     plan.sources.push_back(std::move(source));
     if (std::all_of(covered.begin(), covered.end(),
@@ -147,6 +148,7 @@ Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query,
         if (match.has_value() && match->full) {
           anti.kind = PlanSource::Kind::kElement;
           anti.element_id = element->id();
+          anti.element = element;
           anti.match = std::move(*match);
           local = true;
           break;

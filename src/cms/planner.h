@@ -27,6 +27,12 @@ struct PlanSource {
 
   // kElement:
   std::string element_id;
+  /// Pin on the element taken at plan time. Extensions are immutable and
+  /// shared_ptr-held, so a concurrent eviction cannot invalidate a plan
+  /// mid-execution: the plan reads its pinned element, the cache just
+  /// stops advertising it. (Empty only in hand-built plans; executors
+  /// fall back to a model lookup by id.)
+  CacheElementPtr element;
   SubsumptionMatch match;
 
   // kRemote:

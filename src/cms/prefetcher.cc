@@ -1,5 +1,6 @@
 #include "cms/prefetcher.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iterator>
 #include <utility>
@@ -44,10 +45,17 @@ bool Prefetcher::Launch(PrefetchJob job) {
   if (pool_ != nullptr) {
     std::future<void> done = pool_->Submit([this, entry] { RunJob(entry); });
     MutexLock lock(&mu_);
-    // The task may already have finished (inline execution or a fast pool
-    // thread) and erased the entry; parking the future on the shared Entry
-    // keeps it reachable for Drain either way.
-    entry->pool_future = std::move(done);
+    // Park the future so Drain can join task epilogues; prune the ones
+    // already settled so the vector stays bounded by the in-flight cap.
+    futures_.erase(
+        std::remove_if(futures_.begin(), futures_.end(),
+                       [](std::future<void>& f) {
+                         return !f.valid() ||
+                                f.wait_for(std::chrono::seconds(0)) ==
+                                    std::future_status::ready;
+                       }),
+        futures_.end());
+    futures_.push_back(std::move(done));
   } else {
     RunJob(entry);
   }
@@ -66,6 +74,23 @@ bool Prefetcher::PendingForViewLocked(const std::string& view_id) const {
   return false;
 }
 
+bool Prefetcher::PendingForSessionLocked(uint64_t session_id) const {
+  for (const auto& [key, entry] : inflight_) {
+    if (entry->job.session_id == session_id) return true;
+  }
+  return false;
+}
+
+void Prefetcher::WaitStep() {
+  if (pool_ != nullptr && pool_->HelpOne()) return;
+  MutexLock lock(&mu_);
+  // Bounded wait instead of a bare Wait: a job may finish (and notify)
+  // between the caller's predicate check and this acquisition, and new
+  // inner work may appear on the pool queue that only this thread can
+  // run when every worker is parked in a session task.
+  cv_.WaitFor(mu_, std::chrono::milliseconds(1));
+}
+
 bool Prefetcher::InFlightForView(const std::string& view_id) const {
   MutexLock lock(&mu_);
   return PendingForViewLocked(view_id);
@@ -78,11 +103,19 @@ size_t Prefetcher::NumInFlight() const {
 
 bool Prefetcher::Join(const std::string& canonical_key) {
   const auto start = std::chrono::steady_clock::now();
-  MutexLock lock(&mu_);
-  if (inflight_.count(canonical_key) == 0) return false;
+  {
+    MutexLock lock(&mu_);
+    if (inflight_.count(canonical_key) == 0) return false;
+  }
   obs::SpanScope span(tracer_, "prefetch.join");
   span.Annotate("key", canonical_key);
-  while (inflight_.count(canonical_key) > 0) cv_.Wait(mu_);
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (inflight_.count(canonical_key) == 0) break;
+    }
+    WaitStep();
+  }
   joined_->Increment();
   join_wait_ms_->Observe(std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -92,11 +125,19 @@ bool Prefetcher::Join(const std::string& canonical_key) {
 
 bool Prefetcher::JoinView(const std::string& view_id) {
   const auto start = std::chrono::steady_clock::now();
-  MutexLock lock(&mu_);
-  if (!PendingForViewLocked(view_id)) return false;
+  {
+    MutexLock lock(&mu_);
+    if (!PendingForViewLocked(view_id)) return false;
+  }
   obs::SpanScope span(tracer_, "prefetch.join");
   span.Annotate("view", view_id);
-  while (PendingForViewLocked(view_id)) cv_.Wait(mu_);
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (!PendingForViewLocked(view_id)) break;
+    }
+    WaitStep();
+  }
   joined_->Increment();
   join_wait_ms_->Observe(std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -109,24 +150,47 @@ std::vector<Prefetcher::Completed> Prefetcher::Harvest() {
   return std::exchange(completed_, {});
 }
 
-std::vector<Prefetcher::Completed> Prefetcher::Drain() {
-  // Wait on the pool futures outside the lock: a future is ready only
-  // once its task lambda has fully returned, so after this loop no task
-  // can still be inside RunJob touching the registry.
+void Prefetcher::SettleFutures() {
+  // Join outside the lock: a future is ready only once its task lambda
+  // has fully returned, so afterwards no task is still inside RunJob's
+  // epilogue touching the registry.
   std::vector<std::future<void>> waits;
   {
     MutexLock lock(&mu_);
-    for (auto& [key, entry] : inflight_) {
-      if (entry->pool_future.valid()) {
-        waits.push_back(std::move(entry->pool_future));
-      }
-    }
+    waits = std::exchange(futures_, {});
   }
-  for (std::future<void>& f : waits) f.wait();
+  for (std::future<void>& f : waits) {
+    if (f.valid()) f.wait();
+  }
+}
+
+std::vector<Prefetcher::Completed> Prefetcher::Drain() {
+  // Entries join the registry before their task is submitted, so this
+  // predicate cannot miss a launched job. Help-drain while waiting: a
+  // queued job may only ever run on this thread when the workers are all
+  // occupied by session tasks.
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (inflight_.empty()) break;
+    }
+    WaitStep();
+  }
+  SettleFutures();
   MutexLock lock(&mu_);
-  // Backstop for entries whose future had not been parked yet (Launch
-  // racing with Drain): RunJob's erase + notify wakes this up.
-  while (!inflight_.empty()) cv_.Wait(mu_);
+  return std::exchange(completed_, {});
+}
+
+std::vector<Prefetcher::Completed> Prefetcher::DrainSession(
+    uint64_t session_id) {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (!PendingForSessionLocked(session_id)) break;
+    }
+    WaitStep();
+  }
+  MutexLock lock(&mu_);
   return std::exchange(completed_, {});
 }
 
@@ -134,6 +198,15 @@ void Prefetcher::CancelAll() {
   MutexLock lock(&mu_);
   for (auto& [key, entry] : inflight_) {
     entry->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Prefetcher::CancelSession(uint64_t session_id) {
+  MutexLock lock(&mu_);
+  for (auto& [key, entry] : inflight_) {
+    if (entry->job.session_id == session_id) {
+      entry->cancelled.store(true, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -29,6 +29,7 @@ struct PrefetchJob {
   caql::CaqlQuery query;      // the generalized form to execute
   std::string view_id;        // origin view (cache install + advice)
   std::string canonical_key;  // dedup / join key: query.CanonicalKey()
+  uint64_t session_id = 0;    // owning session (cancel / drain scoping)
   Plan plan;
 };
 
@@ -44,16 +45,20 @@ struct PrefetchOutcome {
 /// The background prefetch pipeline (paper §4.2.2: fetch predicted data
 /// "before [the CMS] actually receives [the query] from the IE"). Each
 /// admitted job runs as a task on the execution pool; an in-flight
-/// registry keyed by canonical definition lets the foreground *join* a
-/// pending prefetch instead of duplicating its remote fetch, and lets
-/// session changes cancel or drain the pipeline cleanly.
+/// registry keyed by canonical definition lets a foreground query *join*
+/// a pending prefetch instead of duplicating its remote fetch, and lets
+/// session teardown cancel or drain the pipeline cleanly.
 ///
-/// Threading contract: Launch / Harvest / Join* / Drain / CancelAll are
-/// called from the single foreground (CMS) thread; the job body executes
-/// on pool threads and touches only thread-safe components — the RDI and
-/// remote DBMS, the span tracer, and the metrics registry. Completed
-/// results are handed back to the foreground through Harvest/Drain, so
-/// the cache itself is only ever written by the foreground thread.
+/// Threading contract: every public method may be called from any session
+/// thread (the registry is internally locked); jobs are tagged with the
+/// launching session so CancelSession/DrainSession scope to one session.
+/// The job body executes on pool threads and touches only thread-safe
+/// components — the RDI and remote DBMS, the span tracer, and the metrics
+/// registry. Completed results are handed back through Harvest/Drain and
+/// installed into the (now concurrency-safe) cache by the harvesting
+/// session. Blocking waits (Join*, Drain*) help-drain the pool's inner
+/// queue while they wait, so a session task blocked here cannot deadlock
+/// a pool saturated with session tasks.
 class Prefetcher {
  public:
   struct Completed {
@@ -95,16 +100,22 @@ class Prefetcher {
   /// Waits for every in-flight job, then returns all completed results.
   std::vector<Completed> Drain();
 
+  /// Waits for `session_id`'s in-flight jobs only, then returns everything
+  /// completed so far (any session's — installs are cross-session).
+  std::vector<Completed> DrainSession(uint64_t session_id);
+
   /// Marks every in-flight job cancelled: fetches not yet started are
   /// skipped (their outcome carries a failed status); a fetch already on
   /// the wire completes normally. Non-blocking.
   void CancelAll();
 
+  /// Same, but only jobs launched by `session_id`.
+  void CancelSession(uint64_t session_id);
+
  private:
   struct Entry {
     PrefetchJob job;
     std::atomic<bool> cancelled{false};
-    std::future<void> pool_future;  // invalid when the job ran inline
   };
 
   void RunJob(const std::shared_ptr<Entry>& entry);
@@ -114,6 +125,18 @@ class Prefetcher {
   /// True while some in-flight job originates from `view_id`.
   bool PendingForViewLocked(const std::string& view_id) const
       BRAID_REQUIRES(mu_);
+
+  /// True while some in-flight job belongs to `session_id`.
+  bool PendingForSessionLocked(uint64_t session_id) const BRAID_REQUIRES(mu_);
+
+  /// One step of a blocking wait: runs a queued inner pool task if there
+  /// is one, otherwise sleeps briefly on the registry condvar. Callers
+  /// loop on their predicate around this.
+  void WaitStep();
+
+  /// Joins the parked pool futures of finished jobs, so no task lambda is
+  /// still inside its epilogue when the registry is torn down.
+  void SettleFutures();
 
   exec::ThreadPool* pool_;
   RemoteDbmsInterface* rdi_;
@@ -130,6 +153,10 @@ class Prefetcher {
   std::map<std::string, std::shared_ptr<Entry>> inflight_
       BRAID_GUARDED_BY(mu_);
   std::vector<Completed> completed_ BRAID_GUARDED_BY(mu_);
+  /// Futures of submitted pool tasks; ready ones are pruned on Launch and
+  /// all are joined by Drain (a future is ready only once its task lambda
+  /// has fully returned).
+  std::vector<std::future<void>> futures_ BRAID_GUARDED_BY(mu_);
 
   // Registry-owned instrument handles (process lifetime).
   obs::Counter* issued_;

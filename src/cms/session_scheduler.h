@@ -1,0 +1,90 @@
+#ifndef BRAID_CMS_SESSION_SCHEDULER_H_
+#define BRAID_CMS_SESSION_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace braid::cms {
+
+/// Multiplexes N independent sessions' queries over the shared execution
+/// pool, fairly. Each session has a FIFO queue and at most one query of a
+/// session runs at a time — the per-session serialization the CMS query
+/// path relies on (a session's metrics and admission memo are unlocked).
+/// Across sessions, dispatch is round-robin over the sessions that have
+/// queued work, so one chatty session cannot starve the others.
+///
+/// Tasks run on the pool as *session-class* tasks (ThreadPool::TaskClass::
+/// kSession): workers prefer inner tasks, and a session task that blocks
+/// on inner work (fetches, prefetch joins) help-drains the inner queue, so
+/// saturating the pool with sessions cannot deadlock it. With a null pool
+/// the scheduler degrades to running each task inline in Enqueue.
+///
+/// Lock order: `mu_` is a leaf; it is never held while a task runs.
+class SessionScheduler {
+ public:
+  explicit SessionScheduler(exec::ThreadPool* pool);
+  /// Waits for all queued and running tasks.
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  /// Queues `task` for `session_id`. Tasks of one session run in FIFO
+  /// order, one at a time; the caller typically captures a promise to get
+  /// the result back.
+  void Enqueue(uint64_t session_id, std::function<void()> task);
+
+  /// Blocks until every queued task has run and every running task has
+  /// finished. New Enqueues during a Drain prolong it.
+  void Drain();
+
+  /// Sessions with a task currently running.
+  size_t NumActive() const;
+  /// Tasks waiting in session queues (excludes running ones).
+  size_t NumQueued() const;
+
+ private:
+  /// Pops the next task to run, honouring round-robin fairness, or
+  /// returns false. On true, `*session_out`'s flag is already marked
+  /// running.
+  bool NextLocked(uint64_t* session_out, std::function<void()>* task_out)
+      BRAID_REQUIRES(mu_);
+
+  /// Submits (or, poolless, runs inline) the task and its completion
+  /// epilogue.
+  void Dispatch(uint64_t session_id, std::function<void()> task);
+
+  /// Completion epilogue: clears the running flag and dispatches the next
+  /// ready task, if any.
+  void OnDone(uint64_t session_id);
+
+  void UpdateGauges() BRAID_REQUIRES(mu_);
+
+  exec::ThreadPool* pool_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Per-session FIFO of queued tasks (absent key = nothing queued).
+  std::map<uint64_t, std::deque<std::function<void()>>> queues_
+      BRAID_GUARDED_BY(mu_);
+  /// Round-robin order over sessions with queued work and no running task.
+  std::deque<uint64_t> ready_ BRAID_GUARDED_BY(mu_);
+  /// Sessions with a task currently running.
+  std::map<uint64_t, bool> running_ BRAID_GUARDED_BY(mu_);
+  size_t num_running_ BRAID_GUARDED_BY(mu_) = 0;
+  size_t num_queued_ BRAID_GUARDED_BY(mu_) = 0;
+
+  obs::Gauge* active_gauge_;
+  obs::Gauge* queued_gauge_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_SESSION_SCHEDULER_H_

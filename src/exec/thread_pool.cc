@@ -11,6 +11,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   tasks_submitted_ = &registry.counter("exec.pool.tasks_submitted");
   morsels_executed_ = &registry.counter("exec.pool.morsels_executed");
   parallel_loops_ = &registry.counter("exec.pool.parallel_loops");
+  help_runs_ = &registry.counter("exec.pool.help_runs");
   queue_depth_ = &registry.gauge("exec.pool.queue_depth");
   task_ms_ = &registry.histogram("exec.pool.task_ms");
   workers_.reserve(num_threads);
@@ -33,14 +34,41 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
-      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
-      if (queue_.empty()) return;  // stop_ set and nothing left to run
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      while (!stop_ && queue_.empty() && session_queue_.empty()) {
+        cv_.Wait(mu_);
+      }
+      // Inner tasks first: a queued fetch or prefetch is work some
+      // already-running query is (or will be) waiting on; a session task
+      // is a whole new query.
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (!session_queue_.empty()) {
+        task = std::move(session_queue_.front());
+        session_queue_.pop_front();
+      } else {
+        return;  // stop_ set and nothing left to run
+      }
+      queue_depth_->Set(
+          static_cast<int64_t>(queue_.size() + session_queue_.size()));
     }
     task();
   }
+}
+
+bool ThreadPool::HelpOne() {
+  std::function<void()> task;
+  {
+    MutexLock lock(&mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_->Set(
+        static_cast<int64_t>(queue_.size() + session_queue_.size()));
+  }
+  help_runs_->Increment();
+  task();
+  return true;
 }
 
 namespace {

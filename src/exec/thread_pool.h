@@ -31,8 +31,21 @@ namespace braid::exec {
 ///
 /// With zero workers every operation degenerates to running inline on the
 /// caller, so a `ThreadPool(0)` is a valid serial executor.
+///
+/// Tasks come in two classes. *Inner* tasks (the default: remote fetches,
+/// prefetch jobs, morsel helpers) are short and are preferred by workers.
+/// *Session* tasks (whole `Cms::Query` calls multiplexed by the session
+/// scheduler) are long and may themselves submit inner tasks and block on
+/// them — so a session task waiting for an inner task must call
+/// `HelpOne()` in its wait loop: with every worker occupied by session
+/// tasks, the queued inner work would otherwise never run (deadlock).
+/// Workers drain the inner queue before taking the next session task,
+/// which keeps intra-query parallelism ahead of admission of more
+/// concurrent queries.
 class ThreadPool {
  public:
+  enum class TaskClass { kInner, kSession };
+
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -44,7 +57,8 @@ class ThreadPool {
   /// Enqueues `fn` for execution on a worker and returns a future for its
   /// result. With zero workers `fn` runs inline before Submit returns.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto Submit(F&& fn, TaskClass cls = TaskClass::kInner)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
@@ -58,16 +72,24 @@ class ThreadPool {
     }
     {
       MutexLock lock(&mu_);
-      queue_.emplace_back([task, this] {
+      auto& queue = cls == TaskClass::kSession ? session_queue_ : queue_;
+      queue.emplace_back([task, this] {
         const auto start = std::chrono::steady_clock::now();
         (*task)();
         task_ms_->Observe(MsSince(start));
       });
-      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      queue_depth_->Set(
+          static_cast<int64_t>(queue_.size() + session_queue_.size()));
     }
     cv_.NotifyOne();
     return result;
   }
+
+  /// Runs one queued *inner* task on the calling thread, if any; returns
+  /// whether it ran one. Called by code that blocks on inner-task results
+  /// (fetch joins, prefetch joins) so those tasks make progress even when
+  /// every worker is busy with a session task.
+  bool HelpOne();
 
   /// Morsel-driven loop over [0, n): chunks of `grain` indices are claimed
   /// from a shared cursor by up to num_workers() pool threads plus the
@@ -92,6 +114,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   Mutex mu_;
   std::deque<std::function<void()>> queue_ BRAID_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> session_queue_ BRAID_GUARDED_BY(mu_);
   CondVar cv_;
   bool stop_ BRAID_GUARDED_BY(mu_) = false;
 
@@ -99,6 +122,7 @@ class ThreadPool {
   obs::Counter* tasks_submitted_;
   obs::Counter* morsels_executed_;
   obs::Counter* parallel_loops_;
+  obs::Counter* help_runs_;
   obs::Gauge* queue_depth_;
   obs::Histogram* task_ms_;
 };

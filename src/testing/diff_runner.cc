@@ -1,7 +1,9 @@
 #include "testing/diff_runner.h"
 
 #include <algorithm>
+#include <future>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "cms/cms.h"
@@ -78,16 +80,69 @@ struct StreamChecker {
         std::move(outcome), std::move(detail)});
   }
 
+  /// Checks one answered query against the oracle: status propagation,
+  /// bag-equality, and the subsumption-containment invariant. Returns the
+  /// outcome when the answer was well-formed (even if a check failed),
+  /// nullopt on status failures and clean faults. Shared by the serial
+  /// pass and the multi-session waves; thread-compatible (callers check
+  /// from one thread).
+  std::optional<CacheOutcome> CheckAnswer(size_t index, const char* pass_label,
+                                          const Result<CmsAnswer>& got) {
+    const Result<Relation>& want = oracle[index];
+    if (!want.ok()) {
+      Fail(index, "oracle", "", want.status().ToString());
+      return std::nullopt;
+    }
+    ++report->queries_run;
+
+    if (!got.ok()) {
+      if (opts.faults && IsInjectedFault(got.status())) {
+        ++report->queries_faulted;  // clean propagation — the contract
+        return std::nullopt;
+      }
+      Fail(index, "status", "",
+           StrCat(pass_label, ": ", got.status().ToString()));
+      return std::nullopt;
+    }
+    const CmsAnswer& answer = got.value();
+    const char* outcome = cms::CacheOutcomeName(answer.outcome);
+
+    Result<Relation> materialized = Materialize(answer);
+    if (!materialized.ok()) {
+      Fail(index, "status", outcome,
+           StrCat(pass_label, ": ", materialized.status().ToString()));
+      return std::nullopt;
+    }
+
+    std::string diff;
+    if (!BagEqual(want.value(), materialized.value(), &diff)) {
+      Fail(index, "bag-mismatch", outcome,
+           StrCat(pass_label, ": ", diff, "; oracle ",
+                  want.value().NumTuples(), " rows, cms ",
+                  materialized.value().NumTuples(), " rows"));
+      return answer.outcome;
+    }
+
+    // Metamorphic invariant: answers derived from cached data via
+    // subsumption must be contained in the oracle's bag. Bag-equality
+    // already implies it; checking separately gives the sharper
+    // "subsumption-unsound" failure kind if equality is ever relaxed.
+    if (answer.outcome == CacheOutcome::kFullLocal ||
+        answer.outcome == CacheOutcome::kPartial) {
+      if (!BagContains(want.value(), materialized.value(), &diff)) {
+        Fail(index, "invariant", outcome,
+             StrCat(pass_label, ": subsumption-unsound: ", diff));
+      }
+    }
+    if (answer.outcome == CacheOutcome::kExact) ++report->exact_hits;
+    return answer.outcome;
+  }
+
   /// Runs one stream pass; `pass_label` distinguishes the first pass from
   /// the warm-cache recheck in failure details.
   void RunPass(const std::vector<size_t>& indices, const char* pass_label) {
     for (size_t index : indices) {
       const CaqlQuery& query = workload.queries[index];
-      const Result<Relation>& want = oracle[index];
-      if (!want.ok()) {
-        Fail(index, "oracle", "", want.status().ToString());
-        continue;
-      }
 
       // Exact-hit invariant bookkeeping is only meaningful when nothing
       // can touch the remote counters concurrently.
@@ -95,61 +150,18 @@ struct StreamChecker {
       const size_t remote_before = quiescent ? remote->stats().queries : 0;
 
       Result<CmsAnswer> got = cms->Query(query);
-      ++report->queries_run;
-
-      if (!got.ok()) {
-        if (opts.faults && IsInjectedFault(got.status())) {
-          ++report->queries_faulted;  // clean propagation — the contract
-          continue;
-        }
-        Fail(index, "status", "",
-             StrCat(pass_label, ": ", got.status().ToString()));
-        continue;
-      }
-      const CmsAnswer& answer = got.value();
-      const char* outcome = cms::CacheOutcomeName(answer.outcome);
-
-      Result<Relation> materialized = Materialize(answer);
-      if (!materialized.ok()) {
-        Fail(index, "status", outcome,
-             StrCat(pass_label, ": ", materialized.status().ToString()));
-        continue;
-      }
-
-      std::string diff;
-      if (!BagEqual(want.value(), materialized.value(), &diff)) {
-        Fail(index, "bag-mismatch", outcome,
-             StrCat(pass_label, ": ", diff, "; oracle ",
-                    want.value().NumTuples(), " rows, cms ",
-                    materialized.value().NumTuples(), " rows"));
-        continue;
-      }
-
-      // Metamorphic invariant: answers derived from cached data via
-      // subsumption must be contained in the oracle's bag. Bag-equality
-      // already implies it; checking separately gives the sharper
-      // "subsumption-unsound" failure kind if equality is ever relaxed.
-      if (answer.outcome == CacheOutcome::kFullLocal ||
-          answer.outcome == CacheOutcome::kPartial) {
-        if (!BagContains(want.value(), materialized.value(), &diff)) {
-          Fail(index, "invariant", outcome,
-               StrCat(pass_label, ": subsumption-unsound: ", diff));
-        }
-      }
+      std::optional<CacheOutcome> outcome = CheckAnswer(index, pass_label, got);
 
       // Metamorphic invariant: an exact cache hit answers from memory —
       // the cache changes fetch counts and cost, never answers, and an
       // exact hit needs no new remote queries at all.
-      if (quiescent && answer.outcome == CacheOutcome::kExact) {
-        ++report->exact_hits;
+      if (quiescent && outcome == CacheOutcome::kExact) {
         const size_t remote_after = remote->stats().queries;
         if (remote_after != remote_before) {
-          Fail(index, "invariant", outcome,
+          Fail(index, "invariant", "exact",
                StrCat(pass_label, ": exact hit issued ",
                       remote_after - remote_before, " remote queries"));
         }
-      } else if (answer.outcome == CacheOutcome::kExact) {
-        ++report->exact_hits;
       }
 
       if (opts.corrupt_after_query >= 0 &&
@@ -158,6 +170,42 @@ struct StreamChecker {
         CorruptCache(cms);
       }
     }
+  }
+
+  /// Interleaved multi-session run: `opts.sessions` sessions share the
+  /// CMS, session s replaying the stream rotated by s. Queries go through
+  /// the session scheduler in waves (one query per session per wave) so
+  /// installs, evictions, prefetch joins, and snapshot reads genuinely
+  /// race; every answer is still bag-checked against the oracle. The
+  /// quiescence-dependent remote-counter invariant does not apply.
+  void RunSessions(const std::vector<size_t>& indices) {
+    std::vector<cms::CmsSession*> sessions;
+    for (size_t s = 0; s < opts.sessions; ++s) {
+      sessions.push_back(cms->OpenSession(workload.advice));
+    }
+    const size_t n = indices.size();
+    std::vector<std::pair<size_t, std::future<Result<CmsAnswer>>>> wave;
+    for (size_t w = 0; w < n; ++w) {
+      wave.clear();
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        const size_t index = indices[(w + s) % n];
+        wave.emplace_back(
+            index, cms->QueryAsync(*sessions[s], workload.queries[index]));
+      }
+      bool corrupt_now = false;
+      for (auto& [index, future] : wave) {
+        CheckAnswer(index, "sessions", future.get());
+        corrupt_now |= opts.corrupt_after_query >= 0 &&
+                       index == static_cast<size_t>(opts.corrupt_after_query);
+      }
+      // The harness self-test hook, between waves so the poison lands at
+      // a quiescent point and later waves must detect it.
+      if (corrupt_now) {
+        cms->DrainPrefetches();
+        CorruptCache(cms);
+      }
+    }
+    for (cms::CmsSession* s : sessions) cms->CloseSession(s);
   }
 };
 
@@ -221,14 +269,20 @@ DiffReport RunDifferential(const DiffOptions& opts) {
   }
 
   StreamChecker checker{opts, workload, oracle, remote.get(), &cms, &report};
-  checker.RunPass(indices, "pass1");
-
-  // Settle the pipeline before reading cross-thread state.
-  cms.DrainPrefetches();
-
-  if (opts.recheck && !opts.faults) {
-    checker.RunPass(indices, "recheck");
+  if (opts.sessions > 1) {
+    checker.RunSessions(indices);
+    cms.DrainSessions();
     cms.DrainPrefetches();
+  } else {
+    checker.RunPass(indices, "pass1");
+
+    // Settle the pipeline before reading cross-thread state.
+    cms.DrainPrefetches();
+
+    if (opts.recheck && !opts.faults) {
+      checker.RunPass(indices, "recheck");
+      cms.DrainPrefetches();
+    }
   }
 
   report.remote_queries = remote->stats().queries;
@@ -269,6 +323,7 @@ std::string ReproCommand(const DiffOptions& opts) {
              opts.num_queries, " --threads ", opts.num_threads, " --prefetch ",
              opts.prefetch ? (opts.prefetch_async ? "async" : "sync") : "off",
              " --faults ", opts.faults ? "on" : "off");
+  if (opts.sessions > 1) cmd += StrCat(" --sessions ", opts.sessions);
   if (!opts.caching) cmd += " --no-cache";
   if (!opts.keep.empty()) {
     cmd += " --keep ";

@@ -18,6 +18,13 @@ struct DiffOptions {
   uint64_t seed = 0;
   size_t num_queries = 24;
 
+  /// Concurrent IE sessions sharing the one CMS. 1 = the classic serial
+  /// run. With N > 1, each session replays the same seeded stream rotated
+  /// by its index through the session scheduler, every answer is
+  /// bag-checked against the oracle, and the quiescence-dependent
+  /// invariants (exact-hit remote counting, warm recheck) are skipped.
+  size_t sessions = 1;
+
   /// CMS settings of the optimized side.
   size_t num_threads = 1;       // pool workers; 1 keeps the run serial-ish
   bool parallel = true;

@@ -296,6 +296,42 @@ TEST(DifftestSmoke, Shard1) { SmokeShard(4, 8); }
 TEST(DifftestSmoke, Shard2) { SmokeShard(8, 12); }
 TEST(DifftestSmoke, Shard3) { SmokeShard(12, 16); }
 
+// --- Multi-session mode -----------------------------------------------
+
+TEST(DifftestSessions, InterleavedSessionsMatchTheOracle) {
+  // Eight sessions replay the same stream rotated by their index through
+  // the session scheduler, sharing one CMS; every answer of every session
+  // is bag-checked against the oracle.
+  for (uint64_t seed : {0, 7}) {
+    DiffOptions opts;
+    opts.seed = seed;
+    opts.num_threads = 8;
+    opts.sessions = 8;
+    DiffReport report = RunDifferential(opts);
+    EXPECT_TRUE(report.ok) << report.Summary() << "\nrepro: "
+                           << ReproCommand(opts);
+    EXPECT_EQ(report.queries_run, 8 * opts.num_queries);
+  }
+}
+
+TEST(DifftestSessions, SessionsModeStillCatchesCorruption) {
+  DiffOptions opts;
+  opts.seed = 3;
+  opts.sessions = 4;
+  opts.num_threads = 4;
+  opts.prefetch = false;
+  opts.corrupt_after_query = 1;
+  DiffReport report = RunDifferential(opts);
+  ASSERT_FALSE(report.ok)
+      << "poisoned cache extensions went undetected in sessions mode";
+}
+
+TEST(DifftestSessions, ReproCommandNamesTheSessionCount) {
+  DiffOptions opts;
+  opts.sessions = 8;
+  EXPECT_NE(ReproCommand(opts).find("--sessions 8"), std::string::npos);
+}
+
 // Regression: the exact seed/stream where the harness first caught the
 // missing SETOF guard in subsumption (a cached distinct element serving
 // a bag query returned 14 of 32 rows).

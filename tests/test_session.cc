@@ -1,0 +1,359 @@
+// Tests for the multi-session CMS: N independent IE sessions sharing one
+// striped cache, the session scheduler's fairness/serialization contract,
+// and the replacement policy's advice protection under concurrent
+// eviction. These are the real-concurrency successors of the old
+// BRAID_SINGLE_THREAD death tests — they run under TSan in CI.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "caql/caql_query.h"
+#include "cms/cache_model.h"
+#include "cms/cms.h"
+#include "cms/session_scheduler.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "dbms/remote_dbms.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace braid::cms {
+namespace {
+
+/// A small database: `a` (referenced by the test advice, so cached
+/// elements over it are session-relevant) and `b` (never advised).
+dbms::Database MakeDatabase(size_t rows = 64) {
+  dbms::Database db;
+  for (const char* name : {"a", "b"}) {
+    rel::Relation t(name, rel::Schema::FromNames({"x", "y"}));
+    for (size_t i = 0; i < rows; ++i) {
+      t.AppendUnchecked({rel::Value::Int(static_cast<int64_t>(i)),
+                         rel::Value::Int(static_cast<int64_t>(i % 8))});
+    }
+    BRAID_CHECK_OK(db.AddTable(std::move(t)));
+  }
+  return db;
+}
+
+advice::AdviceSet AdviceOverA() {
+  advice::ViewSpec v;
+  v.id = "va";
+  v.head = {advice::AnnotatedVar{"X", advice::Binding::kProducer},
+            advice::AnnotatedVar{"Y", advice::Binding::kProducer}};
+  v.body = {logic::Atom("a", {logic::Term::Var("X"), logic::Term::Var("Y")})};
+  advice::AdviceSet advice;
+  advice.view_specs = {v};
+  // Declares `a` session-relevant: cached elements reading it are
+  // protected at the horizon boundary by AdvisedDistance.
+  advice.base_relations = {"a"};
+  return advice;
+}
+
+caql::CaqlQuery Parse(const std::string& text) {
+  auto q = caql::ParseCaql(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q.value());
+}
+
+CmsConfig PlainConfig(size_t threads = 4) {
+  CmsConfig config;
+  config.enable_advice = false;
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.num_threads = threads;
+  return config;
+}
+
+TEST(CacheModelStripes, SameKeyRegisterDisplacesTheRaceLoser) {
+  CacheModel model;
+  const caql::CaqlQuery def = Parse("e(X, Y) :- a(X, Y)");
+  auto ext = std::make_shared<rel::Relation>(
+      "ext", rel::Schema::FromNames({"X", "Y"}));
+  model.Register(std::make_shared<CacheElement>("E1", def, ext));
+  // Same canonical definition under a fresh id — two sessions raced to
+  // install the same result and this one lost. The earlier element must
+  // be displaced so the key maps to exactly one element. (Regression:
+  // RemoveLocked took the displaced id by reference into the very map
+  // node it erased, then read the freed string.)
+  model.Register(std::make_shared<CacheElement>("E2", def, ext));
+  EXPECT_EQ(model.Find("E1"), nullptr);
+  ASSERT_NE(model.Find("E2"), nullptr);
+  ASSERT_NE(model.ByCanonicalKey(def.CanonicalKey()), nullptr);
+  EXPECT_EQ(model.ByCanonicalKey(def.CanonicalKey())->id(), "E2");
+  EXPECT_EQ(model.elements().size(), 1u);
+}
+
+TEST(CmsSessions, SessionsShareOneCache) {
+  dbms::RemoteDbms remote(MakeDatabase());
+  Cms cms(&remote, PlainConfig());
+  CmsSession* s1 = cms.OpenSession();
+  CmsSession* s2 = cms.OpenSession();
+
+  const caql::CaqlQuery q = Parse("d(X, Y) :- a(X, Y)");
+  auto a1 = cms.Query(*s1, q);
+  ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+  EXPECT_EQ(a1.value().outcome, CacheOutcome::kRemote);
+
+  // The second session hits the element the first one installed.
+  auto a2 = cms.Query(*s2, q);
+  ASSERT_TRUE(a2.ok()) << a2.status().ToString();
+  EXPECT_EQ(a2.value().outcome, CacheOutcome::kExact);
+  EXPECT_EQ(remote.stats().queries, 1u);
+
+  // Metrics are per session.
+  EXPECT_EQ(s1->metrics().ie_queries, 1u);
+  EXPECT_EQ(s1->metrics().remote_only, 1u);
+  EXPECT_EQ(s1->metrics().exact_hits, 0u);
+  EXPECT_EQ(s2->metrics().exact_hits, 1u);
+  EXPECT_EQ(cms.metrics().ie_queries, 0u);  // default session untouched
+
+  cms.CloseSession(s1);
+  cms.CloseSession(s2);
+}
+
+TEST(CmsSessions, CloseSessionIsIdempotentAndIgnoresDefault) {
+  dbms::RemoteDbms remote(MakeDatabase());
+  Cms cms(&remote, PlainConfig());
+  cms.CloseSession(nullptr);
+  CmsSession* s = cms.OpenSession();
+  cms.CloseSession(s);
+  cms.CloseSession(s);  // already gone: no-op
+  // The default session is owned by the Cms for its whole lifetime.
+  BRAID_CHECK_OK(cms.Query(Parse("d(X, Y) :- a(X, Y)")).status());
+  EXPECT_EQ(cms.metrics().ie_queries, 1u);
+}
+
+TEST(CmsSessions, QueryAsyncSerializesWithinASession) {
+  dbms::RemoteDbms remote(MakeDatabase());
+  Cms cms(&remote, PlainConfig(/*threads=*/4));
+  CmsSession* s = cms.OpenSession();
+
+  constexpr size_t kQueries = 24;
+  std::vector<std::future<Result<CmsAnswer>>> futures;
+  futures.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    // All identical: after the first remote fetch, every later one must be
+    // an exact hit — which can only be counted correctly if the session's
+    // (unlocked) metrics are never touched by two queries at once.
+    futures.push_back(cms.QueryAsync(*s, Parse("d(X, Y) :- a(X, Y)")));
+  }
+  for (auto& f : futures) {
+    auto a = f.get();
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+  }
+  EXPECT_EQ(s->metrics().ie_queries, kQueries);
+  EXPECT_EQ(s->metrics().remote_only + s->metrics().exact_hits, kQueries);
+  EXPECT_EQ(s->metrics().exact_hits, kQueries - 1);
+  EXPECT_EQ(remote.stats().queries, 1u);
+  cms.CloseSession(s);
+}
+
+TEST(CmsSessions, ConcurrentSessionsGetCorrectAnswers) {
+  const size_t kRows = 64;
+  dbms::RemoteDbms remote(MakeDatabase(kRows));
+  Cms cms(&remote, PlainConfig(/*threads=*/4));
+
+  constexpr size_t kSessions = 4;
+  constexpr size_t kPerSession = 16;
+  std::vector<CmsSession*> sessions;
+  for (size_t s = 0; s < kSessions; ++s) sessions.push_back(cms.OpenSession());
+
+  std::vector<std::thread> drivers;
+  std::atomic<size_t> wrong{0};
+  for (size_t s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&cms, &sessions, &wrong, s] {
+      for (size_t i = 0; i < kPerSession; ++i) {
+        // y = (s*kPerSession + i) % 8 selects kRows/8 tuples of `a`; the
+        // mix of distinct constants across sessions makes installs and
+        // snapshot reads race on the same stripes.
+        const size_t y = (s * kPerSession + i) % 8;
+        auto q = caql::ParseCaql(StrCat("q", s, "_", i, "(X) :- a(X, ", y,
+                                        ")"));
+        auto answer = cms.QueryAsync(*sessions[s], q.value()).get();
+        if (!answer.ok() || answer.value().relation == nullptr ||
+            answer.value().relation->NumTuples() != 64 / 8) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  for (CmsSession* s : sessions) {
+    EXPECT_EQ(s->metrics().ie_queries, kPerSession);
+    cms.CloseSession(s);
+  }
+}
+
+TEST(CmsSessions, CloseSessionWhileOthersAreQuerying) {
+  dbms::RemoteDbms remote(MakeDatabase());
+  CmsConfig config = PlainConfig(/*threads=*/4);
+  config.enable_advice = true;  // advisor walks the session registry
+  config.cache_budget_bytes = 8u << 10;  // small: evictions consult it
+  Cms cms(&remote, config);
+
+  CmsSession* doomed = cms.OpenSession(AdviceOverA());
+  CmsSession* survivor = cms.OpenSession(AdviceOverA());
+  std::thread driver([&cms, survivor] {
+    for (size_t i = 0; i < 24; ++i) {
+      auto q = caql::ParseCaql(StrCat("w", i, "(X) :- b(X, ", i % 8, ")"));
+      BRAID_CHECK_OK(cms.Query(*survivor, q.value()).status());
+    }
+  });
+  // Unregistering `doomed` races the survivor's queries (and any eviction
+  // pass walking the registry) — this must neither deadlock nor crash.
+  cms.CloseSession(doomed);
+  driver.join();
+  EXPECT_EQ(survivor->metrics().ie_queries, 24u);
+  cms.CloseSession(survivor);
+}
+
+TEST(CmsSessions, ObsRegistryExportsSessionAndStripeInstruments) {
+  dbms::RemoteDbms remote(MakeDatabase());
+  Cms cms(&remote, PlainConfig());
+  CmsSession* s = cms.OpenSession();
+  BRAID_CHECK_OK(cms.QueryAsync(*s, Parse("d(X, Y) :- a(X, Y)")).get()
+                     .status());
+  cms.DrainSessions();
+  cms.CloseSession(s);
+  const std::string json = obs::MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("sessions.active"), std::string::npos);
+  EXPECT_NE(json.find("sessions.queued"), std::string::npos);
+  EXPECT_NE(json.find("cache.lock_wait_ms"), std::string::npos);
+  EXPECT_NE(json.find("cache.stripe_contention"), std::string::npos);
+}
+
+// --- session scheduler unit tests -------------------------------------
+
+TEST(SessionScheduler, PerSessionFifoAndAtMostOneInFlight) {
+  exec::ThreadPool pool(4);
+  SessionScheduler scheduler(&pool);
+
+  constexpr uint64_t kSessions = 3;
+  constexpr int kTasks = 40;
+  std::vector<std::vector<int>> order(kSessions);
+  std::vector<std::atomic<int>> running(kSessions);
+  std::atomic<bool> overlapped{false};
+  Mutex order_mu;
+
+  for (int t = 0; t < kTasks; ++t) {
+    for (uint64_t s = 0; s < kSessions; ++s) {
+      scheduler.Enqueue(s, [&, s, t] {
+        if (running[s].fetch_add(1, std::memory_order_acq_rel) != 0) {
+          overlapped.store(true, std::memory_order_relaxed);
+        }
+        {
+          MutexLock lock(&order_mu);
+          order[s].push_back(t);
+        }
+        running[s].fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+  }
+  scheduler.Drain();
+
+  EXPECT_FALSE(overlapped.load());  // serialization per session
+  for (uint64_t s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(order[s].size(), static_cast<size_t>(kTasks));
+    for (int t = 0; t < kTasks; ++t) EXPECT_EQ(order[s][t], t);  // FIFO
+  }
+  EXPECT_EQ(scheduler.NumActive(), 0u);
+  EXPECT_EQ(scheduler.NumQueued(), 0u);
+}
+
+TEST(SessionScheduler, PoollessDegradesToInlineExecution) {
+  SessionScheduler scheduler(nullptr);
+  int runs = 0;
+  scheduler.Enqueue(7, [&runs] { ++runs; });
+  EXPECT_EQ(runs, 1);  // ran inside Enqueue
+  scheduler.Drain();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SessionScheduler, DrainFromAPoolThreadDoesNotDeadlock) {
+  // A scheduled task that itself waits for other scheduled work must
+  // help-drain rather than park a worker forever.
+  exec::ThreadPool pool(1);
+  SessionScheduler scheduler(&pool);
+  std::atomic<int> done{0};
+  scheduler.Enqueue(1, [&] {
+    scheduler.Enqueue(2, [&] { done.fetch_add(1); });
+    done.fetch_add(1);
+  });
+  scheduler.Drain();
+  EXPECT_EQ(done.load(), 2);
+}
+
+// --- concurrent eviction under advice protection ----------------------
+
+TEST(CmsSessions, ConcurrentEvictionNeverTakesAdvisedOverUnadvised) {
+  // N sessions install at capacity and race MakeRoom. The advice marks
+  // elements over `a` session-relevant (protected within the horizon);
+  // elements over `b` are unadvised. Since unadvised victims exist at
+  // every point of the run, no advised element may ever be evicted, and
+  // the footprint must settle within budget.
+  dbms::RemoteDbms remote(MakeDatabase(/*rows=*/64));
+  CmsConfig config;
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.enable_advice = true;
+  config.num_threads = 4;
+  config.cache_budget_bytes = 24u << 10;  // small enough to churn
+  Cms cms(&remote, config);
+
+  constexpr size_t kSessions = 4;
+  std::vector<CmsSession*> sessions;
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.push_back(cms.OpenSession(AdviceOverA()));
+  }
+
+  // Seed the advised (protected) elements: a handful of small selections
+  // over `a`, well under budget on their own.
+  constexpr size_t kHot = 4;
+  for (size_t h = 0; h < kHot; ++h) {
+    auto q = caql::ParseCaql(StrCat("hot", h, "(X) :- a(X, ", h, ")"));
+    BRAID_CHECK_OK(cms.Query(*sessions[0], q.value()).status());
+  }
+
+  std::vector<std::thread> drivers;
+  for (size_t s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&cms, &sessions, s] {
+      for (size_t i = 0; i < 24; ++i) {
+        // Distinct definitions over the unadvised `b`: every one installs
+        // a new element, forcing eviction passes once at capacity.
+        auto q = caql::ParseCaql(
+            StrCat("cold", s, "_", i, "(X, Y) :- b(X, Y) & b(Y, ", i % 8,
+                   ")"));
+        BRAID_CHECK_OK(cms.Query(*sessions[s], q.value()).status());
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  EXPECT_LE(cms.cache().model().TotalBytes(), cms.cache().budget_bytes());
+  EXPECT_GT(cms.cache().stats().evictions.load(), 0u)
+      << "budget never reached: the race under test did not happen";
+
+  // Every advised element survived; only unadvised ones were evicted.
+  size_t advised_resident = 0;
+  for (const auto& [id, element] : cms.cache().model().elements()) {
+    bool advised = false;
+    for (const auto& atom : element->definition().RelationAtoms()) {
+      if (atom.predicate == "a") advised = true;
+    }
+    advised_resident += advised ? 1 : 0;
+  }
+  EXPECT_EQ(advised_resident, kHot);
+
+  for (CmsSession* s : sessions) cms.CloseSession(s);
+}
+
+}  // namespace
+}  // namespace braid::cms

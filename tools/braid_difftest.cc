@@ -37,6 +37,7 @@ struct CliArgs {
   bool single_config = false;  // --seed given: run one explicit config
   size_t num_queries = 24;
   size_t num_threads = 1;
+  size_t sessions = 1;
   std::string prefetch = "async";  // off | sync | async
   bool faults = false;
   bool caching = true;
@@ -56,6 +57,9 @@ void Usage() {
       "  --seed S            run one seed with the explicit config below\n"
       "  --queries N         stream length (default 24)\n"
       "  --threads N         pool workers (default 1; matrix uses 1 and 8)\n"
+      "  --sessions N        N concurrent sessions share the CMS, each\n"
+      "                      replaying the stream rotated by its index\n"
+      "                      through the session scheduler (default 1)\n"
       "  --prefetch MODE     off | sync | async (default async)\n"
       "  --faults on|off     fault-injected remote link (default off)\n"
       "  --no-cache          disable caching on the system side\n"
@@ -110,6 +114,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (v == nullptr) return false;
       args->num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
       args->single_config = true;
+    } else if (arg == "--sessions") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->sessions = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      if (args->sessions == 0) return false;
+      args->single_config = true;
     } else if (arg == "--prefetch") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -156,6 +166,7 @@ DiffOptions OptionsFor(const CliArgs& args, uint64_t seed) {
   opts.seed = seed;
   opts.num_queries = args.num_queries;
   opts.num_threads = args.num_threads;
+  opts.sessions = args.sessions;
   opts.prefetch = args.prefetch != "off";
   opts.prefetch_async = args.prefetch == "async";
   opts.caching = args.caching;
