@@ -45,6 +45,11 @@ void CacheModel::Register(CacheElementPtr element) {
   // normally fresh).
   Remove(id);
 
+  // The signature is a pure function of the definition; compute it before
+  // taking the stripe lock.
+  auto signature = std::make_shared<const CatalogSignature>(
+      ComputeSignature(element->definition()));
+
   Stripe& s = stripes_[StripeOf(key)];
   StripeLock lock(this, s);
   // Same canonical key under another id: concurrent sessions raced to
@@ -57,6 +62,7 @@ void CacheModel::Register(CacheElementPtr element) {
   for (const logic::Atom& a : element->definition().RelationAtoms()) {
     s.by_predicate[a.predicate].insert(id);
   }
+  s.catalog.Insert(id, std::move(signature));
   s.by_canonical_key[key] = id;
   s.elements[id] = std::move(element);
   ++s.version;
@@ -85,6 +91,7 @@ size_t CacheModel::RemoveLocked(Stripe& s, std::string id) {
   if (kit != s.by_canonical_key.end() && kit->second == id) {
     s.by_canonical_key.erase(kit);
   }
+  s.catalog.Remove(id);
   s.elements.erase(it);
   ++s.version;
   s.snapshot = nullptr;
@@ -136,6 +143,7 @@ std::shared_ptr<const StripeSnapshot> CacheModel::Snapshot(size_t i) const {
       auto eit = s.elements.find(id);
       if (eit != s.elements.end()) snap->by_canonical_key[key] = eit->second;
     }
+    snap->catalog = s.catalog.Build(s.elements);
     s.snapshot = std::move(snap);
   }
   return s.snapshot;
@@ -166,6 +174,29 @@ std::vector<CacheElementPtr> CacheModel::ByPredicate(
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
   return out;
+}
+
+std::vector<CacheElementPtr> CacheModel::SubsumptionCandidates(
+    const QueryDescriptor& query, CatalogLookupStats* stats) const {
+  // Like ByPredicate, every stripe may hold relevant definitions (stripes
+  // hash the whole canonical key); each stripe's catalog rejects
+  // non-subsuming entries without touching the rest of the stripe.
+  std::vector<CacheElementPtr> out;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    Snapshot(i)->catalog->Candidates(query, &out, stats);
+  }
+  return out;
+}
+
+std::string CacheModel::CheckCatalogConsistency() const {
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    std::shared_ptr<const StripeSnapshot> snap = Snapshot(i);
+    std::string problem = snap->catalog->CheckConsistency(snap->elements);
+    if (!problem.empty()) {
+      return StrCat("stripe ", i, ": ", problem);
+    }
+  }
+  return "";
 }
 
 CacheElementPtr CacheModel::ByCanonicalKey(const std::string& key) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cms/cache_element.h"
+#include "cms/catalog.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
@@ -28,6 +29,10 @@ struct StripeSnapshot {
   std::map<std::string, CacheElementPtr> elements;  // id -> element
   std::map<std::string, std::vector<CacheElementPtr>> by_predicate;
   std::map<std::string, CacheElementPtr> by_canonical_key;
+  /// Semantic-catalog posting index over this stripe's elements (DESIGN.md
+  /// §11): signature-filtered subsumption candidate retrieval without
+  /// scanning the stripe.
+  std::shared_ptr<const CatalogIndex> catalog;
 };
 
 /// The cache model: meta-information about what is in the cache (paper §3:
@@ -75,6 +80,20 @@ class CacheModel {
   /// Elements whose definitions mention `predicate` (snapshot read).
   std::vector<CacheElementPtr> ByPredicate(const std::string& predicate) const;
 
+  /// Subsumption candidates for the described query, merged across every
+  /// stripe's catalog index (snapshot reads; lock-free after the snapshot
+  /// pointer copy). A superset of the elements ComputeSubsumptionAll would
+  /// match, usually far smaller than the cache.
+  std::vector<CacheElementPtr> SubsumptionCandidates(
+      const QueryDescriptor& query, CatalogLookupStats* stats = nullptr) const;
+
+  /// Verifies the catalog/stripe agreement invariant on every stripe:
+  /// each cached element is posted and reachable through its own
+  /// definition, and no posting points at an evicted id. Returns "" when
+  /// consistent, else a description of the first violation (exercised by
+  /// the differential harness after every insert/eviction wave).
+  std::string CheckCatalogConsistency() const;
+
   /// Element whose definition has this canonical key, or null (snapshot
   /// read).
   CacheElementPtr ByCanonicalKey(const std::string& key) const;
@@ -119,6 +138,9 @@ class CacheModel {
     std::map<std::string, std::set<std::string>> by_predicate
         BRAID_GUARDED_BY(mu);
     std::map<std::string, std::string> by_canonical_key BRAID_GUARDED_BY(mu);
+    /// Mutable side of the semantic catalog, maintained in the same
+    /// critical sections as the maps above.
+    CatalogShard catalog BRAID_GUARDED_BY(mu);
     uint64_t version BRAID_GUARDED_BY(mu) = 0;
     /// Cached immutable copy; null or stale (version mismatch) after a
     /// write, rebuilt by the next reader.

@@ -60,7 +60,9 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
       rdi_(remote),
       planner_(&cache_.model(), remote,
                PlannerConfig{config.enable_subsumption &&
-                             config.enable_caching}),
+                                 config.enable_caching,
+                             config.enable_catalog,
+                             config.max_subsumption_mappings}),
       pool_(MakePool(config)),
       monitor_(&cache_, &rdi_, config.local_per_tuple_ms,
                config.enable_parallel,

@@ -36,6 +36,14 @@ struct CmsConfig {
   size_t cache_budget_bytes = 8ull << 20;
   bool enable_caching = true;        // off = loose coupling
   bool enable_subsumption = true;    // off = exact-match reuse only
+  /// Subsumption candidates via the semantic catalog (DESIGN.md §11); off
+  /// = linear predicate-index scan (the pre-catalog baseline, kept for the
+  /// scaling bench and the differential on/off configuration).
+  bool enable_catalog = true;
+  /// Cap on complete containment mappings the subsumption search collects
+  /// per element before truncating (surfaced on the `subsumption` span and
+  /// the `subsumption.truncations` counter when hit).
+  size_t max_subsumption_mappings = kDefaultMaxSubsumptionMappings;
   bool single_relation_only = false; // CERI86-style: cache base relations only
   bool enable_advice = true;
   bool enable_prefetch = true;

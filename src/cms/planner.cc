@@ -38,6 +38,28 @@ std::string Plan::ToString() const {
   return os.str();
 }
 
+std::vector<CacheElementPtr> QueryPlanner::CandidateElements(
+    const CaqlQuery& query, CatalogLookupStats* stats) const {
+  if (config_.use_catalog) {
+    return model_->SubsumptionCandidates(DescribeQuery(query), stats);
+  }
+  // Linear baseline: every element mentioning any query predicate, no
+  // signature filtering (the pre-catalog behaviour).
+  std::vector<CacheElementPtr> out;
+  std::set<std::string> considered;
+  for (const Atom& atom : query.RelationAtoms()) {
+    for (const CacheElementPtr& element : model_->ByPredicate(atom.predicate)) {
+      if (!considered.insert(element->id()).second) continue;
+      out.push_back(element);
+    }
+  }
+  if (stats != nullptr) {
+    stats->probed += out.size();
+    stats->admitted += out.size();
+  }
+  return out;
+}
+
 std::vector<std::pair<CacheElementPtr, SubsumptionMatch>>
 QueryPlanner::RelevantElements(const CaqlQuery& query, obs::Tracer* tracer,
                                obs::SpanId parent) const {
@@ -48,20 +70,26 @@ QueryPlanner::RelevantElements(const CaqlQuery& query, obs::Tracer* tracer,
     return out;
   }
 
-  std::set<std::string> considered;
-  for (const Atom& atom : query.RelationAtoms()) {
-    for (const CacheElementPtr& element : model_->ByPredicate(atom.predicate)) {
-      if (!considered.insert(element->id()).second) continue;
-      if (!element->is_materialized()) continue;
-      // All distinct covered-component matches: one element may serve
-      // several components (e.g. both sides of a self-join).
-      for (SubsumptionMatch& match :
-           ComputeSubsumptionAll(element->definition(), query)) {
-        out.emplace_back(element, std::move(match));
-      }
+  const SubsumptionOptions options{config_.max_subsumption_mappings};
+  CatalogLookupStats stats;
+  size_t truncated = 0;
+  for (const CacheElementPtr& element : CandidateElements(query, &stats)) {
+    if (!element->is_materialized()) continue;
+    // All distinct covered-component matches: one element may serve
+    // several components (e.g. both sides of a self-join).
+    SubsumptionInfo info;
+    for (SubsumptionMatch& match :
+         ComputeSubsumptionAll(element->definition(), query, options, &info)) {
+      out.emplace_back(element, std::move(match));
     }
+    if (info.truncated) ++truncated;
   }
+  span.Annotate("candidates", std::to_string(stats.admitted));
   span.Annotate("matches", std::to_string(out.size()));
+  // A hit cap means a viable mapping may have been dropped and the query
+  // forced (partially) remote — surface it on the span so the forced
+  // fetch is diagnosable from the trace alone.
+  if (truncated > 0) span.Annotate("truncated", std::to_string(truncated));
   return out;
 }
 
@@ -141,10 +169,12 @@ Result<Plan> QueryPlanner::PlanQuery(const CaqlQuery& query,
     PlanSource anti;
     bool local = false;
     if (config_.enable_subsumption) {
+      const SubsumptionOptions options{config_.max_subsumption_mappings};
       for (const CacheElementPtr& element :
-           model_->ByPredicate(positive.predicate)) {
+           CandidateElements(positive_query, nullptr)) {
         if (!element->is_materialized()) continue;
-        auto match = ComputeSubsumption(element->definition(), positive_query);
+        auto match =
+            ComputeSubsumption(element->definition(), positive_query, options);
         if (match.has_value() && match->full) {
           anti.kind = PlanSource::Kind::kElement;
           anti.element_id = element->id();

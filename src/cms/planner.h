@@ -65,6 +65,14 @@ struct PlannerConfig {
   /// When false, cached data is only reused through the facade's
   /// exact-match path; the planner sends everything remote.
   bool enable_subsumption = true;
+  /// When true, subsumption candidates come from the semantic catalog
+  /// (signature pre-filtering, sublinear in cache size); when false, the
+  /// planner scans the predicate index — the linear baseline the catalog
+  /// bench and the difftest on/off configuration compare against.
+  bool use_catalog = true;
+  /// Cap on complete containment mappings examined per element
+  /// (CmsConfig::max_subsumption_mappings).
+  size_t max_subsumption_mappings = kDefaultMaxSubsumptionMappings;
 };
 
 /// The Query Planner/Optimizer (paper §5.3). Step 1 (choosing the query to
@@ -95,6 +103,11 @@ class QueryPlanner {
                          obs::SpanId parent = 0) const;
 
  private:
+  /// Subsumption candidate retrieval: the semantic catalog when
+  /// `use_catalog` is set, else a linear sweep of the predicate index.
+  std::vector<CacheElementPtr> CandidateElements(
+      const caql::CaqlQuery& query, CatalogLookupStats* stats) const;
+
   const CacheModel* model_;
   const dbms::RemoteDbms* remote_;
   PlannerConfig config_;

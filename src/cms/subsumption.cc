@@ -23,8 +23,8 @@ bool EvalGroundComparison(const Atom& comp) {
                           comp.args[1].value());
 }
 
-/// Numeric interval implication for comparisons over the same variable:
-/// does "X known_op a" imply "X implied_op b"?
+}  // namespace
+
 bool IntervalImplies(rel::CompareOp known_op, const rel::Value& a,
                      rel::CompareOp implied_op, const rel::Value& b) {
   using Op = rel::CompareOp;
@@ -57,8 +57,6 @@ bool IntervalImplies(rel::CompareOp known_op, const rel::Value& a,
   }
   return false;
 }
-
-}  // namespace
 
 bool ComparisonImplied(const std::vector<Atom>& known, const Atom& implied) {
   if (!implied.IsComparison()) return false;
@@ -120,18 +118,21 @@ namespace {
 /// and force a needless remote fetch. Two fixes: branches that provably
 /// cannot survive viability — an element variable outside the element's
 /// head mapped to a constant can never be compensated by a residual
-/// selection — are pruned during the search, and the cap is 32x higher
-/// and instrumented: hitting it increments `subsumption.truncations` in
-/// the process-wide metrics registry so lost matches are visible instead
-/// of silent.
+/// selection — are pruned during the search, and the cap is configurable
+/// (CmsConfig::max_subsumption_mappings, default 1024) and instrumented:
+/// hitting it increments `subsumption.truncations` in the process-wide
+/// metrics registry and is reported through SubsumptionInfo so lost
+/// matches are visible instead of silent.
 class MappingSearch {
  public:
   MappingSearch(const std::vector<Atom>& element_atoms,
                 const std::vector<Atom>& query_atoms,
-                const std::set<std::string>& element_head_vars)
+                const std::set<std::string>& element_head_vars,
+                size_t max_results)
       : element_atoms_(element_atoms),
         query_atoms_(query_atoms),
-        element_head_vars_(element_head_vars) {}
+        element_head_vars_(element_head_vars),
+        max_results_(max_results) {}
 
   /// Runs the search; returns assignments (element atom -> query atom
   /// index) paired with their substitution, best-coverage first.
@@ -173,7 +174,7 @@ class MappingSearch {
   }
 
   void Extend(size_t pos, const Substitution& subst) {
-    if (results_.size() >= kMaxResults) {
+    if (results_.size() >= max_results_) {
       truncated_ = true;
       return;
     }
@@ -194,10 +195,10 @@ class MappingSearch {
     }
   }
 
-  static constexpr size_t kMaxResults = 1024;
   const std::vector<Atom>& element_atoms_;
   const std::vector<Atom>& query_atoms_;
   const std::set<std::string>& element_head_vars_;
+  const size_t max_results_;
   std::vector<size_t> assignment_;
   std::vector<bool> used_;
   std::vector<std::pair<std::vector<size_t>, Substitution>> results_;
@@ -218,7 +219,8 @@ std::string SubsumptionMatch::ToString() const {
 }
 
 std::vector<SubsumptionMatch> ComputeSubsumptionAll(
-    const CaqlQuery& raw_element_def, const CaqlQuery& query) {
+    const CaqlQuery& raw_element_def, const CaqlQuery& query,
+    const SubsumptionOptions& options, SubsumptionInfo* info) {
   // A SETOF element has had its duplicates eliminated; deriving a BAGOF
   // query's answer from it undercounts multiplicities (found by the
   // differential harness: a cached "SETOF q(A) :- b(A, B)" serving a later
@@ -300,11 +302,13 @@ std::vector<SubsumptionMatch> ComputeSubsumptionAll(
   obs::MetricsRegistry::Global().counter("subsumption.searches").Increment();
   std::set<std::string> e_head_vars;
   for (const auto& [var, col] : head_column) e_head_vars.insert(var);
-  MappingSearch search(e_atoms, q_atoms, e_head_vars);
+  MappingSearch search(e_atoms, q_atoms, e_head_vars, options.max_mappings);
   // Best match per distinct covered set.
   std::map<std::string, SubsumptionMatch> by_covered;
 
-  for (auto& [assignment, subst] : search.Run()) {
+  auto mappings = search.Run();
+  if (info != nullptr) info->truncated = search.truncated();
+  for (auto& [assignment, subst] : mappings) {
     // Covered component = image of the assignment.
     std::set<size_t> covered_set(assignment.begin(), assignment.end());
 
@@ -438,9 +442,10 @@ std::vector<SubsumptionMatch> ComputeSubsumptionAll(
 }
 
 std::optional<SubsumptionMatch> ComputeSubsumption(
-    const CaqlQuery& element_def, const CaqlQuery& query) {
+    const CaqlQuery& element_def, const CaqlQuery& query,
+    const SubsumptionOptions& options, SubsumptionInfo* info) {
   std::vector<SubsumptionMatch> all =
-      ComputeSubsumptionAll(element_def, query);
+      ComputeSubsumptionAll(element_def, query, options, info);
   if (all.empty()) return std::nullopt;
   return std::move(all.front());
 }

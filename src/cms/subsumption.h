@@ -39,6 +39,26 @@ struct SubsumptionMatch {
   std::string ToString() const;
 };
 
+/// Default for SubsumptionOptions::max_mappings and the corresponding
+/// CmsConfig knob.
+inline constexpr size_t kDefaultMaxSubsumptionMappings = 1024;
+
+/// Caps on the containment-mapping search. The mapping count is factorial
+/// in the worst case (self-join-heavy queries), so the search stops after
+/// `max_mappings` complete assignments; hitting the cap is recorded on the
+/// process-wide `subsumption.truncations` counter and in SubsumptionInfo
+/// so a silently-forced remote fetch stays diagnosable.
+struct SubsumptionOptions {
+  size_t max_mappings = kDefaultMaxSubsumptionMappings;
+};
+
+/// What the search did, for traces and tests.
+struct SubsumptionInfo {
+  /// True when the mapping search hit max_mappings and may have dropped a
+  /// viable mapping.
+  bool truncated = false;
+};
+
 /// Tests whether the cached view defined by `element_def` subsumes (can be
 /// used to derive) a component of `query`, and if so derives the residual
 /// operations.
@@ -59,14 +79,16 @@ struct SubsumptionMatch {
 /// exist, the one covering the most query atoms (breaking ties by fewest
 /// residual selections) is returned.
 std::optional<SubsumptionMatch> ComputeSubsumption(
-    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query);
+    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query,
+    const SubsumptionOptions& options = {}, SubsumptionInfo* info = nullptr);
 
 /// All usable matches, at most one per distinct covered-atom set (the best
 /// by fewest residual selections), ordered by descending coverage. The
 /// planner uses this so a single cached element can serve several
 /// components of one query (e.g. both sides of a self-join).
 std::vector<SubsumptionMatch> ComputeSubsumptionAll(
-    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query);
+    const caql::CaqlQuery& element_def, const caql::CaqlQuery& query,
+    const SubsumptionOptions& options = {}, SubsumptionInfo* info = nullptr);
 
 /// True if `implied` (a comparison atom, possibly ground) is a logical
 /// consequence of the conjunction of `known` comparison atoms together
@@ -75,6 +97,15 @@ std::vector<SubsumptionMatch> ComputeSubsumptionAll(
 /// interval reasoning (e.g. X < 3 implies X < 5, X = 2 implies X <= 2).
 bool ComparisonImplied(const std::vector<logic::Atom>& known,
                        const logic::Atom& implied);
+
+/// Numeric interval implication for comparisons over a shared variable:
+/// does "X known_op a" imply "X implied_op b"? Sound (never claims an
+/// implication that can fail) but deliberately conservative at integer
+/// boundaries — property-tested against brute-force evaluation. Exposed
+/// so the semantic catalog's range pre-filter reuses exactly the
+/// reasoning the mapping search applies.
+bool IntervalImplies(rel::CompareOp known_op, const rel::Value& a,
+                     rel::CompareOp implied_op, const rel::Value& b);
 
 }  // namespace braid::cms
 

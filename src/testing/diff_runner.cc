@@ -28,6 +28,7 @@ CmsConfig MakeConfig(const DiffOptions& opts) {
   CmsConfig config;
   config.cache_budget_bytes = opts.cache_budget_bytes;
   config.enable_caching = opts.caching;
+  config.enable_catalog = opts.catalog;
   config.enable_prefetch = opts.prefetch;
   config.prefetch_async = opts.prefetch_async;
   config.enable_parallel = opts.parallel;
@@ -138,6 +139,20 @@ struct StreamChecker {
     return answer.outcome;
   }
 
+  /// The catalog/stripe agreement invariant (DESIGN.md §11): every cached
+  /// element reachable through the catalog index via its own definition,
+  /// no posting left pointing at an evicted id. Checked after every query
+  /// of the serial pass and after every session wave, i.e. after each
+  /// insert/eviction burst.
+  void CheckCatalog(size_t index, const char* pass_label) {
+    if (!opts.catalog) return;
+    std::string problem = cms->cache().model().CheckCatalogConsistency();
+    if (!problem.empty()) {
+      Fail(index, "invariant", "",
+           StrCat(pass_label, ": catalog/stripe disagreement: ", problem));
+    }
+  }
+
   /// Runs one stream pass; `pass_label` distinguishes the first pass from
   /// the warm-cache recheck in failure details.
   void RunPass(const std::vector<size_t>& indices, const char* pass_label) {
@@ -163,6 +178,8 @@ struct StreamChecker {
                       remote_after - remote_before, " remote queries"));
         }
       }
+
+      CheckCatalog(index, pass_label);
 
       if (opts.corrupt_after_query >= 0 &&
           index == static_cast<size_t>(opts.corrupt_after_query)) {
@@ -198,6 +215,9 @@ struct StreamChecker {
         corrupt_now |= opts.corrupt_after_query >= 0 &&
                        index == static_cast<size_t>(opts.corrupt_after_query);
       }
+      // Every wave ends with an insert/eviction burst behind it; the
+      // catalog must agree with the stripes at each such point.
+      CheckCatalog(indices[w % n], "sessions");
       // The harness self-test hook, between waves so the poison lands at
       // a quiescent point and later waves must detect it.
       if (corrupt_now) {
@@ -325,6 +345,7 @@ std::string ReproCommand(const DiffOptions& opts) {
              " --faults ", opts.faults ? "on" : "off");
   if (opts.sessions > 1) cmd += StrCat(" --sessions ", opts.sessions);
   if (!opts.caching) cmd += " --no-cache";
+  if (!opts.catalog) cmd += " --no-catalog";
   if (!opts.keep.empty()) {
     cmd += " --keep ";
     for (size_t i = 0; i < opts.keep.size(); ++i) {
@@ -342,12 +363,15 @@ DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
     bool prefetch;
     bool prefetch_async;
     bool faults;
+    bool catalog = true;
   };
   std::vector<Cell> cells = {
       {1, false, false, false},
       {1, true, false, false},
       {1, true, true, false},
       {8, true, true, false},
+      // Catalog off: the linear candidate scan must answer identically.
+      {1, true, true, false, /*catalog=*/false},
   };
   if (with_faults) {
     cells.push_back({1, true, true, true});
@@ -363,6 +387,7 @@ DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
     opts.prefetch = cell.prefetch;
     opts.prefetch_async = cell.prefetch_async;
     opts.faults = cell.faults;
+    opts.catalog = cell.catalog;
     if (cell.faults) {
       opts.fault_plan.error_rate = 0.15;
       opts.fault_plan.delay_rate = 0.2;

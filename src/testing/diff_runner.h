@@ -34,6 +34,12 @@ struct DiffOptions {
   bool prefetch = true;
   bool prefetch_async = true;
   bool caching = true;
+  /// Subsumption candidates via the semantic catalog (on) or the linear
+  /// predicate-index scan (off). Both must produce identical answers; the
+  /// harness additionally checks the catalog/stripe consistency invariant
+  /// after every query (serial pass) and every wave (session mode) while
+  /// the catalog is on.
+  bool catalog = true;
   /// Small enough that eviction happens on realistic workloads.
   size_t cache_budget_bytes = 256ull << 10;
 

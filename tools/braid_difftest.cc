@@ -41,6 +41,7 @@ struct CliArgs {
   std::string prefetch = "async";  // off | sync | async
   bool faults = false;
   bool caching = true;
+  bool catalog = true;
   bool minimize = true;
   bool dump = false;
   size_t shard_index = 0;
@@ -63,6 +64,8 @@ void Usage() {
       "  --prefetch MODE     off | sync | async (default async)\n"
       "  --faults on|off     fault-injected remote link (default off)\n"
       "  --no-cache          disable caching on the system side\n"
+      "  --no-catalog        linear subsumption candidate scan instead of\n"
+      "                      the semantic catalog (answers must not change)\n"
       "  --keep I,J,...      only run these stream indices (repro)\n"
       "  --no-minimize       skip failure minimization\n"
       "  --shard I/M         run only seeds with seed %% M == I\n");
@@ -137,6 +140,9 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (arg == "--no-cache") {
       args->caching = false;
       args->single_config = true;
+    } else if (arg == "--no-catalog") {
+      args->catalog = false;
+      args->single_config = true;
     } else if (arg == "--keep") {
       const char* v = next();
       if (v == nullptr || !ParseSizeList(v, &args->keep)) return false;
@@ -170,6 +176,7 @@ DiffOptions OptionsFor(const CliArgs& args, uint64_t seed) {
   opts.prefetch = args.prefetch != "off";
   opts.prefetch_async = args.prefetch == "async";
   opts.caching = args.caching;
+  opts.catalog = args.catalog;
   opts.faults = args.faults;
   if (args.faults) {
     opts.fault_plan.error_rate = 0.15;

@@ -33,6 +33,14 @@ contract" for the rationale of each:
                    guard matching its path (#ifndef/#define pair and a
                    trailing #endif comment).
 
+  stray-artifact   No tracked file anywhere in the tree whose *name* looks
+                   like shell debris: a comma, quote, backtick, `$`, `;`,
+                   `|`, `&`, parentheses, whitespace, `=`, or a leading
+                   `-`. Such names are almost always an accidentally
+                   committed redirect/typo artifact (a file literally
+                   named `hich,$p` — stray `git log | w...` output —
+                   shipped in one PR), never a real source file.
+
 Legitimate exceptions are listed in tools/braid_lint_allowlist.txt as
 "<rule> <path> — <reason>" lines; an allowlist entry that no longer
 matches anything is itself an error, so the list cannot rot.
@@ -90,6 +98,17 @@ LINE_RULES = [
 ]
 
 GUARD_RULE = "include-guard"
+STRAY_RULE = "stray-artifact"
+
+# Shell-metacharacter debris in a file name. A leading '-' is flagged too:
+# such names read as option flags to most tools and only ever appear by
+# accident ("git diff > -o").
+STRAY_NAME_RE = re.compile(r"[,;|&()<>*?!\s='\"`$\\]|^-")
+
+# Directories never scanned for stray names (build output is untracked and
+# full of generated names; .git has its own naming rules).
+STRAY_SKIP_DIRS = {".git"}
+STRAY_SKIP_PREFIXES = ("build",)
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -205,6 +224,32 @@ def lint_file(relpath, text):
     return findings
 
 
+def check_stray_artifacts(root):
+    """Returns [(relpath, message)] for files whose names look like shell
+    debris, anywhere under root outside build output and .git."""
+    findings = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel_dir = os.path.relpath(dirpath, root)
+        if rel_dir == ".":
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in STRAY_SKIP_DIRS
+                and not d.startswith(STRAY_SKIP_PREFIXES)
+            )
+        else:
+            dirnames.sort()
+        for name in sorted(filenames):
+            if STRAY_NAME_RE.search(name):
+                rel = os.path.normpath(os.path.join(rel_dir, name))
+                findings.append(
+                    (rel,
+                     "file name %r looks like an accidentally committed "
+                     "shell artifact (metacharacter debris); delete it or "
+                     "allowlist it with a reason" % name)
+                )
+    return findings
+
+
 def iter_source_files(root):
     src = os.path.join(root, "src")
     for dirpath, _dirnames, filenames in os.walk(src):
@@ -228,6 +273,13 @@ def run_lint(root, allowlist_path, verbose=False):
                 used.add(oskey if oskey in allow else key)
                 continue
             violations.append("%s:%d: [%s] %s" % (rel, lineno, rule, message))
+    for rel, message in check_stray_artifacts(root):
+        key = (STRAY_RULE, rel.replace(os.sep, "/"))
+        oskey = (STRAY_RULE, rel)
+        if oskey in allow or key in allow:
+            used.add(oskey if oskey in allow else key)
+            continue
+        violations.append("%s: [%s] %s" % (rel, STRAY_RULE, message))
     for key, reason in allow.items():
         if key not in used:
             violations.append(
@@ -300,12 +352,28 @@ def self_test():
     expect("bad-header", BAD_HEADER,
            os.path.join("src", "selftest", "bad.h"), True)
 
-    # End-to-end over a temp tree: one bad file, plus a stale allowlist
-    # entry that must itself be flagged.
+    # Stray-artifact name matching, including the exact artifact that
+    # shipped once ("hich,$p" — redirected git-log output).
+    for name in ("hich,$p", "a b.txt", "out|sort", "-o", "x;y", "res`t`"):
+        if not STRAY_NAME_RE.search(name):
+            failures.append("stray-artifact: %r not flagged" % name)
+    for name in ("cache_model.cc", "BENCH_micro.json", ".clang-tidy",
+                 "CMakeLists.txt", "braid_lint_allowlist.txt"):
+        if STRAY_NAME_RE.search(name):
+            failures.append("stray-artifact: %r falsely flagged" % name)
+
+    # End-to-end over a temp tree: one bad file, one stray artifact, plus
+    # a stale allowlist entry that must itself be flagged.
     with tempfile.TemporaryDirectory() as tmp:
         os.makedirs(os.path.join(tmp, "src", "x"))
         with open(os.path.join(tmp, "src", "x", "bad.cc"), "w") as f:
             f.write(BAD_SNIPPETS["naked-mutex"])
+        with open(os.path.join(tmp, "hich,$p"), "w") as f:
+            f.write("commit 0000000\n")
+        # Build output must not be scanned for stray names.
+        os.makedirs(os.path.join(tmp, "build-dbg"))
+        with open(os.path.join(tmp, "build-dbg", "log (1).txt"), "w") as f:
+            f.write("x\n")
         allowlist = os.path.join(tmp, "allow.txt")
         with open(allowlist, "w") as f:
             f.write("sleep src/x/never.cc — stale entry\n")
@@ -319,6 +387,11 @@ def self_test():
             failures.append("end-to-end: expected exit 1, got %d" % rc)
         if "naked-mutex" not in out:
             failures.append("end-to-end: naked-mutex not reported: %r" % out)
+        if "hich,$p" not in out:
+            failures.append("end-to-end: stray artifact not reported: %r"
+                            % out)
+        if "log (1).txt" in out:
+            failures.append("end-to-end: build output scanned for strays")
         if "matches nothing" not in out:
             failures.append("end-to-end: stale allowlist not reported")
 
