@@ -1,0 +1,165 @@
+// bench_intermediates — intermediate-result caching on the genealogy /
+// transitive-closure workload (DESIGN.md §12): median response time with
+// the cost-based admission gate on vs. off.
+//
+// Two phases, each run with `enable_intermediates` on and off:
+//
+//  * shared: after warming the `parent` and `person` base relations, a
+//    seed query evaluates an expensive ancestor-chain core — parent(X,P)
+//    & parent(P,G) & person(G,A,C) & A >= 97 — projecting its head down
+//    to X alone. N distinct follow-up queries need the same core *plus*
+//    the interface variable G (kept in their heads) and a private
+//    selection person(X, k, CX): the seed's cached result lacks G and
+//    each follower's result carries a constant the next one lacks, so no
+//    final result ever subsumes the core. With intermediates on, the
+//    seed's assembly join stage keeps every binding variable (G
+//    included), is admitted as a derived element, and every follower
+//    reuses it through ordinary subsumption instead of re-joining ~1800
+//    base tuples down to ~20; off, each follower recomputes the chain
+//    from the warm base relations.
+//
+//  * noshare: N queries with pairwise-distinct constants and no common
+//    subplan. Stages are offered and admitted but never reused — the
+//    phase bounds the cost of a gate that only ever guesses wrong
+//    (acceptance: <= 5% median regression).
+//
+// The speedup_p50 column is off-p50 / on-p50 for the phase; the ISSUE 9
+// acceptance numbers are speedup_p50 >= 1.5 on `shared` and >= 0.95 on
+// `noshare`. `--json <path>` (default BENCH_intermediates.json) dumps the
+// table.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace braid {
+namespace {
+
+constexpr size_t kQueries = 12;  // per phase
+
+caql::CaqlQuery Parse(const std::string& text) {
+  auto q = caql::ParseCaql(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bench_intermediates parse failed: %s\n",
+                 q.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(q.value());
+}
+
+struct PhaseResult {
+  std::vector<double> response_ms;
+  double wall_ms = 0;
+  size_t remote_queries = 0;
+  size_t admitted = 0;
+  uint64_t hits = 0;
+};
+
+PhaseResult RunPhase(bool intermediates, bool shared) {
+  workload::GenealogyParams params;
+  params.people = 600;
+  dbms::RemoteDbms remote(workload::MakeGenealogyDatabase(params),
+                          dbms::NetworkModel{}, dbms::DbmsCostModel{});
+
+  cms::CmsConfig config;
+  config.enable_intermediates = intermediates;
+  config.enable_advice = false;  // isolate the gate's no-prediction default
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.enable_parallel = false;  // deterministic modeled times
+  cms::Cms cms(&remote, config);
+
+  auto ask = [&cms](const caql::CaqlQuery& q) -> double {
+    auto a = cms.Query(q);
+    if (!a.ok()) {
+      std::fprintf(stderr, "bench_intermediates query failed: %s\n",
+                   a.status().ToString().c_str());
+      std::exit(1);
+    }
+    return a->response_ms;
+  };
+
+  // Warm the base relations (one remote fetch each, both modes): the
+  // measured queries then exercise local recomputation vs. stage reuse.
+  ask(Parse("warm_parent(C, P) :- parent(C, P)"));
+  ask(Parse("warm_person(I, A, C) :- person(I, A, C)"));
+  if (shared) {
+    // Seed: evaluates the shared core once (both modes pay it). Its head
+    // keeps only X, so its cached *result* cannot serve the followers —
+    // but with intermediates on, its join stages keep G and can.
+    ask(Parse("seed(X) :- parent(X, P) & parent(P, G)"
+              " & person(G, A, C) & A >= 97"));
+  }
+  const size_t warm_remote = remote.stats().queries;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t hits_before = reg.counter("intermediate.hits").value();
+  const size_t admitted_before =
+      cms.cache().stats().intermediates_admitted.load();
+
+  PhaseResult out;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < kQueries; ++k) {
+    caql::CaqlQuery q =
+        shared
+            // Distinct per-query age constant k on X; the 3-atom core +
+            // comparison is identical across all of them.
+            ? Parse(StrCat("t", k, "(X, G) :- parent(X, P) & parent(P, G)",
+                           " & person(G, A, C) & A >= 97",
+                           " & person(X, ", k, ", CX)"))
+            // Distinct constants, no shared subplan.
+            : Parse(StrCat("u", k, "(P, A) :- parent(", 100 + k,
+                           ", P) & person(P, A, C)"));
+    out.response_ms.push_back(ask(q));
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  out.remote_queries = remote.stats().queries - warm_remote;
+  out.admitted =
+      cms.cache().stats().intermediates_admitted.load() - admitted_before;
+  out.hits = reg.counter("intermediate.hits").value() - hits_before;
+  return out;
+}
+
+}  // namespace
+}  // namespace braid
+
+int main(int argc, char** argv) {
+  using braid::benchutil::P50;
+  using braid::benchutil::P95;
+  using braid::benchutil::P99;
+  braid::benchutil::Table table(
+      "Intermediate-result caching: shared ancestor-chain core vs. "
+      "no-sharing control (modeled ms per query)",
+      {"phase", "mode", "queries", "p50_ms", "p95_ms", "p99_ms", "wall_ms",
+       "remote_queries", "admitted", "hits", "speedup_p50"});
+  for (const bool shared : {true, false}) {
+    const braid::PhaseResult off = braid::RunPhase(false, shared);
+    const braid::PhaseResult on = braid::RunPhase(true, shared);
+    const char* phase = shared ? "shared" : "noshare";
+    const double speedup =
+        P50(on.response_ms) > 0 ? P50(off.response_ms) / P50(on.response_ms)
+                                : 0;
+    table.AddRow(phase, "off", off.response_ms.size(), P50(off.response_ms),
+                 P95(off.response_ms), P99(off.response_ms), off.wall_ms,
+                 off.remote_queries, off.admitted, off.hits, 1.0);
+    table.AddRow(phase, "on", on.response_ms.size(), P50(on.response_ms),
+                 P95(on.response_ms), P99(on.response_ms), on.wall_ms,
+                 on.remote_queries, on.admitted, on.hits, speedup);
+  }
+  table.Print();
+  table.WriteJson(braid::benchutil::JsonPathFromArgs(
+      argc, argv, "BENCH_intermediates.json"));
+  return 0;
+}

@@ -62,15 +62,6 @@ struct RunResult {
   size_t remote_queries = 0;
 };
 
-double Quantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const size_t rank = std::min(
-      values.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(values.size())));
-  return values[rank];
-}
-
 RunResult Run(size_t num_sessions) {
   workload::GenealogyParams params;
   params.people = 600;
@@ -156,8 +147,8 @@ RunResult Run(size_t num_sessions) {
     all.insert(all.end(), latencies[s].begin(), latencies[s].end());
   }
   result.qps = result.queries / (wall_ms / 1000.0);
-  result.p50_ms = Quantile(all, 0.50);
-  result.p95_ms = Quantile(all, 0.95);
+  result.p50_ms = benchutil::P50(all);
+  result.p95_ms = benchutil::P95(all);
   result.remote_queries = remote.stats().queries - warm_remote;
 
   cms.DrainSessions();

@@ -1,6 +1,7 @@
 #ifndef BRAID_BENCH_BENCH_UTIL_H_
 #define BRAID_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +12,27 @@
 #include <vector>
 
 namespace braid::benchutil {
+
+/// Nearest-rank quantile of a sample (q in [0, 1]); 0 for an empty sample.
+/// Takes the vector by value — the sample is sorted internally.
+inline double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+inline double P50(const std::vector<double>& values) {
+  return Quantile(values, 0.50);
+}
+inline double P95(const std::vector<double>& values) {
+  return Quantile(values, 0.95);
+}
+inline double P99(const std::vector<double>& values) {
+  return Quantile(values, 0.99);
+}
 
 /// Returns the value following a `--json` flag in argv, or `fallback` when
 /// the flag is absent. Pass an empty fallback to make JSON opt-in; pass a

@@ -68,6 +68,14 @@ class CacheElement {
   const std::string& origin_view() const { return origin_view_; }
   void set_origin_view(std::string view) { origin_view_ = std::move(view); }
 
+  /// True for a derived intermediate: a plan-stage result admitted by the
+  /// cost gate rather than a query answer or advised view. Derived
+  /// elements live in the intermediate budget slice and are evicted before
+  /// any non-derived element (see CacheManager::MakeRoom). Set once before
+  /// the element is published to the cache model.
+  bool is_derived() const { return derived_; }
+  void set_derived(bool derived) { derived_ = derived; }
+
   /// The index on `column`, or nullptr.
   std::shared_ptr<const rel::HashIndex> index(size_t column) const;
 
@@ -103,6 +111,7 @@ class CacheElement {
   caql::CaqlQuery definition_;
   std::shared_ptr<const rel::Relation> extension_;  // null => generator form
   std::string origin_view_;
+  bool derived_ = false;
 
   /// Guards the lazily built representations; a leaf lock (nothing else is
   /// acquired while it is held).

@@ -51,6 +51,102 @@ void CacheManager::Touch(const std::string& id) {
   obs::MetricsRegistry::Global().counter("cache.touches").Increment();
 }
 
+IntermediateVerdict CacheManager::JudgeIntermediate(
+    size_t bytes, size_t tuples, double recompute_ms,
+    std::optional<size_t> predicted_distance, double local_per_tuple_ms) {
+  IntermediateVerdict v;
+  // Cost: every reuse pays at least one scan of the footprint; keeping an
+  // intermediate that is cheaper to recompute than to scan is pure loss.
+  v.cost_ms = static_cast<double>(tuples) * local_per_tuple_ms;
+  // Benefit: recomputation cost scaled by predicted reuse. Advice within
+  // the replacement horizon means a near-certain reuse; beyond it the
+  // probability decays with distance; no prediction defaults to a coin
+  // flip (the advisor only models the producing view's own recurrence —
+  // cross-query subexpression sharing is exactly what it cannot see).
+  double reuse = 0.5;
+  if (predicted_distance.has_value()) {
+    reuse = *predicted_distance <= horizon_
+                ? 1.0
+                : static_cast<double>(horizon_ + 1) /
+                      static_cast<double>(*predicted_distance + 1);
+  }
+  v.benefit_ms = reuse * recompute_ms;
+  if (bytes > intermediate_budget_bytes_) {
+    v.reason = "oversized";
+  } else if (v.benefit_ms <= v.cost_ms) {
+    v.reason = "low-benefit";
+  } else {
+    v.admit = true;
+    v.reason = "admit";
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  if (v.admit) {
+    stats_.intermediates_admitted.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("intermediate.admitted").Increment();
+  } else {
+    stats_.intermediates_rejected.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("intermediate.rejected").Increment();
+  }
+  return v;
+}
+
+size_t CacheManager::DerivedBytes() const {
+  size_t total = 0;
+  for (const auto& [id, e] : model_.elements()) {
+    if (e->is_derived()) total += e->ByteSize();
+  }
+  return total;
+}
+
+void CacheManager::MakeRoomDerived(size_t needed, const std::string& exclude) {
+  if (needed == 0) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  // LRU among derived elements only; no advisor consultation — the slice
+  // budget is a hard bound, and intermediates are reconstructible.
+  struct Candidate {
+    uint64_t last_used;
+    CacheElementPtr element;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [id, e] : model_.elements()) {
+    if (!e->is_derived() || id == exclude) continue;
+    candidates.push_back(
+        {e->stats().last_used_seq.load(std::memory_order_relaxed), e});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.last_used != b.last_used) return a.last_used < b.last_used;
+              return a.element->id() < b.element->id();
+            });
+  for (const Candidate& c : candidates) {
+    if (needed == 0) break;
+    const size_t freed = model_.Remove(c.element->id());
+    if (freed == 0) continue;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.intermediates_evicted.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("cache.evictions").Increment();
+    registry.counter("intermediate.evicted").Increment();
+    needed = freed >= needed ? 0 : needed - freed;
+  }
+}
+
+bool CacheManager::InsertIntermediate(CacheElementPtr element) {
+  const size_t size = element->ByteSize();
+  if (size > intermediate_budget_bytes_) {
+    stats_.rejected_too_large.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Intermediates never grow past their slice: make room among derived
+  // elements first, then take the ordinary insert path (whose global
+  // budget check ranks any remaining derived elements as first victims).
+  const size_t derived = DerivedBytes();
+  if (derived + size > intermediate_budget_bytes_) {
+    MakeRoomDerived(derived + size - intermediate_budget_bytes_,
+                    element->id());
+  }
+  return Insert(std::move(element));
+}
+
 void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
   if (needed == 0) return;
   auto& registry = obs::MetricsRegistry::Global();
@@ -61,17 +157,19 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
     advisor = advisor_;
   }
 
-  // Victim ordering: elements not predicted within the horizon first,
-  // then by farthest predicted distance, then least recently used, with
-  // the element id as a final tie-break so eviction order is fully
-  // deterministic. The advisor's prediction (an NFA reachability search)
-  // is the expensive part, so it is consulted exactly once per element
-  // per pass — evicting a victim changes no other element's rank, which
-  // makes one ranking pass sufficient for the whole batch. The candidate
-  // set is a snapshot; a concurrently removed element simply frees no
-  // bytes when its turn comes.
+  // Victim ordering: derived intermediates before anything else (they are
+  // reconstructible stage results, never allowed to displace advised
+  // views), then elements not predicted within the horizon, then farthest
+  // predicted distance, then least recently used, with the element id as
+  // a final tie-break so eviction order is fully deterministic. The
+  // advisor's prediction (an NFA reachability search) is the expensive
+  // part, so it is consulted exactly once per element per pass — evicting
+  // a victim changes no other element's rank, which makes one ranking
+  // pass sufficient for the whole batch. The candidate set is a snapshot;
+  // a concurrently removed element simply frees no bytes when its turn
+  // comes.
   struct Candidate {
-    std::tuple<int, size_t, uint64_t> rank;
+    std::tuple<int, int, size_t, uint64_t> rank;
     CacheElementPtr element;
   };
   const std::map<std::string, CacheElementPtr> resident = model_.elements();
@@ -88,7 +186,7 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
     const size_t d =
         dist.has_value() ? *dist : std::numeric_limits<size_t>::max();
     candidates.push_back(
-        {std::make_tuple(is_protected ? 0 : 1, d,
+        {std::make_tuple(e->is_derived() ? 1 : 0, is_protected ? 0 : 1, d,
                          std::numeric_limits<uint64_t>::max() -
                              e->stats().last_used_seq.load(
                                  std::memory_order_relaxed)),
@@ -109,6 +207,10 @@ void CacheManager::MakeRoom(size_t needed, const std::string& exclude) {
     if (freed == 0) continue;
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     registry.counter("cache.evictions").Increment();
+    if (c.element->is_derived()) {
+      stats_.intermediates_evicted.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("intermediate.evicted").Increment();
+    }
     needed = freed >= needed ? 0 : needed - freed;
   }
   registry.gauge("cache.resident_bytes")

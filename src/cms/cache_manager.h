@@ -1,6 +1,7 @@
 #ifndef BRAID_CMS_CACHE_MANAGER_H_
 #define BRAID_CMS_CACHE_MANAGER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <optional>
@@ -19,6 +20,22 @@ struct CacheManagerStats {
   std::atomic<size_t> insertions{0};
   std::atomic<size_t> evictions{0};
   std::atomic<size_t> rejected_too_large{0};
+  /// Derived intermediates through the cost-based admission gate.
+  std::atomic<size_t> intermediates_admitted{0};
+  std::atomic<size_t> intermediates_rejected{0};
+  std::atomic<size_t> intermediates_evicted{0};
+};
+
+/// Verdict of the cost-based admission gate for a derived intermediate
+/// (see JudgeIntermediate): benefit = predicted reuse × modeled
+/// recomputation cost, against the per-use cost of its tuple footprint.
+struct IntermediateVerdict {
+  bool admit = false;
+  double benefit_ms = 0;
+  double cost_ms = 0;
+  /// "admit", "oversized" (exceeds the intermediate budget slice) or
+  /// "low-benefit".
+  const char* reason = "";
 };
 
 /// Returns the advice-predicted minimum distance (in queries) until the
@@ -44,8 +61,16 @@ using ReplacementAdvisor =
 /// on other stripes.
 class CacheManager {
  public:
-  CacheManager(size_t budget_bytes, size_t replacement_horizon)
-      : budget_bytes_(budget_bytes), horizon_(replacement_horizon) {}
+  /// `intermediate_budget_fraction` bounds the slice of the budget derived
+  /// intermediates may occupy (CmsConfig knob), so intermediates never
+  /// starve advised views.
+  CacheManager(size_t budget_bytes, size_t replacement_horizon,
+               double intermediate_budget_fraction = 0.25)
+      : budget_bytes_(budget_bytes),
+        horizon_(replacement_horizon),
+        intermediate_budget_bytes_(static_cast<size_t>(
+            static_cast<double>(budget_bytes) *
+            std::clamp(intermediate_budget_fraction, 0.0, 1.0))) {}
 
   CacheModel& model() { return model_; }
   const CacheModel& model() const { return model_; }
@@ -68,7 +93,32 @@ class CacheManager {
   /// Marks a use of the element for LRU purposes.
   void Touch(const std::string& id);
 
+  /// Cost-based admission for a derived intermediate of `bytes` footprint
+  /// and `tuples` rows that took `recompute_ms` (modeled) to produce.
+  /// Benefit: the recomputation cost scaled by predicted reuse — 1 when
+  /// advice predicts recurrence within the replacement horizon, decaying
+  /// with distance beyond it, 0.5 with no prediction. Cost: the per-use
+  /// price of the footprint (one scan of its tuples). Admit when benefit
+  /// exceeds cost and the footprint fits the intermediate budget slice.
+  /// Counts every verdict (intermediates_admitted / intermediates_rejected
+  /// and the `intermediate.*` counters).
+  IntermediateVerdict JudgeIntermediate(size_t bytes, size_t tuples,
+                                        double recompute_ms,
+                                        std::optional<size_t> predicted_distance,
+                                        double local_per_tuple_ms);
+
+  /// Installs a derived element (`element->is_derived()` must be set).
+  /// Keeps the derived slice within its budget by first evicting other
+  /// derived elements (least recently used first), then inserts normally.
+  bool InsertIntermediate(CacheElementPtr element);
+
+  /// Bytes currently held by derived elements (a stripe-snapshot walk).
+  size_t DerivedBytes() const;
+
   size_t budget_bytes() const { return budget_bytes_; }
+  size_t intermediate_budget_bytes() const {
+    return intermediate_budget_bytes_;
+  }
   const CacheManagerStats& stats() const { return stats_; }
 
  private:
@@ -78,9 +128,14 @@ class CacheManager {
   /// advisor.
   void MakeRoom(size_t needed, const std::string& exclude);
 
+  /// Evicts derived elements only (least recently used first) until at
+  /// least `needed` bytes of the derived slice are free.
+  void MakeRoomDerived(size_t needed, const std::string& exclude);
+
   CacheModel model_;
   const size_t budget_bytes_;  // immutable after construction
   const size_t horizon_;       // immutable after construction
+  const size_t intermediate_budget_bytes_;  // immutable after construction
   std::atomic<uint64_t> clock_{0};
 
   /// Leaf mutex for advisor replacement; MakeRoom copies the advisor out

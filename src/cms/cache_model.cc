@@ -195,6 +195,26 @@ std::string CacheModel::CheckCatalogConsistency() const {
     if (!problem.empty()) {
       return StrCat("stripe ", i, ": ", problem);
     }
+    // Derived intermediates carry synthesized view definitions; a
+    // malformed one (invalid CAQL, or a head that disagrees with the
+    // materialized schema) would answer queries wrongly through
+    // subsumption, so the consistency sweep validates them like any
+    // posted element.
+    for (const auto& [id, e] : snap->elements) {
+      if (!e->is_derived()) continue;
+      Status valid = e->definition().Validate();
+      if (!valid.ok()) {
+        return StrCat("stripe ", i, ": derived element ", id,
+                      " has invalid definition: ", valid.message());
+      }
+      if (e->is_materialized() &&
+          e->definition().head_args.size() != e->extension()->schema().size()) {
+        return StrCat("stripe ", i, ": derived element ", id,
+                      " head arity ", e->definition().head_args.size(),
+                      " != extension arity ",
+                      e->extension()->schema().size());
+      }
+    }
   }
   return "";
 }

@@ -35,6 +35,101 @@ std::unique_ptr<exec::ThreadPool> MakePool(const CmsConfig& config) {
   return std::make_unique<exec::ThreadPool>(workers);
 }
 
+/// Order-insensitive canonical form for the whole-query duplicate check:
+/// name, SETOF flag, head order, and body order are normalized away, so a
+/// stage whose content is the query's own pre-projection result compares
+/// equal however the plan ordered its atoms. Stage views reuse the query's
+/// variable names, so sorting on the printed form aligns both sides.
+std::string NormalizedStageKey(CaqlQuery q) {
+  q.name = "$i";
+  q.distinct = false;
+  std::sort(q.head_args.begin(), q.head_args.end(),
+            [](const Term& a, const Term& b) {
+              return a.var_name() < b.var_name();
+            });
+  std::sort(q.body.begin(), q.body.end(),
+            [](const logic::Atom& a, const logic::Atom& b) {
+              return a.ToString() < b.ToString();
+            });
+  return q.CanonicalKey();
+}
+
+/// Runs the execution monitor's DAG-stage offers through the cache
+/// manager's cost-based admission gate (DESIGN.md §12). One collector per
+/// eager query; offers arrive on the query's calling thread, so the only
+/// concurrency is with other sessions' queries — which the striped cache
+/// and the gate's atomics already handle.
+class IntermediateCollector : public IntermediateSink {
+ public:
+  IntermediateCollector(CacheManager* cache, CmsSession* session,
+                        obs::Tracer* tracer, obs::SpanId parent,
+                        std::string view_id, std::string whole_query_key,
+                        double local_per_tuple_ms)
+      : cache_(cache),
+        session_(session),
+        tracer_(tracer),
+        parent_(parent),
+        view_id_(std::move(view_id)),
+        whole_query_key_(std::move(whole_query_key)),
+        local_per_tuple_ms_(local_per_tuple_ms) {}
+
+  void Offer(const StageOffer& offer,
+             const rel::Relation& relation) override {
+    // A stage that is just the whole query before head projection (every
+    // head variable kept, full body covered) duplicates the result the
+    // facade caches anyway; skip it.
+    if (!whole_query_key_.empty() &&
+        NormalizedStageKey(offer.view) == whole_query_key_) {
+      return;
+    }
+    // A structurally identical intermediate may already be installed — by
+    // an earlier stage of this plan, an earlier query, or a concurrent
+    // session (stage views share the reserved name, so equal structure
+    // means equal canonical key). Re-admitting would only churn the slice.
+    const std::string key = offer.view.CanonicalKey();
+    if (cache_->model().ByCanonicalKey(key) != nullptr) return;
+
+    // Reuse prediction: the advisor models the producing view's own
+    // recurrence; a stage of a soon-recurring view is at least as likely
+    // to be wanted again. Cross-query sharing it cannot see defaults to
+    // the gate's coin flip.
+    std::optional<size_t> predicted;
+    if (session_ != nullptr && !view_id_.empty()) {
+      predicted = session_->PredictedDistance(view_id_);
+    }
+    const size_t bytes = relation.ByteSize() + 128;  // element overhead
+    const IntermediateVerdict verdict = cache_->JudgeIntermediate(
+        bytes, relation.NumTuples(), offer.recompute_ms, predicted,
+        local_per_tuple_ms_);
+
+    obs::SpanScope span(tracer_, "admission", parent_);
+    span.Annotate("stage", offer.label);
+    span.Annotate("benefit_ms", StrCat(verdict.benefit_ms));
+    span.Annotate("cost_ms", StrCat(verdict.cost_ms));
+    span.Annotate("verdict", verdict.reason);
+    if (!verdict.admit) return;
+
+    auto element = std::make_shared<CacheElement>(
+        cache_->model().NextId(), offer.view,
+        std::make_shared<rel::Relation>(relation));
+    element->set_origin_view(view_id_);
+    element->set_derived(true);
+    element->stats().cost_to_recompute_ms.store(offer.recompute_ms,
+                                                std::memory_order_relaxed);
+    span.Annotate("element", element->id());
+    cache_->InsertIntermediate(std::move(element));
+  }
+
+ private:
+  CacheManager* cache_;
+  CmsSession* session_;
+  obs::Tracer* tracer_;
+  obs::SpanId parent_;
+  std::string view_id_;
+  std::string whole_query_key_;
+  double local_per_tuple_ms_;
+};
+
 }  // namespace
 
 const char* CacheOutcomeName(CacheOutcome outcome) {
@@ -56,7 +151,8 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
 Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
     : remote_(remote),
       config_(config),
-      cache_(config.cache_budget_bytes, config.replacement_horizon),
+      cache_(config.cache_budget_bytes, config.replacement_horizon,
+             config.intermediate_budget_fraction),
       rdi_(remote),
       planner_(&cache_.model(), remote,
                PlannerConfig{config.enable_subsumption &&
@@ -473,6 +569,21 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
   BRAID_ASSIGN_OR_RETURN(Plan plan,
                          planner_.PlanQuery(query, &tracer_, root.id()));
 
+  // Plan sources served by derived intermediates are subsumption hits on
+  // cached stage results — the payoff the admission gate predicted.
+  size_t derived_sources = 0;
+  for (const PlanSource& s : plan.sources) {
+    if (s.kind == PlanSource::Kind::kElement && s.element != nullptr &&
+        s.element->is_derived()) {
+      ++derived_sources;
+    }
+  }
+  if (derived_sources > 0) {
+    obs::MetricsRegistry::Global().counter("intermediate.hits")
+        .Increment(derived_sources);
+    root.Annotate("intermediate_sources", StrCat(derived_sources));
+  }
+
   // Lazy evaluation: only when every needed datum is cached (§5.1) and
   // advice marks the view all-producer (§5.3.3 guideline).
   if (plan.fully_local && config_.enable_lazy && config_.enable_advice &&
@@ -493,9 +604,27 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
     }
   }
 
-  // Eager execution.
+  // Eager execution; the collector offers every DAG stage to the
+  // admission gate (only for the full query path — speculative work like
+  // generalization and prefetch already caches whole views).
+  std::unique_ptr<IntermediateCollector> collector;
+  if (config_.enable_caching && config_.enable_intermediates &&
+      !config_.single_relation_only) {
+    // SETOF queries keep their bag-form stages (more informative than the
+    // cached SETOF result); heads with constants or repeated variables
+    // can never equal a stage's all-distinct-variable head.
+    bool plain_head = !query.distinct;
+    for (const Term& t : query.head_args) {
+      plain_head = plain_head && t.is_variable();
+    }
+    collector = std::make_unique<IntermediateCollector>(
+        &cache_, &session, &tracer_, root.id(), view_id,
+        plain_head ? NormalizedStageKey(query) : std::string(),
+        config_.local_per_tuple_ms);
+  }
   BRAID_ASSIGN_OR_RETURN(ExecutionOutcome outcome,
-                         monitor_.ExecutePlan(plan, &tracer_, root.id()));
+                         monitor_.ExecutePlan(plan, &tracer_, root.id(),
+                                              collector.get()));
   response_ms += outcome.response_ms;
   metrics.local_ms += outcome.local_ms;
 

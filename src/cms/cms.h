@@ -61,6 +61,16 @@ struct CmsConfig {
   bool enable_parallel = true;
   size_t replacement_horizon = 4;    // advice-protection window (queries)
   double local_per_tuple_ms = 0.002; // workstation per-tuple cost
+  /// Intermediate-result caching (DESIGN.md §12): offer the eager plan's
+  /// DAG stages (per-source binding relations, join fragments, the
+  /// residual-filtered relation) to a cost-based admission gate, so later
+  /// queries sharing a subplan reuse the stage through subsumption instead
+  /// of recomputing it.
+  bool enable_intermediates = true;
+  /// Fraction of the cache budget derived intermediates may occupy; the
+  /// slice keeps intermediates from starving advised views (they are also
+  /// the first eviction victims globally).
+  double intermediate_budget_fraction = 0.25;
 
   /// Worker threads of the execution engine's pool (the calling thread
   /// always participates in morsel loops, so total parallelism is

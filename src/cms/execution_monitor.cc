@@ -54,6 +54,24 @@ Result<rel::PredicatePtr> ComparisonPredicate(const rel::Schema& schema,
   return rel::Predicate::Not(rel::Predicate::True());
 }
 
+/// Synthesizes the derived view definition a stage computed: head = the
+/// stage relation's columns (query variables) in column order, body = the
+/// atoms that produced it. Every stage view shares one name so
+/// structurally identical intermediates from different queries collapse
+/// to one canonical key, and is BAGOF — binding relations carry bag
+/// multiplicities, so the view can serve queries of either semantics
+/// through subsumption (a SETOF definition could not serve BAGOF).
+caql::CaqlQuery StageView(const rel::Schema& schema, std::vector<Atom> body) {
+  caql::CaqlQuery view;
+  view.name = "$i";
+  for (const rel::Column& c : schema.columns()) {
+    view.head_args.push_back(Term::Var(c.name));
+  }
+  view.body = std::move(body);
+  view.distinct = false;
+  return view;
+}
+
 }  // namespace
 
 Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
@@ -134,9 +152,14 @@ Result<rel::Relation> ExecutionMonitor::MaterializeElementSource(
 
 Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
                                                        obs::Tracer* tracer,
-                                                       obs::SpanId parent) {
+                                                       obs::SpanId parent,
+                                                       IntermediateSink* sink) {
   ExecutionOutcome outcome;
   LocalWork prep_work;
+  // Per-source modeled recomputation cost (remote fetch cost, or element
+  // preparation work), feeding the stage offers below.
+  std::vector<double> source_cost_ms(plan.sources.size() +
+                                     plan.anti_sources.size());
 
   // Positive and anti sources (negated literals; the latter applied as
   // anti-joins during assembly) share one materialization pass, indexed
@@ -185,7 +208,10 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
     for (size_t i = 0; i < num_total; ++i) {
       const PlanSource& source = source_at(i);
       if (source.kind != PlanSource::Kind::kElement) continue;
-      Result<rel::Relation> b = MaterializeElementSource(source, &prep_work);
+      LocalWork source_work;
+      Result<rel::Relation> b = MaterializeElementSource(source, &source_work);
+      prep_work.tuples_processed += source_work.tuples_processed;
+      source_cost_ms[i] = source_work.tuples_processed * local_per_tuple_ms_;
       if (!b.ok()) {
         if (first_error.ok()) first_error = b.status();
         continue;
@@ -231,10 +257,98 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
     outcome.remote_ms += fetch->cost.total_ms;
     max_fetch_ms = std::max(max_fetch_ms, fetch->cost.total_ms);
     ++outcome.remote_queries;
+    source_cost_ms[i] = fetch->cost.total_ms;
     materialized[i] = std::move(fetch->bindings);
   }
   if (!first_error.ok()) return first_error;
   outcome.remote_critical_ms = parallel_ ? max_fetch_ms : outcome.remote_ms;
+
+  // Stage capture: the atoms each positive source computes (the covered
+  // query atoms for an element source, the shipped subquery body — with
+  // its pushed comparisons — for a remote one). Negated sources are
+  // excluded throughout: stage views are positive conjunctions.
+  const std::vector<Atom> rel_atoms = plan.query.RelationAtoms();
+  // An element source's binding relation is additionally restricted by the
+  // element definition's own comparison atoms — the match was only legal
+  // because *this* query's comparisons imply them, but a later query
+  // served from the stage need not imply them. Rewrite those comparisons
+  // into query variables through the match's column mapping so the stage
+  // view states exactly what the relation holds; when the restriction
+  // cannot be expressed (comparison over a projected-away column, or a
+  // SETOF element whose extension lost bag multiplicities) the source is
+  // tainted and no stage built from it is offered.
+  std::vector<std::vector<Atom>> source_comps(num_positive);
+  std::vector<bool> source_tainted(num_positive, false);
+  if (sink != nullptr) {
+    for (size_t i = 0; i < num_positive; ++i) {
+      const PlanSource& source = plan.sources[i];
+      if (source.kind != PlanSource::Kind::kElement) continue;
+      CacheElementPtr element = source.element != nullptr
+                                    ? source.element
+                                    : cache_->model().Find(source.element_id);
+      if (element == nullptr || element->definition().distinct) {
+        source_tainted[i] = true;
+        continue;
+      }
+      const caql::CaqlQuery& def = element->definition();
+      std::map<size_t, std::string> col_to_var;
+      for (const auto& [var, col] : source.match.var_to_column) {
+        col_to_var[col] = var;
+      }
+      for (const Atom& comp : def.body) {
+        if (!comp.IsComparison()) continue;
+        Atom rewritten = comp;
+        bool expressible = true;
+        for (Term& t : rewritten.args) {
+          if (!t.is_variable()) continue;
+          std::string mapped;
+          for (size_t c = 0; c < def.head_args.size() && mapped.empty();
+               ++c) {
+            if (!def.head_args[c].is_variable() ||
+                def.head_args[c].var_name() != t.var_name()) {
+              continue;
+            }
+            auto it = col_to_var.find(c);
+            if (it != col_to_var.end()) mapped = it->second;
+          }
+          if (mapped.empty()) {
+            expressible = false;
+            break;
+          }
+          t = Term::Var(std::move(mapped));
+        }
+        if (!expressible) {
+          source_tainted[i] = true;
+          break;
+        }
+        source_comps[i].push_back(std::move(rewritten));
+      }
+    }
+  }
+  auto atoms_of = [&plan, &rel_atoms, &source_comps](size_t i) {
+    const PlanSource& source = plan.sources[i];
+    if (source.kind == PlanSource::Kind::kRemote) {
+      return source.remote_query.body;
+    }
+    std::vector<Atom> atoms;
+    for (size_t qi : source.match.covered) atoms.push_back(rel_atoms[qi]);
+    atoms.insert(atoms.end(), source_comps[i].begin(), source_comps[i].end());
+    return atoms;
+  };
+  if (sink != nullptr) {
+    for (size_t i = 0; i < num_positive; ++i) {
+      const PlanSource& source = plan.sources[i];
+      if (materialized[i].schema().size() == 0 || source_tainted[i]) continue;
+      StageOffer offer;
+      offer.label = source.kind == PlanSource::Kind::kRemote
+                        ? StrCat("bind:remote:", i)
+                        : StrCat("bind:", source.element_id);
+      offer.view = StageView(materialized[i].schema(), atoms_of(i));
+      offer.recompute_ms = source_cost_ms[i];
+      offer.from_remote = source.kind == PlanSource::Kind::kRemote;
+      sink->Offer(offer, materialized[i]);
+    }
+  }
 
   std::vector<rel::Relation> bindings(
       std::make_move_iterator(materialized.begin()),
@@ -244,6 +358,49 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
       std::make_move_iterator(materialized.end()));
 
   LocalWork assembly_work;
+  // Join fragments and the residual-filtered relation, offered as they are
+  // produced. A stage's view body is the union of its constituent sources'
+  // atoms plus every comparison applied so far; its recomputation cost is
+  // the sum of those sources' costs plus the assembly work to date.
+  AssemblyObserver stage_observer;
+  auto offer_fragment = [&](const char* label_prefix,
+                            const std::vector<size_t>& bound,
+                            const std::vector<size_t>& comps,
+                            const rel::Relation& current) {
+    if (current.schema().size() == 0) return;
+    for (size_t bi : bound) {
+      if (source_tainted[bi]) return;
+    }
+    StageOffer offer;
+    offer.label = StrCat(label_prefix, bound.size());
+    std::vector<Atom> body;
+    double cost = assembly_work.tuples_processed * local_per_tuple_ms_;
+    for (size_t bi : bound) {
+      std::vector<Atom> atoms = atoms_of(bi);
+      body.insert(body.end(), std::make_move_iterator(atoms.begin()),
+                  std::make_move_iterator(atoms.end()));
+      cost += source_cost_ms[bi];
+      offer.from_remote |=
+          plan.sources[bi].kind == PlanSource::Kind::kRemote;
+    }
+    for (size_t ci : comps) body.push_back(plan.residual_comparisons[ci]);
+    offer.view = StageView(current.schema(), std::move(body));
+    offer.recompute_ms = cost;
+    sink->Offer(offer, current);
+  };
+  if (sink != nullptr) {
+    stage_observer.on_join_stage = [&](const std::vector<size_t>& bound,
+                                       const std::vector<size_t>& comps,
+                                       const rel::Relation& current) {
+      offer_fragment("join:", bound, comps, current);
+    };
+    stage_observer.on_residual_stage = [&](const std::vector<size_t>& comps,
+                                           const rel::Relation& current) {
+      std::vector<size_t> all(num_positive);
+      for (size_t i = 0; i < num_positive; ++i) all[i] = i;
+      offer_fragment("residual:", all, comps, current);
+    };
+  }
   {
     obs::SpanScope assembly(tracer, "assembly", parent);
     BRAID_ASSIGN_OR_RETURN(
@@ -251,7 +408,8 @@ Result<ExecutionOutcome> ExecutionMonitor::ExecutePlan(const Plan& plan,
         QueryProcessor::Assemble(plan.query, std::move(bindings),
                                  plan.residual_comparisons, plan.evaluables,
                                  &assembly_work, std::move(anti_bindings),
-                                 &exec_ctx_));
+                                 &exec_ctx_,
+                                 sink != nullptr ? &stage_observer : nullptr));
     assembly.SetModeledMs(assembly_work.tuples_processed *
                           local_per_tuple_ms_);
   }

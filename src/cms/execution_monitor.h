@@ -14,6 +14,34 @@
 
 namespace braid::cms {
 
+/// One named stage of the executed plan DAG, offered to the cache layer
+/// while the plan runs. The stage's relation is semantically addressable:
+/// `view` is a synthesized BAGOF CAQL view definition whose evaluation is
+/// bag-equal to the stage's relation, so an admitted copy can serve later
+/// queries through the ordinary subsumption path. Stages form the plan
+/// DAG: per-source binding relations ("bind:*"), the pairwise join
+/// fragments the assembly produces ("join:N"), and the residual-filtered
+/// relation before head projection ("residual").
+struct StageOffer {
+  std::string label;
+  caql::CaqlQuery view;
+  /// Modeled cost to reproduce this relation from scratch (remote fetch
+  /// cost plus local per-tuple work), the benefit side of admission.
+  double recompute_ms = 0;
+  /// True when producing the stage crossed the remote link.
+  bool from_remote = false;
+};
+
+/// Receives stage offers during ExecutePlan. The implementation decides
+/// admission and must copy `relation` if it keeps it (the reference is
+/// only valid for the duration of the call, on the calling thread).
+class IntermediateSink {
+ public:
+  virtual ~IntermediateSink() = default;
+  virtual void Offer(const StageOffer& offer,
+                     const rel::Relation& relation) = 0;
+};
+
 /// What executing a plan produced and cost. Times are simulated
 /// milliseconds; `response_ms` accounts for the parallel overlap of
 /// cache-side work with the remote subqueries when enabled.
@@ -60,10 +88,14 @@ class ExecutionMonitor {
   /// With a tracer, records `prep`, one `fetch` span per remote subquery
   /// (from the pool thread that ran it when fetches are concurrent), and
   /// `assembly` — each carrying both measured wall time and the modeled
-  /// simulated cost — as children of `parent`.
+  /// simulated cost — as children of `parent`. A non-null `sink` receives
+  /// every DAG stage of the execution (positive-source bindings, join
+  /// fragments, the residual-filtered relation) with its synthesized view
+  /// definition, on the calling thread.
   Result<ExecutionOutcome> ExecutePlan(const Plan& plan,
                                        obs::Tracer* tracer = nullptr,
-                                       obs::SpanId parent = 0);
+                                       obs::SpanId parent = 0,
+                                       IntermediateSink* sink = nullptr);
 
   /// Builds a generator (lazy stream) for a fully local plan. Requires:
   /// no remote sources, no evaluable atoms, and an all-variable head.

@@ -354,9 +354,18 @@ Result<rel::Relation> QueryProcessor::Assemble(
     const CaqlQuery& query, std::vector<rel::Relation> bindings,
     const std::vector<Atom>& comparisons, const std::vector<Atom>& evaluables,
     LocalWork* work, std::vector<rel::Relation> anti_bindings,
-    const exec::ExecContext* ctx) {
+    const exec::ExecContext* ctx, const AssemblyObserver* observer) {
   std::vector<bool> comp_done(comparisons.size(), false);
   std::vector<bool> eval_done(evaluables.size(), false);
+  // Join order and applied comparisons, reported to the observer.
+  std::vector<size_t> bound_order;
+  auto applied_comps = [&comp_done] {
+    std::vector<size_t> out;
+    for (size_t ci = 0; ci < comp_done.size(); ++ci) {
+      if (comp_done[ci]) out.push_back(ci);
+    }
+    return out;
+  };
 
   rel::Relation current;
   if (bindings.empty()) {
@@ -375,6 +384,7 @@ Result<rel::Relation> QueryProcessor::Assemble(
     }
     current = std::move(bindings[start]);
     used[start] = true;
+    bound_order.push_back(start);
     for (size_t joined = 1; joined < bindings.size(); ++joined) {
       int best = -1;
       bool best_connected = false;
@@ -398,6 +408,7 @@ Result<rel::Relation> QueryProcessor::Assemble(
       current =
           NaturalJoin(current, bindings[static_cast<size_t>(best)], work, ctx);
       used[static_cast<size_t>(best)] = true;
+      bound_order.push_back(static_cast<size_t>(best));
 
       // Eagerly apply any now-applicable comparisons to shrink
       // intermediates.
@@ -406,6 +417,9 @@ Result<rel::Relation> QueryProcessor::Assemble(
         BRAID_ASSIGN_OR_RETURN(current,
                                ApplyComparison(current, comparisons[ci], work));
         comp_done[ci] = true;
+      }
+      if (observer != nullptr && observer->on_join_stage != nullptr) {
+        observer->on_join_stage(bound_order, applied_comps(), current);
       }
     }
   }
@@ -453,11 +467,20 @@ Result<rel::Relation> QueryProcessor::Assemble(
                  " has unbound inputs"));
     }
   }
+  bool trailing_comp = false;
   for (size_t ci = 0; ci < comparisons.size(); ++ci) {
     if (comp_done[ci]) continue;
     BRAID_ASSIGN_OR_RETURN(current,
                            ApplyComparison(current, comparisons[ci], work));
     comp_done[ci] = true;
+    trailing_comp = true;
+  }
+  // The residual-filtered relation is a sound conjunctive view only when
+  // nothing but joins and comparisons produced it.
+  if (observer != nullptr && observer->on_residual_stage != nullptr &&
+      trailing_comp && anti_bindings.empty() && evaluables.empty() &&
+      !bindings.empty()) {
+    observer->on_residual_stage(applied_comps(), current);
   }
 
   BRAID_ASSIGN_OR_RETURN(rel::Relation projected,

@@ -18,6 +18,29 @@ struct LocalWork {
   size_t tuples_processed = 0;
 };
 
+/// Observes the stages of `QueryProcessor::Assemble` so the Execution
+/// Monitor can offer intermediate relations to the cache as they are
+/// produced. `bound` holds indices into the `bindings` vector (in join
+/// order, the start relation first) and `comps` indices into the
+/// `comparisons` vector that have been applied to `current` so far.
+/// Callbacks run on the assembling thread; `current` is only valid for
+/// the duration of the call.
+struct AssemblyObserver {
+  /// After each pairwise join in the positive join loop (and the eager
+  /// comparisons it enabled). Not fired for the lone start relation.
+  std::function<void(const std::vector<size_t>& bound,
+                     const std::vector<size_t>& comps,
+                     const rel::Relation& current)>
+      on_join_stage;
+  /// Once after the trailing residual comparisons, before the head
+  /// projection — only for pure PSJ assemblies (no anti bindings, no
+  /// evaluables) where at least one trailing comparison actually ran
+  /// (otherwise it would duplicate the last join stage).
+  std::function<void(const std::vector<size_t>& comps,
+                     const rel::Relation& current)>
+      on_residual_stage;
+};
+
 /// The Query Processor: "an integral component of the Cache Manager,
 /// performs the actual DBMS-like operations (i.e., joins, selects,
 /// aggregation, indexing, etc.) on the cache elements" (paper §5).
@@ -51,13 +74,16 @@ class QueryProcessor {
   /// the Execution Monitor runs over plan-source outputs. With a non-null
   /// `ctx`, the joins, projections, and the final duplicate elimination
   /// run morsel-parallel on large inputs (results are unchanged; see
-  /// `exec::` operator contracts).
+  /// `exec::` operator contracts). A non-null `observer` is notified after
+  /// each join stage and the final residual filter (intermediate-result
+  /// capture; see AssemblyObserver).
   static Result<rel::Relation> Assemble(
       const caql::CaqlQuery& query, std::vector<rel::Relation> bindings,
       const std::vector<logic::Atom>& comparisons,
       const std::vector<logic::Atom>& evaluables, LocalWork* work,
       std::vector<rel::Relation> anti_bindings = {},
-      const exec::ExecContext* ctx = nullptr);
+      const exec::ExecContext* ctx = nullptr,
+      const AssemblyObserver* observer = nullptr);
 
   /// Anti-join: rows of `input` with no counterpart in `anti` agreeing on
   /// every column name the two share. With no shared columns the result

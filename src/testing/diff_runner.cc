@@ -29,6 +29,7 @@ CmsConfig MakeConfig(const DiffOptions& opts) {
   config.cache_budget_bytes = opts.cache_budget_bytes;
   config.enable_caching = opts.caching;
   config.enable_catalog = opts.catalog;
+  config.enable_intermediates = opts.intermediates;
   config.enable_prefetch = opts.prefetch;
   config.prefetch_async = opts.prefetch_async;
   config.enable_parallel = opts.parallel;
@@ -346,6 +347,7 @@ std::string ReproCommand(const DiffOptions& opts) {
   if (opts.sessions > 1) cmd += StrCat(" --sessions ", opts.sessions);
   if (!opts.caching) cmd += " --no-cache";
   if (!opts.catalog) cmd += " --no-catalog";
+  if (!opts.intermediates) cmd += " --no-intermediates";
   if (!opts.keep.empty()) {
     cmd += " --keep ";
     for (size_t i = 0; i < opts.keep.size(); ++i) {
@@ -364,6 +366,7 @@ DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
     bool prefetch_async;
     bool faults;
     bool catalog = true;
+    bool intermediates = true;
   };
   std::vector<Cell> cells = {
       {1, false, false, false},
@@ -372,6 +375,10 @@ DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
       {8, true, true, false},
       // Catalog off: the linear candidate scan must answer identically.
       {1, true, true, false, /*catalog=*/false},
+      // Intermediates off: stage-result caching changes costs, never
+      // answers — both sides equal the oracle, so on vs. off are
+      // bag-equal on every query of the stream.
+      {1, true, true, false, /*catalog=*/true, /*intermediates=*/false},
   };
   if (with_faults) {
     cells.push_back({1, true, true, true});
@@ -388,6 +395,7 @@ DiffReport RunSeedMatrix(uint64_t seed, size_t num_queries, bool with_faults,
     opts.prefetch_async = cell.prefetch_async;
     opts.faults = cell.faults;
     opts.catalog = cell.catalog;
+    opts.intermediates = cell.intermediates;
     if (cell.faults) {
       opts.fault_plan.error_rate = 0.15;
       opts.fault_plan.delay_rate = 0.2;

@@ -40,6 +40,12 @@ struct DiffOptions {
   /// after every query (serial pass) and every wave (session mode) while
   /// the catalog is on.
   bool catalog = true;
+  /// Intermediate-result caching (DESIGN.md §12): admit assembly-stage
+  /// results as derived cache elements. Both settings must produce
+  /// bag-identical answers — the matrix runs one cell with this off so
+  /// on-vs-off equality (through the shared oracle) stays pinned, and the
+  /// catalog consistency check above covers derived elements too.
+  bool intermediates = true;
   /// Small enough that eviction happens on realistic workloads.
   size_t cache_budget_bytes = 256ull << 10;
 

@@ -42,6 +42,7 @@ struct CliArgs {
   bool faults = false;
   bool caching = true;
   bool catalog = true;
+  bool intermediates = true;
   bool minimize = true;
   bool dump = false;
   size_t shard_index = 0;
@@ -66,6 +67,8 @@ void Usage() {
       "  --no-cache          disable caching on the system side\n"
       "  --no-catalog        linear subsumption candidate scan instead of\n"
       "                      the semantic catalog (answers must not change)\n"
+      "  --no-intermediates  disable intermediate-result caching (answers\n"
+      "                      must not change; costs may)\n"
       "  --keep I,J,...      only run these stream indices (repro)\n"
       "  --no-minimize       skip failure minimization\n"
       "  --shard I/M         run only seeds with seed %% M == I\n");
@@ -143,6 +146,9 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (arg == "--no-catalog") {
       args->catalog = false;
       args->single_config = true;
+    } else if (arg == "--no-intermediates") {
+      args->intermediates = false;
+      args->single_config = true;
     } else if (arg == "--keep") {
       const char* v = next();
       if (v == nullptr || !ParseSizeList(v, &args->keep)) return false;
@@ -177,6 +183,7 @@ DiffOptions OptionsFor(const CliArgs& args, uint64_t seed) {
   opts.prefetch_async = args.prefetch == "async";
   opts.caching = args.caching;
   opts.catalog = args.catalog;
+  opts.intermediates = args.intermediates;
   opts.faults = args.faults;
   if (args.faults) {
     opts.fault_plan.error_rate = 0.15;

@@ -41,6 +41,13 @@ contract" for the rationale of each:
                    named `hich,$p` — stray `git log | w...` output —
                    shipped in one PR), never a real source file.
 
+  bench-artifact   Every BENCH_*.json name mentioned in a bench/bench_*.cc
+                   must appear in .github/workflows/ci.yml — the bench
+                   jobs write these files and an upload-artifact step must
+                   ship them, otherwise the output is silently dropped on
+                   every CI run. (Literal names only: a path computed at
+                   runtime is invisible to this check.)
+
 Legitimate exceptions are listed in tools/braid_lint_allowlist.txt as
 "<rule> <path> — <reason>" lines; an allowlist entry that no longer
 matches anything is itself an error, so the list cannot rot.
@@ -99,6 +106,10 @@ LINE_RULES = [
 
 GUARD_RULE = "include-guard"
 STRAY_RULE = "stray-artifact"
+BENCH_RULE = "bench-artifact"
+
+BENCH_JSON_RE = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+CI_WORKFLOW = os.path.join(".github", "workflows", "ci.yml")
 
 # Shell-metacharacter debris in a file name. A leading '-' is flagged too:
 # such names read as option flags to most tools and only ever appear by
@@ -250,6 +261,33 @@ def check_stray_artifacts(root):
     return findings
 
 
+def check_bench_artifacts(root):
+    """Every BENCH_*.json mentioned in a bench/bench_*.cc must appear in
+    the CI workflow (an upload-artifact path); returns [(relpath, msg)]."""
+    bench_dir = os.path.join(root, "bench")
+    ci_path = os.path.join(root, CI_WORKFLOW)
+    if not os.path.isdir(bench_dir) or not os.path.exists(ci_path):
+        return []
+    with open(ci_path, encoding="utf-8") as f:
+        ci_text = f.read()
+    findings = []
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("bench_") and name.endswith(".cc")):
+            continue
+        with open(os.path.join(bench_dir, name), encoding="utf-8") as f:
+            text = f.read()
+        for json_name in sorted(set(BENCH_JSON_RE.findall(text))):
+            if json_name not in ci_text:
+                findings.append(
+                    (os.path.join("bench", name),
+                     "writes %s but %s never mentions it; add an "
+                     "actions/upload-artifact step so the bench output is "
+                     "not silently dropped (or allowlist with a reason)"
+                     % (json_name, CI_WORKFLOW.replace(os.sep, "/")))
+                )
+    return findings
+
+
 def iter_source_files(root):
     src = os.path.join(root, "src")
     for dirpath, _dirnames, filenames in os.walk(src):
@@ -280,6 +318,13 @@ def run_lint(root, allowlist_path, verbose=False):
             used.add(oskey if oskey in allow else key)
             continue
         violations.append("%s: [%s] %s" % (rel, STRAY_RULE, message))
+    for rel, message in check_bench_artifacts(root):
+        key = (BENCH_RULE, rel.replace(os.sep, "/"))
+        oskey = (BENCH_RULE, rel)
+        if oskey in allow or key in allow:
+            used.add(oskey if oskey in allow else key)
+            continue
+        violations.append("%s: [%s] %s" % (rel, BENCH_RULE, message))
     for key, reason in allow.items():
         if key not in used:
             violations.append(
@@ -361,6 +406,29 @@ def self_test():
                  "CMakeLists.txt", "braid_lint_allowlist.txt"):
         if STRAY_NAME_RE.search(name):
             failures.append("stray-artifact: %r falsely flagged" % name)
+
+    # bench-artifact: a dropped BENCH json must be flagged, an uploaded or
+    # runtime-computed one must not.
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "bench"))
+        os.makedirs(os.path.join(tmp, ".github", "workflows"))
+        with open(os.path.join(tmp, "bench", "bench_x.cc"), "w") as f:
+            f.write('const char* kJson = "BENCH_x.json";\n')
+        with open(os.path.join(tmp, "bench", "bench_y.cc"), "w") as f:
+            f.write('const char* kJson = "BENCH_y.json";\n'
+                    'std::string sibling = base + "_trace.json";\n')
+        with open(os.path.join(tmp, CI_WORKFLOW), "w") as f:
+            f.write("      - uses: actions/upload-artifact@v4\n"
+                    "        with:\n"
+                    "          path: BENCH_y.json\n")
+        flagged = check_bench_artifacts(tmp)
+        names = [rel for rel, _msg in flagged]
+        if os.path.join("bench", "bench_x.cc") not in names:
+            failures.append("bench-artifact: dropped BENCH_x.json not "
+                            "flagged (%r)" % flagged)
+        if os.path.join("bench", "bench_y.cc") in names:
+            failures.append("bench-artifact: uploaded BENCH_y.json falsely "
+                            "flagged (%r)" % flagged)
 
     # End-to-end over a temp tree: one bad file, one stray artifact, plus
     # a stale allowlist entry that must itself be flagged.
