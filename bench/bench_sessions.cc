@@ -13,7 +13,8 @@
 //    across sessions instead of within one.
 //
 // Sessions go through the session scheduler (QueryAsync) with one
-// outstanding query each, driven by one thread per session; installs and
+// outstanding query each — the closed-loop replay core shared with
+// tools/braid_loadgen (src/testing/load_harness.h); installs and
 // evictions race for real. The speedup column at 8 sessions is the
 // ROADMAP-1 acceptance number (>= 3x over 1 session).
 //
@@ -21,12 +22,9 @@
 // registry (cache.lock_wait_ms, cache.stripe_contention, sessions.*) is
 // printed afterwards so lock behavior ships with the bench output.
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,6 +33,7 @@
 #include "cms/cms.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "testing/load_harness.h"
 #include "workload/generators.h"
 
 namespace braid {
@@ -88,71 +87,42 @@ RunResult Run(size_t num_sessions) {
   }
   const size_t warm_remote = remote.stats().queries;
 
-  std::vector<cms::CmsSession*> sessions;
+  // Each session replays {warm, cold} pairs: the cold query of each
+  // (session, iteration) binds a distinct constant over `person` — a
+  // relation the warm `parent` element cannot subsume — so every one pays
+  // one real (scaled) link sleep.
+  std::vector<testing::ReplaySession> sessions(num_sessions);
   for (size_t s = 0; s < num_sessions; ++s) {
-    sessions.push_back(cms.OpenSession());
-  }
-
-  // Pre-parse every cold query: each (session, iteration) pair binds a
-  // distinct constant over `person` — a relation the warm `parent`
-  // element cannot subsume — so every one pays one real (scaled) link
-  // sleep.
-  std::vector<std::vector<caql::CaqlQuery>> cold(num_sessions);
-  for (size_t s = 0; s < num_sessions; ++s) {
+    sessions[s].session = cms.OpenSession();
+    sessions[s].queries.reserve(2 * kIterations);
     for (size_t i = 0; i < kIterations; ++i) {
       const size_t id = s * kIterations + i;
-      cold[s].push_back(Parse(StrCat("cold", s, "_", i,
-                                     "(A, C) :- person(", id, ", A, C)")));
+      sessions[s].queries.push_back(warm);
+      sessions[s].queries.push_back(Parse(StrCat(
+          "cold", s, "_", i, "(A, C) :- person(", id, ", A, C)")));
     }
   }
 
-  std::vector<std::vector<double>> latencies(num_sessions);
-  const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<std::thread> drivers;
-  drivers.reserve(num_sessions);
-  for (size_t s = 0; s < num_sessions; ++s) {
-    drivers.emplace_back([&cms, &warm, &cold, &latencies, &sessions, s] {
-      cms::CmsSession& session = *sessions[s];
-      std::vector<double>& lat = latencies[s];
-      lat.reserve(2 * kIterations);
-      auto ask = [&cms, &session, &lat](const caql::CaqlQuery& q) {
-        const auto start = std::chrono::steady_clock::now();
-        auto answer = cms.QueryAsync(session, q).get();
-        lat.push_back(std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count());
-        if (!answer.ok()) {
-          std::fprintf(stderr, "bench_sessions query failed: %s\n",
-                       answer.status().ToString().c_str());
-          std::exit(1);
-        }
-      };
-      for (size_t i = 0; i < kIterations; ++i) {
-        ask(warm);
-        ask(cold[s][i]);
-      }
-    });
+  const testing::ReplayStats stats = testing::ReplayClosedLoop(cms, sessions);
+  if (stats.failed > 0 || stats.rejected > 0) {
+    std::fprintf(stderr, "bench_sessions: %zu failed, %zu rejected queries\n",
+                 stats.failed, stats.rejected);
+    std::exit(1);
   }
-  for (std::thread& t : drivers) t.join();
-  const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - wall_start)
-                             .count();
 
   RunResult result;
-  result.wall_ms = wall_ms;
-  std::vector<double> all;
-  for (size_t s = 0; s < num_sessions; ++s) {
-    result.queries += latencies[s].size();
-    result.exact_hits += sessions[s]->metrics().exact_hits;
-    all.insert(all.end(), latencies[s].begin(), latencies[s].end());
+  result.wall_ms = stats.wall_ms;
+  result.queries = stats.completed;
+  for (const testing::ReplaySession& s : sessions) {
+    result.exact_hits += s.session->metrics().exact_hits;
   }
-  result.qps = result.queries / (wall_ms / 1000.0);
-  result.p50_ms = benchutil::P50(all);
-  result.p95_ms = benchutil::P95(all);
+  result.qps = static_cast<double>(result.queries) / (stats.wall_ms / 1000.0);
+  result.p50_ms = benchutil::P50(stats.latencies_ms);
+  result.p95_ms = benchutil::P95(stats.latencies_ms);
   result.remote_queries = remote.stats().queries - warm_remote;
 
   cms.DrainSessions();
-  for (cms::CmsSession* s : sessions) cms.CloseSession(s);
+  for (testing::ReplaySession& s : sessions) cms.CloseSession(s.session);
   return result;
 }
 

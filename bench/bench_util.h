@@ -33,6 +33,9 @@ inline double P95(const std::vector<double>& values) {
 inline double P99(const std::vector<double>& values) {
   return Quantile(values, 0.99);
 }
+inline double P999(const std::vector<double>& values) {
+  return Quantile(values, 0.999);
+}
 
 /// Returns the value following a `--json` flag in argv, or `fallback` when
 /// the flag is absent. Pass an empty fallback to make JSON opt-in; pass a

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "cms/load_controller.h"
 #include "obs/metrics.h"
 
 namespace braid::cms {
@@ -54,6 +55,18 @@ void CacheManager::Touch(const std::string& id) {
 IntermediateVerdict CacheManager::JudgeIntermediate(
     size_t bytes, size_t tuples, double recompute_ms,
     std::optional<size_t> predicted_distance, double local_per_tuple_ms) {
+  // Under overload, installing an intermediate (copy + insert + possible
+  // eviction pass) spends exactly the capacity foreground queries are
+  // queueing for; shed it before running the cost model.
+  if (load_controller_ != nullptr && load_controller_->ShouldShed()) {
+    IntermediateVerdict shed;
+    shed.reason = "shed-overload";
+    load_controller_->CountShed(ShedKind::kIntermediate);
+    stats_.intermediates_rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().counter("intermediate.rejected")
+        .Increment();
+    return shed;
+  }
   IntermediateVerdict v;
   // Cost: every reuse pays at least one scan of the footprint; keeping an
   // intermediate that is cheaper to recompute than to scan is pure loss.

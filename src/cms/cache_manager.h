@@ -14,6 +14,8 @@
 
 namespace braid::cms {
 
+class LoadController;
+
 /// Counters published by the cache manager. Atomics: concurrent sessions
 /// insert and evict in parallel; each field is independently monotone.
 struct CacheManagerStats {
@@ -33,8 +35,10 @@ struct IntermediateVerdict {
   bool admit = false;
   double benefit_ms = 0;
   double cost_ms = 0;
-  /// "admit", "oversized" (exceeds the intermediate budget slice) or
-  /// "low-benefit".
+  /// "admit", "oversized" (exceeds the intermediate budget slice),
+  /// "low-benefit", or "shed-overload" (the load controller is shedding
+  /// speculative work; the stage is recomputable, so dropping it costs
+  /// only a possible future recomputation).
   const char* reason = "";
 };
 
@@ -78,6 +82,13 @@ class CacheManager {
   void set_replacement_advisor(ReplacementAdvisor advisor) {
     MutexLock lock(&advisor_mu_);
     advisor_ = std::move(advisor);
+  }
+
+  /// Installs the overload policy consulted by JudgeIntermediate (may be
+  /// null — standalone cache-manager tests). Set once before concurrent
+  /// use; the controller must outlive the cache manager.
+  void set_load_controller(LoadController* controller) {
+    load_controller_ = controller;
   }
 
   /// Advances the logical clock (call once per IE query).
@@ -142,6 +153,7 @@ class CacheManager {
   /// and calls it without holding this (the advisor takes session locks).
   mutable Mutex advisor_mu_;
   ReplacementAdvisor advisor_ BRAID_GUARDED_BY(advisor_mu_);
+  LoadController* load_controller_ = nullptr;  // set once, pre-concurrency
   CacheManagerStats stats_;
 };
 

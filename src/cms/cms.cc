@@ -1,6 +1,7 @@
 #include "cms/cms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -163,10 +164,23 @@ Cms::Cms(dbms::RemoteDbms* remote, CmsConfig config)
       monitor_(&cache_, &rdi_, config.local_per_tuple_ms,
                config.enable_parallel,
                exec::ExecContext{pool_.get(), config.parallel_threshold}),
+      load_controller_(std::make_unique<LoadController>(
+          LoadControlPolicy{config.enable_load_control,
+                            config.admission_queue_bound,
+                            config.shed_queue_depth,
+                            config.foreground_slo_ms},
+          // Invoked only from query paths, which run strictly between
+          // scheduler construction and scheduler teardown. Counts both
+          // halves of the foreground backlog: tasks still queued behind a
+          // running query in their session, and tasks the scheduler has
+          // already dispatched into the pool's session queue (where the
+          // backlog sits when many sessions each have one query waiting).
+          [this] { return QueuedQueries(); })),
       prefetcher_(std::make_unique<Prefetcher>(
           pool_.get(), &rdi_, config.local_per_tuple_ms,
           config.prefetch_max_inflight, &tracer_)),
       scheduler_(std::make_unique<SessionScheduler>(pool_.get())) {
+  cache_.set_load_controller(load_controller_.get());
   {
     MutexLock lock(&sessions_mu_);
     sessions_.push_back(std::make_unique<CmsSession>(/*id=*/0));
@@ -345,7 +359,7 @@ double Cms::EstimateResultBytes(const CaqlQuery& query) const {
 
 Result<bool> Cms::MaybeGeneralize(CmsSession& session, const CaqlQuery& query,
                                   const std::string& view_id,
-                                  double* response_ms) {
+                                  double* response_ms, obs::SpanId parent) {
   if (!config_.enable_generalization || !config_.enable_advice ||
       !config_.enable_caching || view_id.empty()) {
     return false;
@@ -368,16 +382,20 @@ Result<bool> Cms::MaybeGeneralize(CmsSession& session, const CaqlQuery& query,
     ++session.metrics().prefetch_joins;
     InstallCompletedPrefetches(session, prefetcher_->Harvest());
   }
-  // Already cached? Too large to pay off? (Generalization has no
-  // fully-local skip: deriving the general form from cached data is
-  // still worth materializing for the exact-match fast path.)
-  if (JudgeSpeculative(cache_.model(), planner_, general,
-                       [this, &general] { return EstimateResultBytes(general); },
-                       config_.cache_budget_bytes,
-                       /*skip_if_fully_local=*/false) !=
-      SpeculativeAdmission::kAdmit) {
+  // Already cached? Too large to pay off? Overloaded? (Generalization
+  // has no fully-local skip: deriving the general form from cached data
+  // is still worth materializing for the exact-match fast path.)
+  const SpeculativeAdmission verdict = JudgeSpeculative(
+      cache_.model(), planner_, general,
+      [this, &general] { return EstimateResultBytes(general); },
+      config_.cache_budget_bytes,
+      /*skip_if_fully_local=*/false, /*plan_out=*/nullptr,
+      load_controller_.get());
+  if (verdict == SpeculativeAdmission::kShedOverload) {
+    RecordShed(ShedKind::kGeneralization, parent);
     return false;
   }
+  if (verdict != SpeculativeAdmission::kAdmit) return false;
   BRAID_ASSIGN_OR_RETURN(EagerExec exec, ExecuteEager(session, general));
   *response_ms += exec.response_ms;
   CacheResult(session, general, std::move(exec.result), view_id);
@@ -385,7 +403,8 @@ Result<bool> Cms::MaybeGeneralize(CmsSession& session, const CaqlQuery& query,
   return true;
 }
 
-void Cms::MaybePrefetch(CmsSession& session, const std::string& current_view) {
+void Cms::MaybePrefetch(CmsSession& session, const std::string& current_view,
+                        obs::SpanId parent) {
   if (!config_.enable_prefetch || !config_.enable_advice ||
       !config_.enable_caching) {
     return;
@@ -427,7 +446,15 @@ void Cms::MaybePrefetch(CmsSession& session, const std::string& current_view) {
     const SpeculativeAdmission verdict = JudgeSpeculative(
         cache_.model(), planner_, general,
         [this, &general] { return EstimateResultBytes(general); },
-        config_.cache_budget_bytes, /*skip_if_fully_local=*/true, &plan);
+        config_.cache_budget_bytes, /*skip_if_fully_local=*/true, &plan,
+        load_controller_.get());
+    if (verdict == SpeculativeAdmission::kShedOverload) {
+      // Overload applies to the whole pass, not this candidate: count the
+      // shed once and stop (not memoized — the verdict is transient and
+      // flips back as soon as the queue drains).
+      RecordShed(ShedKind::kPrefetch, parent);
+      return;
+    }
     if (verdict == SpeculativeAdmission::kAlreadyCached) continue;
     if (verdict != SpeculativeAdmission::kAdmit) {
       // Stable for the current cache contents + advice — memoize so the
@@ -493,12 +520,48 @@ Result<CmsAnswer> Cms::Query(const CaqlQuery& query) {
 
 std::future<Result<CmsAnswer>> Cms::QueryAsync(CmsSession& session,
                                                const caql::CaqlQuery& query) {
+  return QueryAsync(session, query, /*done=*/nullptr);
+}
+
+std::future<Result<CmsAnswer>> Cms::QueryAsync(CmsSession& session,
+                                               const caql::CaqlQuery& query,
+                                               QueryCallback done) {
   auto promise = std::make_shared<std::promise<Result<CmsAnswer>>>();
   std::future<Result<CmsAnswer>> future = promise->get_future();
-  scheduler_->Enqueue(session.id(), [this, &session, query, promise] {
-    promise->set_value(Query(session, query));
-  });
+  // Admission control (DESIGN.md §13): beyond the queue bound, added
+  // queueing only adds latency, never goodput — refuse cleanly instead.
+  // Checked before enqueueing, so a refused query consumes nothing.
+  if (!load_controller_->AdmitQuery()) {
+    Result<CmsAnswer> refused{Status::Overloaded(
+        StrCat("session scheduler queue at ", load_controller_->QueueDepth(),
+               " (bound ", load_controller_->policy().admission_queue_bound,
+               "); retry after backing off"))};
+    if (done) done(refused);
+    promise->set_value(std::move(refused));
+    return future;
+  }
+  const auto enqueued = std::chrono::steady_clock::now();
+  scheduler_->Enqueue(
+      session.id(),
+      [this, &session, query, promise, done = std::move(done), enqueued] {
+        Result<CmsAnswer> result = Query(session, query);
+        // Foreground latency is enqueue-to-completion: queueing delay is
+        // precisely the overload signal the controller watches.
+        load_controller_->OnForegroundLatency(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - enqueued)
+                .count());
+        if (done) done(result);
+        promise->set_value(std::move(result));
+      });
   return future;
+}
+
+void Cms::RecordShed(ShedKind kind, obs::SpanId parent) {
+  load_controller_->CountShed(kind);
+  obs::SpanScope span(&tracer_, "shed", parent);
+  span.Annotate("kind", ShedKindName(kind));
+  span.Annotate("queue_depth", StrCat(load_controller_->QueueDepth()));
 }
 
 Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
@@ -530,7 +593,7 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
     root.SetModeledMs(answer.response_ms);
     root.Annotate("outcome", CacheOutcomeName(answer.outcome));
     root.End();
-    MaybePrefetch(session, view_id);
+    MaybePrefetch(session, view_id, root.id());
     return answer;
   }
 
@@ -549,7 +612,7 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
       root.Annotate("outcome", CacheOutcomeName(answer.outcome));
       root.Annotate("joined_prefetch", "yes");
       root.End();
-      MaybePrefetch(session, view_id);
+      MaybePrefetch(session, view_id, root.id());
       return answer;
     }
   }
@@ -559,7 +622,8 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
   {
     obs::SpanScope gen(&tracer_, "generalize", root.id());
     BRAID_ASSIGN_OR_RETURN(
-        generalized, MaybeGeneralize(session, query, view_id, &response_ms));
+        generalized,
+        MaybeGeneralize(session, query, view_id, &response_ms, gen.id()));
     gen.Annotate("generalized", generalized ? "yes" : "no");
     if (generalized) gen.SetModeledMs(response_ms);
   }
@@ -599,7 +663,7 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
       root.SetModeledMs(response_ms);
       root.Annotate("outcome", CacheOutcomeName(answer.outcome));
       root.End();
-      MaybePrefetch(session, view_id);
+      MaybePrefetch(session, view_id, root.id());
       return answer;
     }
   }
@@ -656,7 +720,7 @@ Result<CmsAnswer> Cms::Query(CmsSession& session, const CaqlQuery& query) {
   root.SetModeledMs(response_ms);
   root.Annotate("outcome", CacheOutcomeName(answer.outcome));
   root.End();
-  MaybePrefetch(session, view_id);
+  MaybePrefetch(session, view_id, root.id());
   return answer;
 }
 

@@ -11,6 +11,7 @@
 #include "cms/advice_manager.h"
 #include "cms/cache_manager.h"
 #include "cms/execution_monitor.h"
+#include "cms/load_controller.h"
 #include "cms/planner.h"
 #include "cms/prefetcher.h"
 #include "cms/query_processor.h"
@@ -83,6 +84,20 @@ struct CmsConfig {
   size_t num_threads = 0;
   /// Operator inputs below this many tuples skip the morsel machinery.
   size_t parallel_threshold = 4096;
+
+  /// Overload policy (DESIGN.md §13). With load control on, QueryAsync
+  /// refuses new queries with kOverloaded once `admission_queue_bound`
+  /// queries are waiting on the scheduler, and speculative work
+  /// (prefetch, generalization, intermediate admission) is shed while
+  /// more than `shed_queue_depth` queries wait or — when
+  /// `foreground_slo_ms` > 0 — while the foreground latency average
+  /// exceeds that SLO. The defaults are far above anything a closed-loop
+  /// workload produces; only open-loop traffic past the service rate
+  /// reaches them.
+  bool enable_load_control = true;
+  size_t admission_queue_bound = 4096;
+  size_t shed_queue_depth = 64;
+  double foreground_slo_ms = 0;
 };
 
 /// How a query was answered.
@@ -162,8 +177,25 @@ class Cms {
   /// FIFO, one at a time; distinct sessions run concurrently on the pool
   /// (round-robin when it is oversubscribed). Poolless CMS degrades to
   /// synchronous execution inside this call.
+  ///
+  /// Admission control: when the scheduler already holds
+  /// `admission_queue_bound` waiting queries, the future resolves
+  /// immediately to kOverloaded — the query is never queued, never
+  /// executed, and safe to retry after backing off.
   std::future<Result<CmsAnswer>> QueryAsync(CmsSession& session,
                                             const caql::CaqlQuery& query);
+
+  /// Completion hook for one scheduled query, invoked on the executing
+  /// thread right before the future resolves (for a refused query: on the
+  /// caller's thread, inside QueryAsync). Lets open-loop load harnesses
+  /// timestamp completions without a thread parked per in-flight future.
+  /// The callback must be cheap and must not call back into this CMS.
+  using QueryCallback = std::function<void(const Result<CmsAnswer>&)>;
+
+  /// QueryAsync with a completion callback (`done` may be null).
+  std::future<Result<CmsAnswer>> QueryAsync(CmsSession& session,
+                                            const caql::CaqlQuery& query,
+                                            QueryCallback done);
 
   /// Waits until every scheduled query has completed.
   void DrainSessions();
@@ -224,6 +256,19 @@ class Cms {
     return prefetcher_ != nullptr ? prefetcher_->NumInFlight() : 0;
   }
 
+  /// Scheduled queries not yet running: intra-session backlog on the
+  /// scheduler plus dispatched session tasks waiting in the pool queue —
+  /// the load controller's primary signal.
+  size_t QueuedQueries() const {
+    return scheduler_->NumQueued() +
+           (pool_ != nullptr ? pool_->NumQueuedSession() : 0);
+  }
+
+  /// The overload policy engine (tests and load harnesses read its
+  /// counters and latency average; always non-null).
+  LoadController& load_controller() { return *load_controller_; }
+  const LoadController& load_controller() const { return *load_controller_; }
+
   /// Per-query span recorder: every Query() records a `query` root span
   /// with `advice`, `plan` (nesting `subsumption`), `prep`, `fetch`, and
   /// `assembly` children, carrying both measured wall time and modeled
@@ -270,14 +315,21 @@ class Cms {
   Result<bool> MaybeGeneralize(CmsSession& session,
                                const caql::CaqlQuery& query,
                                const std::string& view_id,
-                               double* response_ms);
+                               double* response_ms, obs::SpanId parent = 0);
 
   /// Prefetch: execute predicted-next views (in generalized form) whose
   /// data is not yet locally derivable, ranked by the path tracker's
   /// predicted distance. With `prefetch_async`, admitted all-remote
   /// candidates launch as background pool tasks tagged with the session;
-  /// costs accrue to prefetch_ms, not to any query's response.
-  void MaybePrefetch(CmsSession& session, const std::string& current_view);
+  /// costs accrue to prefetch_ms, not to any query's response. Under
+  /// overload the whole pass is shed (counted once per pass). `parent`
+  /// parents the shed span when nonzero.
+  void MaybePrefetch(CmsSession& session, const std::string& current_view,
+                     obs::SpanId parent = 0);
+
+  /// Counts one acted-on shed decision and records a `shed` span under
+  /// `parent` carrying the kind and the queue depth that triggered it.
+  void RecordShed(ShedKind kind, obs::SpanId parent);
 
   /// Answers `query` from an exact materialized cache element if present;
   /// fills `answer` and returns true on a hit (shared by the fast path
@@ -318,6 +370,13 @@ class Cms {
       BRAID_GUARDED_BY(sessions_mu_);
   uint64_t next_session_id_ BRAID_GUARDED_BY(sessions_mu_) = 1;
   CmsSession* default_session_;  // == sessions_[0].get(), set once
+
+  /// Declared before prefetcher_/scheduler_ (so destroyed after them):
+  /// queries drained during scheduler teardown still consult it. Its
+  /// queue-depth provider reads scheduler_, which is only dereferenced at
+  /// query time — never during construction or after scheduler teardown
+  /// completes.
+  std::unique_ptr<LoadController> load_controller_;
 
   /// Declared after the components their tasks use: destroyed first, so
   /// teardown drains scheduled queries, then cancels and waits out

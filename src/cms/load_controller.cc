@@ -1,0 +1,89 @@
+#include "cms/load_controller.h"
+
+namespace braid::cms {
+
+const char* ShedKindName(ShedKind kind) {
+  switch (kind) {
+    case ShedKind::kPrefetch:
+      return "prefetch";
+    case ShedKind::kGeneralization:
+      return "generalize";
+    case ShedKind::kIntermediate:
+      return "intermediate";
+  }
+  return "?";
+}
+
+LoadController::LoadController(LoadControlPolicy policy,
+                               std::function<size_t()> queue_depth)
+    : policy_(policy),
+      queue_depth_(std::move(queue_depth)),
+      rejected_(&obs::MetricsRegistry::Global().counter(
+          "load.rejected_sessions")),
+      shed_prefetch_(
+          &obs::MetricsRegistry::Global().counter("load.shed_prefetch")),
+      shed_generalize_(
+          &obs::MetricsRegistry::Global().counter("load.shed_generalize")),
+      shed_intermediate_(&obs::MetricsRegistry::Global().counter(
+          "load.shed_intermediate")) {}
+
+bool LoadController::AdmitQuery() {
+  if (!policy_.enabled) return true;
+  if (queue_depth_() < policy_.admission_queue_bound) return true;
+  rejected_->Increment();
+  return false;
+}
+
+bool LoadController::ShouldShed() const {
+  if (!policy_.enabled) return false;
+  if (queue_depth_() > policy_.shed_queue_depth) return true;
+  if (policy_.foreground_slo_ms > 0 &&
+      ForegroundEwmaMs() > policy_.foreground_slo_ms) {
+    return true;
+  }
+  return false;
+}
+
+void LoadController::CountShed(ShedKind kind) {
+  switch (kind) {
+    case ShedKind::kPrefetch:
+      shed_prefetch_->Increment();
+      return;
+    case ShedKind::kGeneralization:
+      shed_generalize_->Increment();
+      return;
+    case ShedKind::kIntermediate:
+      shed_intermediate_->Increment();
+      return;
+  }
+}
+
+void LoadController::OnForegroundLatency(double measured_ms) {
+  if (measured_ms < 0) measured_ms = 0;
+  MutexLock lock(&ewma_mu_);
+  if (!ewma_primed_) {
+    ewma_ms_ = measured_ms;
+    ewma_primed_ = true;
+    return;
+  }
+  ewma_ms_ += policy_.ewma_alpha * (measured_ms - ewma_ms_);
+}
+
+double LoadController::ForegroundEwmaMs() const {
+  MutexLock lock(&ewma_mu_);
+  return ewma_ms_;
+}
+
+uint64_t LoadController::shed_count(ShedKind kind) const {
+  switch (kind) {
+    case ShedKind::kPrefetch:
+      return shed_prefetch_->value();
+    case ShedKind::kGeneralization:
+      return shed_generalize_->value();
+    case ShedKind::kIntermediate:
+      return shed_intermediate_->value();
+  }
+  return 0;
+}
+
+}  // namespace braid::cms

@@ -1,0 +1,117 @@
+#ifndef BRAID_CMS_LOAD_CONTROLLER_H_
+#define BRAID_CMS_LOAD_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace braid::cms {
+
+/// Knobs of the overload policy (mirrored from CmsConfig). The defaults
+/// are sized for production traffic: unit workloads (a handful of
+/// sessions, one query in flight each) never hit them, while an open-loop
+/// generator pushing past the service rate does within a few hundred ms.
+struct LoadControlPolicy {
+  bool enabled = true;
+  /// Scheduled-but-not-running queries beyond which new QueryAsync calls
+  /// are refused with kOverloaded instead of queued (bounded queueing:
+  /// beyond this point added queue depth only adds latency, never
+  /// goodput).
+  size_t admission_queue_bound = 4096;
+  /// Queue depth beyond which speculative work (prefetch, generalization,
+  /// intermediate admission) is shed. Speculation spends pool capacity to
+  /// hide *future* latency; under overload that capacity is exactly what
+  /// foreground queries are queueing for, so speculation yields first.
+  size_t shed_queue_depth = 64;
+  /// When > 0: also shed speculative work while the exponentially
+  /// weighted moving average of foreground latency (enqueue to
+  /// completion, measured ms) exceeds this bound — a signal that catches
+  /// overload from slow queries before the queue itself grows.
+  double foreground_slo_ms = 0;
+  /// Smoothing factor of that moving average in (0, 1]; higher reacts
+  /// faster.
+  double ewma_alpha = 0.2;
+};
+
+/// Shed/admission decisions split by what was shed, for counters and
+/// tests.
+enum class ShedKind { kPrefetch, kGeneralization, kIntermediate };
+
+const char* ShedKindName(ShedKind kind);
+
+/// Central overload policy of the CMS (DESIGN.md §13): watches the
+/// session scheduler's queue depth and the measured foreground latency,
+/// and decides (a) whether a new scheduled query may be admitted at all
+/// and (b) whether speculative work should be shed right now. Decisions
+/// are advisory snapshots — the queue can move between the check and the
+/// action — which is sound because shedding never changes answers, only
+/// costs, and admission refusal is a clean kOverloaded the client retries.
+///
+/// Thread safety: fully concurrent. Counters are registry-backed
+/// (lock-free); the latency average sits behind a leaf mutex; the queue
+/// depth is read through the injected provider (the scheduler's own
+/// locked counter). Never calls back into the cache or scheduler other
+/// than through that provider.
+class LoadController {
+ public:
+  /// `queue_depth` reports the scheduler's queued (not yet running)
+  /// query count; it must be callable from any thread and must not call
+  /// back into the controller.
+  LoadController(LoadControlPolicy policy,
+                 std::function<size_t()> queue_depth);
+
+  LoadController(const LoadController&) = delete;
+  LoadController& operator=(const LoadController&) = delete;
+
+  /// Admission control for one scheduled query. False means the caller
+  /// must refuse with kOverloaded (counted on `load.rejected_sessions`);
+  /// the query is never silently dropped and never queued.
+  bool AdmitQuery();
+
+  /// True while speculative work should be shed (queue depth or SLO
+  /// signal). Callers that act on a true verdict report it via
+  /// CountShed so counters match decisions one to one.
+  bool ShouldShed() const;
+
+  /// Records one acted-on shed decision (surfaced as
+  /// `load.shed_{prefetch,generalize,intermediate}`).
+  void CountShed(ShedKind kind);
+
+  /// Feeds one completed foreground query's enqueue-to-completion
+  /// latency into the moving average.
+  void OnForegroundLatency(double measured_ms);
+
+  double ForegroundEwmaMs() const;
+  size_t QueueDepth() const { return queue_depth_(); }
+  const LoadControlPolicy& policy() const { return policy_; }
+
+  /// Lifetime totals (also published on the obs registry).
+  uint64_t rejected_queries() const {
+    return rejected_->value();
+  }
+  uint64_t shed_count(ShedKind kind) const;
+
+ private:
+  const LoadControlPolicy policy_;
+  const std::function<size_t()> queue_depth_;
+
+  /// Leaf mutex for the latency average; everything else is lock-free.
+  mutable Mutex ewma_mu_;
+  double ewma_ms_ BRAID_GUARDED_BY(ewma_mu_) = 0;
+  bool ewma_primed_ BRAID_GUARDED_BY(ewma_mu_) = false;
+
+  // Registry-owned handles (process lifetime).
+  obs::Counter* rejected_;
+  obs::Counter* shed_prefetch_;
+  obs::Counter* shed_generalize_;
+  obs::Counter* shed_intermediate_;
+};
+
+}  // namespace braid::cms
+
+#endif  // BRAID_CMS_LOAD_CONTROLLER_H_

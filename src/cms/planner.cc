@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "cms/load_controller.h"
 #include "common/strings.h"
 
 namespace braid::cms {
@@ -278,6 +279,8 @@ const char* SpeculativeAdmissionName(SpeculativeAdmission verdict) {
       return "too-large";
     case SpeculativeAdmission::kUnplannable:
       return "unplannable";
+    case SpeculativeAdmission::kShedOverload:
+      return "shed-overload";
   }
   return "?";
 }
@@ -286,7 +289,11 @@ SpeculativeAdmission JudgeSpeculative(
     const CacheModel& model, const QueryPlanner& planner,
     const caql::CaqlQuery& general,
     const std::function<double()>& estimated_result_bytes,
-    size_t cache_budget_bytes, bool skip_if_fully_local, Plan* plan_out) {
+    size_t cache_budget_bytes, bool skip_if_fully_local, Plan* plan_out,
+    const LoadController* load) {
+  if (load != nullptr && load->ShouldShed()) {
+    return SpeculativeAdmission::kShedOverload;
+  }
   if (model.ByCanonicalKey(general.CanonicalKey()) != nullptr) {
     return SpeculativeAdmission::kAlreadyCached;
   }

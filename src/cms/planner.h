@@ -15,6 +15,8 @@
 
 namespace braid::cms {
 
+class LoadController;
+
 /// One independent input of a plan: either a cache element (with the
 /// subsumption match describing the residual operations) or a remote
 /// subquery. Sources are independent and may execute in parallel — the
@@ -122,23 +124,29 @@ enum class SpeculativeAdmission {
   kFullyLocal,     // derivable from cached data — no remote work to hide
   kTooLarge,       // estimated result exceeds half the cache budget
   kUnplannable,    // the planner cannot build a plan for it
+  kShedOverload,   // the load controller is shedding speculative work
 };
 
 const char* SpeculativeAdmissionName(SpeculativeAdmission verdict);
 
-/// The single definition of speculative admission control: the
-/// already-cached probe, the size cap against `cache_budget_bytes / 2`,
-/// and — for prefetching, which only pays off when there is remote
+/// The single definition of speculative admission control: the overload
+/// check (DESIGN.md §13 — under load, speculation yields its pool
+/// capacity to foreground queries before anything else is considered),
+/// the already-cached probe, the size cap against `cache_budget_bytes /
+/// 2`, and — for prefetching, which only pays off when there is remote
 /// latency to hide — the fully-local skip. `estimated_result_bytes` is
 /// invoked lazily, after the cheap cache probe. On kAdmit with a non-null
 /// `plan_out`, the plan computed for the fully-local check is handed back
-/// so callers do not plan the same query twice.
+/// so callers do not plan the same query twice. `load`, when non-null, is
+/// consulted first and short-circuits everything (the verdict must stay
+/// cheap exactly when the system is busiest); callers acting on
+/// kShedOverload report it via LoadController::CountShed.
 SpeculativeAdmission JudgeSpeculative(
     const CacheModel& model, const QueryPlanner& planner,
     const caql::CaqlQuery& general,
     const std::function<double()>& estimated_result_bytes,
     size_t cache_budget_bytes, bool skip_if_fully_local,
-    Plan* plan_out = nullptr);
+    Plan* plan_out = nullptr, const LoadController* load = nullptr);
 
 }  // namespace braid::cms
 

@@ -27,6 +27,10 @@ enum class StatusCode {
   /// A transient failure of an external component (e.g. the remote DBMS
   /// link); the operation may succeed if retried.
   kUnavailable,
+  /// The system refused the operation to protect its latency objectives
+  /// (admission control): the scheduler queue is beyond its configured
+  /// bound. Nothing was executed or dropped; retry after backing off.
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -78,6 +82,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -91,6 +91,16 @@ class ThreadPool {
   /// every worker is busy with a session task.
   bool HelpOne();
 
+  /// Session-class tasks waiting in the pool queue (submitted, not yet
+  /// picked up by a worker). The session scheduler dispatches a session's
+  /// next query here as soon as the session is idle, so under many-session
+  /// load the foreground backlog sits in this queue rather than in the
+  /// scheduler's per-session queues — the LoadController counts both.
+  size_t NumQueuedSession() const {
+    MutexLock lock(&mu_);
+    return session_queue_.size();
+  }
+
   /// Morsel-driven loop over [0, n): chunks of `grain` indices are claimed
   /// from a shared cursor by up to num_workers() pool threads plus the
   /// caller, each invoking `fn(begin, end)` with begin % grain == 0 (so
@@ -112,7 +122,7 @@ class ThreadPool {
   // `workers_` is written only during construction/destruction, before any
   // worker can observe it / after all have joined, so it needs no guard.
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  mutable Mutex mu_;
   std::deque<std::function<void()>> queue_ BRAID_GUARDED_BY(mu_);
   std::deque<std::function<void()>> session_queue_ BRAID_GUARDED_BY(mu_);
   CondVar cv_;

@@ -9,6 +9,7 @@
 #include "cms/cms.h"
 #include "common/strings.h"
 #include "relational/value.h"
+#include "testing/load_harness.h"
 #include "testing/reference_eval.h"
 
 namespace braid::testing {
@@ -35,6 +36,15 @@ CmsConfig MakeConfig(const DiffOptions& opts) {
   config.enable_parallel = opts.parallel;
   config.num_threads = opts.num_threads;
   config.parallel_threshold = opts.parallel_threshold;
+  if (opts.open_loop) {
+    // Tight on purpose: speculation sheds whenever anything is queued,
+    // and the admission bound is low enough that the Poisson bursts draw
+    // real kOverloaded refusals. The cell then proves both shed paths
+    // leave answers untouched.
+    config.enable_load_control = true;
+    config.shed_queue_depth = 0;
+    config.admission_queue_bound = 4;
+  }
   return config;
 }
 
@@ -228,6 +238,74 @@ struct StreamChecker {
     }
     for (cms::CmsSession* s : sessions) cms->CloseSession(s);
   }
+
+  /// Open-loop overload run: one shared Poisson arrival schedule at
+  /// `opts.open_loop_rate` qps paced in real time, arrival i going to
+  /// session i mod S with session s replaying the stream rotated by s.
+  /// Arrivals are issued at their scheduled times whether or not earlier
+  /// queries finished, so the scheduler queue genuinely builds and the
+  /// tight MakeConfig policy sheds speculation and refuses admissions.
+  /// Every completion is bag-checked; every kOverloaded refusal is
+  /// retried synchronously after the drain — a refusal must be clean
+  /// (nothing executed, nothing dropped), so the retry must agree with
+  /// the oracle exactly like a first run would.
+  void RunOpenLoop(const std::vector<size_t>& indices) {
+    const size_t n = indices.size();
+    if (n == 0) return;
+    std::vector<cms::CmsSession*> sessions;
+    const size_t num_sessions = std::max<size_t>(opts.sessions, 2);
+    for (size_t s = 0; s < num_sessions; ++s) {
+      sessions.push_back(cms->OpenSession(workload.advice));
+    }
+
+    ArrivalParams schedule;
+    schedule.process = ArrivalProcess::kPoisson;
+    schedule.rate_qps = opts.open_loop_rate;
+    schedule.count = num_sessions * n;  // each session covers the stream
+    schedule.seed = opts.seed + 1;      // decorrelate from the workload
+    const std::vector<double> arrivals_ms = GenerateArrivals(schedule);
+
+    struct Pending {
+      size_t index;
+      size_t session;
+      std::future<Result<CmsAnswer>> future;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(arrivals_ms.size());
+    std::vector<size_t> issued(num_sessions, 0);
+
+    SteadyLoadClock clock;
+    const double start_ms = clock.NowMs();
+    for (size_t i = 0; i < arrivals_ms.size(); ++i) {
+      clock.SleepUntilMs(start_ms + arrivals_ms[i]);
+      const size_t s = i % num_sessions;
+      const size_t index = indices[(issued[s]++ + s) % n];
+      pending.push_back(Pending{
+          index, s, cms->QueryAsync(*sessions[s], workload.queries[index])});
+    }
+    cms->DrainSessions();
+    cms->DrainPrefetches();
+
+    std::vector<std::pair<size_t, size_t>> refused;  // (index, session)
+    for (Pending& p : pending) {
+      Result<CmsAnswer> got = p.future.get();
+      if (!got.ok() && got.status().code() == StatusCode::kOverloaded) {
+        ++report->overload_rejections;
+        refused.emplace_back(p.index, p.session);
+        continue;
+      }
+      CheckAnswer(p.index, "open-loop", got);
+    }
+    CheckCatalog(indices[0], "open-loop");
+
+    for (const auto& [index, s] : refused) {
+      CheckAnswer(index, "open-loop-retry",
+                  cms->Query(*sessions[s], workload.queries[index]));
+    }
+    CheckCatalog(indices[0], "open-loop-retry");
+
+    for (cms::CmsSession* s : sessions) cms->CloseSession(s);
+  }
 };
 
 }  // namespace
@@ -242,8 +320,8 @@ std::string DiffReport::Summary() const {
   std::string out =
       StrCat("seed ", seed, ": ", ok ? "OK" : "FAIL", " — ", queries_run,
              " queries (", exact_hits, " exact hits, ", queries_faulted,
-             " clean faults, ", remote_queries, " remote queries, ",
-             evictions, " evictions)");
+             " clean faults, ", overload_rejections, " overload rejections, ",
+             remote_queries, " remote queries, ", evictions, " evictions)");
   for (const DiffFailure& f : failures) {
     out += "\n  " + f.ToString();
   }
@@ -271,6 +349,16 @@ DiffReport RunDifferential(const DiffOptions& opts) {
     FaultPlan plan = opts.fault_plan;
     if (plan.seed == 0) plan.seed = opts.seed;
     remote = std::make_unique<FaultyRemoteDbms>(workload.database, plan);
+  } else if (opts.open_loop) {
+    // A link that sleeps for real, so the arrival rate genuinely outruns
+    // the service rate: the scheduler queue builds past the tight
+    // admission bound and the kOverloaded refusal path draws real
+    // coverage (cost modeling changes with the latency, answers cannot).
+    dbms::NetworkModel net;
+    net.msg_latency_ms = 5;
+    net.wall_clock_scale = 1.0;
+    remote = std::make_unique<dbms::RemoteDbms>(workload.database, net,
+                                                dbms::DbmsCostModel{});
   } else {
     remote = std::make_unique<dbms::RemoteDbms>(workload.database);
   }
@@ -290,7 +378,9 @@ DiffReport RunDifferential(const DiffOptions& opts) {
   }
 
   StreamChecker checker{opts, workload, oracle, remote.get(), &cms, &report};
-  if (opts.sessions > 1) {
+  if (opts.open_loop) {
+    checker.RunOpenLoop(indices);
+  } else if (opts.sessions > 1) {
     checker.RunSessions(indices);
     cms.DrainSessions();
     cms.DrainPrefetches();
@@ -345,6 +435,10 @@ std::string ReproCommand(const DiffOptions& opts) {
              opts.prefetch ? (opts.prefetch_async ? "async" : "sync") : "off",
              " --faults ", opts.faults ? "on" : "off");
   if (opts.sessions > 1) cmd += StrCat(" --sessions ", opts.sessions);
+  if (opts.open_loop) {
+    cmd += StrCat(" --open-loop --rate ",
+                  static_cast<size_t>(opts.open_loop_rate));
+  }
   if (!opts.caching) cmd += " --no-cache";
   if (!opts.catalog) cmd += " --no-catalog";
   if (!opts.intermediates) cmd += " --no-intermediates";

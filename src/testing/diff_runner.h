@@ -49,6 +49,18 @@ struct DiffOptions {
   /// Small enough that eviction happens on realistic workloads.
   size_t cache_budget_bytes = 256ull << 10;
 
+  /// Open-loop overload cell (DESIGN.md §13): arrivals follow a seeded
+  /// Poisson schedule at `open_loop_rate` qps regardless of completions,
+  /// under a deliberately tight load-control policy (shed_queue_depth 0 so
+  /// speculation sheds whenever anything queues, admission bound 4 so the
+  /// burst draws real kOverloaded refusals). Every completion is
+  /// bag-checked against the oracle; every refusal is retried
+  /// synchronously once the system is quiescent and must then agree with
+  /// the oracle — shedding may change latency and cost, never answers.
+  /// Uses `sessions` concurrent sessions (minimum 2).
+  bool open_loop = false;
+  double open_loop_rate = 500;
+
   /// Fault injection on the remote link.
   bool faults = false;
   FaultPlan fault_plan;
@@ -87,6 +99,7 @@ struct DiffReport {
 
   size_t queries_run = 0;
   size_t queries_faulted = 0;  // clean injected-fault propagations
+  size_t overload_rejections = 0;  // clean kOverloaded refusals (open loop)
   size_t exact_hits = 0;
   size_t remote_queries = 0;
   size_t evictions = 0;

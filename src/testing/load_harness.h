@@ -1,0 +1,125 @@
+#ifndef BRAID_TESTING_LOAD_HARNESS_H_
+#define BRAID_TESTING_LOAD_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace braid::testing {
+
+/// How query arrival times are spaced.
+enum class ArrivalProcess {
+  kFixed,    // exactly 1000/rate_qps ms apart
+  kPoisson,  // exponential inter-arrival times with mean 1000/rate_qps ms
+};
+
+/// Parameters of one arrival schedule. Everything downstream of `seed` is
+/// deterministic: the schedule is a pure function of this struct, with no
+/// wall-clock dependence (satellite requirement of ISSUE 10) — the clock
+/// only enters when a replay *paces* the schedule.
+struct ArrivalParams {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  double rate_qps = 100;
+  size_t count = 0;
+  uint64_t seed = 0;
+};
+
+/// The schedule: `count` arrival offsets in ms from the replay start,
+/// non-decreasing, first arrival at 0 (kFixed) or after one inter-arrival
+/// draw (kPoisson). rate_qps <= 0 or count == 0 yields an empty schedule.
+std::vector<double> GenerateArrivals(const ArrivalParams& params);
+
+/// Clock used by the open-loop replay, injectable so arrival pacing and
+/// latency measurement are unit-testable without waiting for real time.
+class LoadClock {
+ public:
+  virtual ~LoadClock() = default;
+  /// Milliseconds since an arbitrary fixed origin; monotone.
+  virtual double NowMs() = 0;
+  /// Blocks until NowMs() >= deadline_ms (no-op when already past).
+  virtual void SleepUntilMs(double deadline_ms) = 0;
+};
+
+/// Real time: steady_clock now, real sleeps for pacing.
+class SteadyLoadClock : public LoadClock {
+ public:
+  double NowMs() override;
+  void SleepUntilMs(double deadline_ms) override;
+};
+
+/// Deterministic time: SleepUntilMs jumps the clock forward instantly.
+/// Thread-safe (completion callbacks read NowMs from pool threads).
+class FakeLoadClock : public LoadClock {
+ public:
+  double NowMs() override {
+    MutexLock lock(&mu_);
+    return now_ms_;
+  }
+  void SleepUntilMs(double deadline_ms) override {
+    MutexLock lock(&mu_);
+    if (deadline_ms > now_ms_) now_ms_ = deadline_ms;
+  }
+
+ private:
+  Mutex mu_;
+  double now_ms_ BRAID_GUARDED_BY(mu_) = 0;
+};
+
+/// One session's replay input: the CMS session and its query stream, in
+/// issue order.
+struct ReplaySession {
+  cms::CmsSession* session = nullptr;
+  std::vector<caql::CaqlQuery> queries;
+};
+
+/// Outcome counters and latency samples of one replay. issued ==
+/// completed + rejected + failed once the replay returns (it drains).
+struct ReplayStats {
+  size_t issued = 0;
+  size_t completed = 0;
+  size_t rejected = 0;  // kOverloaded admission refusals
+  size_t failed = 0;    // any other error
+  /// Completed foreground queries only. Closed loop: issue → completion.
+  /// Open loop: *scheduled arrival* → completion, so queueing delay —
+  /// including dispatcher lag when the generator itself falls behind —
+  /// counts against the system, the property that makes open-loop numbers
+  /// honest about overload.
+  std::vector<double> latencies_ms;
+  /// Largest scheduler queue depth observed at any issue point.
+  size_t max_queue_depth = 0;
+  double wall_ms = 0;
+};
+
+/// Closed-loop replay (bench_sessions' driving loop, hoisted): one driver
+/// thread per session issues that session's queries in order, each waiting
+/// for completion before the next — so concurrency equals the session
+/// count and the system is never offered more load than it just absorbed.
+ReplayStats ReplayClosedLoop(cms::Cms& cms,
+                             const std::vector<ReplaySession>& sessions);
+
+/// Open-loop replay controls.
+struct OpenLoopOptions {
+  /// Arrival offsets in ms from replay start (GenerateArrivals output).
+  std::vector<double> arrivals_ms;
+  /// Null = a SteadyLoadClock local to the call.
+  LoadClock* clock = nullptr;
+};
+
+/// Open-loop replay: a single dispatcher issues one query per scheduled
+/// arrival — round-robin across sessions, each session's stream in order,
+/// wrapping when arrivals outnumber its queries — WITHOUT waiting for
+/// completions (completions are timestamped by a QueryAsync callback).
+/// Arrivals keep coming at the configured rate no matter how far behind
+/// the system is; DrainSessions() is called before returning, so every
+/// issued query is accounted for in the stats.
+ReplayStats ReplayOpenLoop(cms::Cms& cms,
+                           const std::vector<ReplaySession>& sessions,
+                           const OpenLoopOptions& options);
+
+}  // namespace braid::testing
+
+#endif  // BRAID_TESTING_LOAD_HARNESS_H_

@@ -1,0 +1,315 @@
+// Tests for overload admission control (DESIGN.md §13): the
+// LoadController's decision logic against a fake queue-depth source, and
+// the integrated CMS behavior under a genuinely saturated session
+// scheduler — speculative work sheds before any foreground query is
+// refused, refusals are a clean kOverloaded (never a deadlock, never a
+// dropped query), retries after the drain succeed, and every shed or
+// refusal shows up on the obs counters exactly once. Runs under TSan in
+// CI.
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "advice/advice.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "cms/load_controller.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "dbms/remote_dbms.h"
+#include "obs/metrics.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace braid::cms {
+namespace {
+
+uint64_t CounterNow(const std::string& name) {
+  return obs::MetricsRegistry::Global().CounterValue(name);
+}
+
+// --- LoadController decision logic -------------------------------------
+
+TEST(LoadController, AdmitsBelowBoundRefusesAtBound) {
+  size_t depth = 0;
+  LoadControlPolicy policy;
+  policy.admission_queue_bound = 4;
+  LoadController controller(policy, [&depth] { return depth; });
+
+  const uint64_t rejected_before = controller.rejected_queries();
+  depth = 0;
+  EXPECT_TRUE(controller.AdmitQuery());
+  depth = 3;
+  EXPECT_TRUE(controller.AdmitQuery());
+  depth = 4;  // at the bound: refuse (bound counts queued, not running)
+  EXPECT_FALSE(controller.AdmitQuery());
+  depth = 4096;
+  EXPECT_FALSE(controller.AdmitQuery());
+  EXPECT_EQ(controller.rejected_queries() - rejected_before, 2u);
+}
+
+TEST(LoadController, DisabledPolicyAdmitsAndNeverSheds) {
+  size_t depth = 1 << 20;
+  LoadControlPolicy policy;
+  policy.enabled = false;
+  policy.admission_queue_bound = 1;
+  policy.shed_queue_depth = 0;
+  LoadController controller(policy, [&depth] { return depth; });
+
+  const uint64_t rejected_before = controller.rejected_queries();
+  EXPECT_TRUE(controller.AdmitQuery());
+  EXPECT_FALSE(controller.ShouldShed());
+  EXPECT_EQ(controller.rejected_queries(), rejected_before);
+}
+
+TEST(LoadController, ShedsStrictlyAboveQueueDepth) {
+  size_t depth = 0;
+  LoadControlPolicy policy;
+  policy.shed_queue_depth = 2;
+  LoadController controller(policy, [&depth] { return depth; });
+
+  depth = 2;
+  EXPECT_FALSE(controller.ShouldShed());
+  depth = 3;
+  EXPECT_TRUE(controller.ShouldShed());
+  depth = 0;  // verdicts are snapshots: recovery is immediate
+  EXPECT_FALSE(controller.ShouldShed());
+}
+
+TEST(LoadController, ShedsOnForegroundSloBreach) {
+  size_t depth = 0;
+  LoadControlPolicy policy;
+  policy.shed_queue_depth = 1 << 20;  // only the SLO signal in play
+  policy.foreground_slo_ms = 10;
+  policy.ewma_alpha = 1.0;  // average follows the last sample exactly
+  LoadController controller(policy, [&depth] { return depth; });
+
+  EXPECT_FALSE(controller.ShouldShed());  // unprimed: no signal yet
+  controller.OnForegroundLatency(50);
+  EXPECT_DOUBLE_EQ(controller.ForegroundEwmaMs(), 50.0);
+  EXPECT_TRUE(controller.ShouldShed());
+  controller.OnForegroundLatency(1);
+  EXPECT_FALSE(controller.ShouldShed());
+}
+
+TEST(LoadController, EwmaPrimesOnFirstSampleThenSmooths) {
+  size_t depth = 0;
+  LoadControlPolicy policy;
+  policy.ewma_alpha = 0.5;
+  LoadController controller(policy, [&depth] { return depth; });
+
+  EXPECT_DOUBLE_EQ(controller.ForegroundEwmaMs(), 0.0);
+  controller.OnForegroundLatency(100);  // first sample primes, no blend
+  EXPECT_DOUBLE_EQ(controller.ForegroundEwmaMs(), 100.0);
+  controller.OnForegroundLatency(0);
+  EXPECT_DOUBLE_EQ(controller.ForegroundEwmaMs(), 50.0);
+  controller.OnForegroundLatency(-25);  // clamped to 0, never negative
+  EXPECT_DOUBLE_EQ(controller.ForegroundEwmaMs(), 25.0);
+}
+
+TEST(LoadController, CountShedSplitsPerKindOntoRegistry) {
+  size_t depth = 0;
+  LoadController controller(LoadControlPolicy{}, [&depth] { return depth; });
+
+  const uint64_t prefetch_before = CounterNow("load.shed_prefetch");
+  const uint64_t generalize_before = CounterNow("load.shed_generalize");
+  const uint64_t intermediate_before = CounterNow("load.shed_intermediate");
+  const uint64_t p0 = controller.shed_count(ShedKind::kPrefetch);
+  const uint64_t g0 = controller.shed_count(ShedKind::kGeneralization);
+  const uint64_t i0 = controller.shed_count(ShedKind::kIntermediate);
+
+  controller.CountShed(ShedKind::kPrefetch);
+  controller.CountShed(ShedKind::kPrefetch);
+  controller.CountShed(ShedKind::kGeneralization);
+  controller.CountShed(ShedKind::kIntermediate);
+
+  EXPECT_EQ(controller.shed_count(ShedKind::kPrefetch) - p0, 2u);
+  EXPECT_EQ(controller.shed_count(ShedKind::kGeneralization) - g0, 1u);
+  EXPECT_EQ(controller.shed_count(ShedKind::kIntermediate) - i0, 1u);
+  EXPECT_EQ(CounterNow("load.shed_prefetch") - prefetch_before, 2u);
+  EXPECT_EQ(CounterNow("load.shed_generalize") - generalize_before, 1u);
+  EXPECT_EQ(CounterNow("load.shed_intermediate") - intermediate_before, 1u);
+
+  EXPECT_STREQ(ShedKindName(ShedKind::kPrefetch), "prefetch");
+  EXPECT_STREQ(ShedKindName(ShedKind::kGeneralization), "generalize");
+  EXPECT_STREQ(ShedKindName(ShedKind::kIntermediate), "intermediate");
+}
+
+// --- Integrated overload behavior --------------------------------------
+
+dbms::Database SmallDb() {
+  dbms::Database db;
+  rel::Relation t("a", rel::Schema::FromNames({"x", "y"}));
+  for (int64_t i = 0; i < 32; ++i) {
+    t.AppendUnchecked({rel::Value::Int(i), rel::Value::Int(i % 4)});
+  }
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
+  return db;
+}
+
+caql::CaqlQuery Parse(const std::string& text) {
+  auto q = caql::ParseCaql(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q.value());
+}
+
+/// Saturates a 1-worker scheduler behind a slow (real-sleeping) remote
+/// with a tiny admission bound: the burst must split into admitted
+/// queries that all answer correctly and kOverloaded refusals that all
+/// retry successfully once the drain quiesces the system — and the
+/// refusal counter must match the observed refusals exactly.
+TEST(LoadControlIntegration, OverloadRefusesCleanlyAndRetriesSucceed) {
+  dbms::NetworkModel net;
+  net.msg_latency_ms = 5;
+  net.wall_clock_scale = 1.0;  // each cold fetch sleeps ~5ms for real
+  dbms::RemoteDbms remote(SmallDb(), net, dbms::DbmsCostModel{});
+
+  CmsConfig config;
+  config.enable_advice = false;
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.num_threads = 1;
+  config.enable_load_control = true;
+  config.admission_queue_bound = 2;
+  Cms cms(&remote, config);
+
+  constexpr size_t kSessions = 4;
+  constexpr size_t kPerSession = 6;
+  std::vector<CmsSession*> sessions;
+  for (size_t s = 0; s < kSessions; ++s) sessions.push_back(cms.OpenSession());
+
+  const uint64_t rejected_before = CounterNow("load.rejected_sessions");
+
+  // The burst: 24 distinct cold queries enqueued far faster than the one
+  // worker can absorb them behind 5ms link sleeps.
+  struct Issued {
+    size_t session;
+    caql::CaqlQuery query;
+    std::future<Result<CmsAnswer>> future;
+  };
+  std::vector<Issued> issued;
+  for (size_t s = 0; s < kSessions; ++s) {
+    for (size_t i = 0; i < kPerSession; ++i) {
+      const size_t id = s * kPerSession + i;
+      caql::CaqlQuery q = Parse(StrCat("c", id, "(Y) :- a(", id, ", Y)"));
+      auto future = cms.QueryAsync(*sessions[s], q);
+      issued.push_back(Issued{s, std::move(q), std::move(future)});
+    }
+  }
+
+  size_t completed = 0;
+  std::vector<std::pair<size_t, caql::CaqlQuery>> refused;
+  for (Issued& item : issued) {
+    Result<CmsAnswer> answer = item.future.get();
+    if (answer.ok()) {
+      ++completed;
+      continue;
+    }
+    // The only acceptable failure is a clean admission refusal.
+    ASSERT_EQ(answer.status().code(), StatusCode::kOverloaded)
+        << answer.status().ToString();
+    refused.emplace_back(item.session, std::move(item.query));
+  }
+  EXPECT_EQ(completed + refused.size(), issued.size());
+  // A bound of 2 queued queries against a 24-query burst must refuse.
+  EXPECT_GT(refused.size(), 0u);
+  // Every refusal was counted exactly once.
+  EXPECT_EQ(CounterNow("load.rejected_sessions") - rejected_before,
+            refused.size());
+
+  // Refusals are clean: after the drain the very same queries succeed
+  // with the right answers (each constant matches exactly one row).
+  cms.DrainSessions();
+  for (auto& [s, query] : refused) {
+    auto answer = cms.Query(*sessions[s], query);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ASSERT_NE(answer->relation, nullptr);
+    EXPECT_EQ(answer->relation->NumTuples(), 1u);
+  }
+
+  for (CmsSession* s : sessions) cms.CloseSession(s);
+}
+
+/// Advice for the shed test: after observing view d1, the advisor
+/// predicts d2, so a non-overloaded CMS would launch a prefetch of d2's
+/// general form at the end of every d1 query.
+advice::AdviceSet D1ThenD2Advice() {
+  advice::AdviceSet advice;
+  advice::ViewSpec d1;
+  d1.id = "d1";
+  d1.head = {advice::AnnotatedVar{"X", advice::Binding::kProducer},
+             advice::AnnotatedVar{"Y", advice::Binding::kProducer}};
+  d1.body = {
+      logic::Atom("a", {logic::Term::Var("X"), logic::Term::Var("Y")})};
+  advice.view_specs.push_back(d1);
+  advice::ViewSpec d2;
+  d2.id = "d2";
+  d2.head = {advice::AnnotatedVar{"A", advice::Binding::kProducer},
+             advice::AnnotatedVar{"B", advice::Binding::kProducer}};
+  d2.body = {
+      logic::Atom("b", {logic::Term::Var("A"), logic::Term::Var("B")})};
+  advice.view_specs.push_back(d2);
+  advice.path_expression = advice::PathExpr::Sequence(
+      {advice::PathExpr::Pattern("d1", {}),
+       advice::PathExpr::Pattern("d2", {})},
+      advice::RepBound::Fixed(1), advice::RepBound::Fixed(1));
+  return advice;
+}
+
+dbms::Database TwoTableDb() {
+  dbms::Database db = SmallDb();
+  rel::Relation t("b", rel::Schema::FromNames({"x", "y"}));
+  for (int64_t i = 0; i < 32; ++i) {
+    t.AppendUnchecked({rel::Value::Int(i), rel::Value::Int(i + 100)});
+  }
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
+  return db;
+}
+
+/// Speculation yields first: with shed_queue_depth 0 and queries queued
+/// behind a slow first query of the same session, the foreground queries
+/// all complete (no kOverloaded) while the prefetch the advisor asked for
+/// is shed — and the shed shows up on load.shed_prefetch.
+TEST(LoadControlIntegration, SpeculationShedsBeforeForeground) {
+  dbms::NetworkModel net;
+  net.msg_latency_ms = 60;
+  net.wall_clock_scale = 1.0;  // the first d1 fetch sleeps ~60ms for real
+  dbms::RemoteDbms remote(TwoTableDb(), net, dbms::DbmsCostModel{});
+
+  CmsConfig config;
+  config.num_threads = 1;
+  config.enable_load_control = true;
+  config.shed_queue_depth = 0;  // any queued work sheds speculation
+  config.admission_queue_bound = 1 << 20;  // foreground never refused
+  Cms cms(&remote, config);
+  CmsSession* session = cms.OpenSession(D1ThenD2Advice());
+
+  const uint64_t shed_before = CounterNow("load.shed_prefetch");
+  const uint64_t rejected_before = CounterNow("load.rejected_sessions");
+
+  // Three d1 queries back to back on one session: while the first sleeps
+  // on the link, the other two sit queued, so the first query's prefetch
+  // pass runs at queue depth 2 and must shed.
+  const caql::CaqlQuery d1 = Parse("d1(X, Y) :- a(X, Y)");
+  std::vector<std::future<Result<CmsAnswer>>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(cms.QueryAsync(*session, d1));
+  for (auto& f : futures) {
+    auto answer = f.get();
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+
+  EXPECT_GE(CounterNow("load.shed_prefetch") - shed_before, 1u);
+  EXPECT_EQ(CounterNow("load.rejected_sessions") - rejected_before, 0u);
+
+  cms.DrainSessions();
+  cms.DrainPrefetches();
+  cms.CloseSession(session);
+}
+
+}  // namespace
+}  // namespace braid::cms

@@ -1,0 +1,285 @@
+// Tests for the load-generation core shared by tools/braid_loadgen and
+// bench_sessions (src/testing/load_harness.h): arrival schedules are pure
+// functions of their parameters (no wall-clock dependence — the injected
+// clock only enters when a replay paces them), the open-loop replay is
+// fully deterministic under a FakeLoadClock on a poolless CMS, and the
+// bench quantile/JSON helpers behave at the edges the load tool leans on
+// (empty samples, single samples, ties, p99.9).
+
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "caql/caql_query.h"
+#include "cms/cms.h"
+#include "dbms/remote_dbms.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+#include "testing/load_harness.h"
+
+namespace braid::testing {
+namespace {
+
+// --- Arrival schedules -------------------------------------------------
+
+TEST(Arrivals, FixedScheduleIsExactlySpaced) {
+  ArrivalParams params;
+  params.process = ArrivalProcess::kFixed;
+  params.rate_qps = 100;  // 10ms apart
+  params.count = 5;
+  const std::vector<double> arrivals = GenerateArrivals(params);
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[i], 10.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Arrivals, FixedScheduleIgnoresSeed) {
+  ArrivalParams a;
+  a.process = ArrivalProcess::kFixed;
+  a.rate_qps = 250;
+  a.count = 16;
+  a.seed = 1;
+  ArrivalParams b = a;
+  b.seed = 99;
+  EXPECT_EQ(GenerateArrivals(a), GenerateArrivals(b));
+}
+
+TEST(Arrivals, PoissonIsDeterministicPerSeed) {
+  ArrivalParams params;
+  params.process = ArrivalProcess::kPoisson;
+  params.rate_qps = 200;
+  params.count = 64;
+  params.seed = 7;
+  const std::vector<double> first = GenerateArrivals(params);
+  const std::vector<double> again = GenerateArrivals(params);
+  ASSERT_EQ(first.size(), 64u);
+  EXPECT_EQ(first, again);
+
+  params.seed = 8;
+  EXPECT_NE(first, GenerateArrivals(params));
+}
+
+TEST(Arrivals, PoissonIsNonDecreasingAndPositive) {
+  ArrivalParams params;
+  params.rate_qps = 500;
+  params.count = 256;
+  params.seed = 3;
+  const std::vector<double> arrivals = GenerateArrivals(params);
+  ASSERT_EQ(arrivals.size(), 256u);
+  EXPECT_GT(arrivals.front(), 0.0);  // first arrival after one draw
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(Arrivals, PoissonMeanGapMatchesRate) {
+  ArrivalParams params;
+  params.rate_qps = 200;  // mean gap 5ms
+  params.count = 4000;
+  params.seed = 11;
+  const std::vector<double> arrivals = GenerateArrivals(params);
+  const double mean_gap = arrivals.back() / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 5.0, 0.5);  // within 10% at n = 4000
+}
+
+TEST(Arrivals, EmptyOnZeroCountOrNonPositiveRate) {
+  ArrivalParams params;
+  params.count = 0;
+  EXPECT_TRUE(GenerateArrivals(params).empty());
+  params.count = 10;
+  params.rate_qps = 0;
+  EXPECT_TRUE(GenerateArrivals(params).empty());
+  params.rate_qps = -5;
+  EXPECT_TRUE(GenerateArrivals(params).empty());
+}
+
+// --- Injected clock ----------------------------------------------------
+
+TEST(FakeLoadClock, SleepJumpsForwardNeverBack) {
+  FakeLoadClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  clock.SleepUntilMs(25);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 25.0);
+  clock.SleepUntilMs(10);  // already past: no-op, time never rewinds
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 25.0);
+  clock.SleepUntilMs(25);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 25.0);
+}
+
+// --- Open-loop replay under the fake clock -----------------------------
+
+dbms::Database TinyDatabase() {
+  dbms::Database db;
+  rel::Relation t("a", rel::Schema::FromNames({"x", "y"}));
+  for (int64_t i = 0; i < 32; ++i) {
+    t.AppendUnchecked({rel::Value::Int(i), rel::Value::Int(i % 4)});
+  }
+  BRAID_CHECK_OK(db.AddTable(std::move(t)));
+  return db;
+}
+
+caql::CaqlQuery Parse(const std::string& text) {
+  auto q = caql::ParseCaql(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q.value());
+}
+
+/// A poolless CMS (enable_parallel = false) runs every QueryAsync inline
+/// in the dispatcher; with a FakeLoadClock the whole open-loop replay is
+/// then a pure function of (schedule, streams) — no wall clock anywhere.
+TEST(OpenLoopReplay, DeterministicUnderFakeClock) {
+  dbms::RemoteDbms remote(TinyDatabase());
+  cms::CmsConfig config;
+  config.enable_parallel = false;
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.enable_advice = false;
+  cms::Cms cms(&remote, config);
+
+  std::vector<ReplaySession> sessions(2);
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    sessions[s].session = cms.OpenSession();
+    sessions[s].queries = {Parse("q0(X, Y) :- a(X, Y)"),
+                           Parse("q1(X) :- a(X, 1)")};
+  }
+
+  ArrivalParams params;
+  params.rate_qps = 1000;
+  params.count = 12;
+  params.seed = 5;
+  FakeLoadClock clock;
+  OpenLoopOptions options;
+  options.arrivals_ms = GenerateArrivals(params);
+  options.clock = &clock;
+
+  const ReplayStats stats = ReplayOpenLoop(cms, sessions, options);
+  EXPECT_EQ(stats.issued, 12u);
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  ASSERT_EQ(stats.latencies_ms.size(), 12u);
+  // Inline execution completes each query at its own scheduled arrival
+  // instant of fake time: every open-loop latency is exactly zero.
+  for (double ms : stats.latencies_ms) EXPECT_DOUBLE_EQ(ms, 0.0);
+  EXPECT_EQ(stats.max_queue_depth, 0u);
+
+  for (ReplaySession& s : sessions) cms.CloseSession(s.session);
+}
+
+TEST(OpenLoopReplay, AccountsEveryArrivalAcrossStreamWrap) {
+  dbms::RemoteDbms remote(TinyDatabase());
+  cms::CmsConfig config;
+  config.enable_parallel = false;
+  config.enable_prefetch = false;
+  config.enable_generalization = false;
+  config.enable_advice = false;
+  cms::Cms cms(&remote, config);
+
+  // One session, one query, many more arrivals than queries: the replay
+  // wraps the stream and still accounts for every arrival.
+  std::vector<ReplaySession> sessions(1);
+  sessions[0].session = cms.OpenSession();
+  sessions[0].queries = {Parse("q(X, Y) :- a(X, Y)")};
+
+  ArrivalParams params;
+  params.process = ArrivalProcess::kFixed;
+  params.rate_qps = 2000;
+  params.count = 9;
+  FakeLoadClock clock;
+  OpenLoopOptions options;
+  options.arrivals_ms = GenerateArrivals(params);
+  options.clock = &clock;
+
+  const ReplayStats stats = ReplayOpenLoop(cms, sessions, options);
+  EXPECT_EQ(stats.issued, 9u);
+  EXPECT_EQ(stats.completed + stats.rejected + stats.failed, stats.issued);
+  EXPECT_EQ(stats.failed, 0u);
+
+  cms.CloseSession(sessions[0].session);
+}
+
+// --- Quantile edge cases (bench/bench_util.h) --------------------------
+
+TEST(Quantiles, EmptySampleIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(benchutil::Quantile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(benchutil::P50(empty), 0.0);
+  EXPECT_DOUBLE_EQ(benchutil::P999(empty), 0.0);
+}
+
+TEST(Quantiles, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one = {42.5};
+  EXPECT_DOUBLE_EQ(benchutil::Quantile(one, 0.0), 42.5);
+  EXPECT_DOUBLE_EQ(benchutil::P50(one), 42.5);
+  EXPECT_DOUBLE_EQ(benchutil::P99(one), 42.5);
+  EXPECT_DOUBLE_EQ(benchutil::P999(one), 42.5);
+}
+
+TEST(Quantiles, TiesAndUnsortedInput) {
+  // Unsorted with ties; Quantile sorts a copy, nearest-rank indexing.
+  const std::vector<double> v = {5, 1, 5, 5, 2, 5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(benchutil::P50(v), 5.0);
+  EXPECT_DOUBLE_EQ(benchutil::Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(benchutil::Quantile(v, 1.0), 5.0);  // rank clamps to n-1
+  EXPECT_DOUBLE_EQ(benchutil::P999(v), 5.0);
+}
+
+TEST(Quantiles, NearestRankOrdering) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(benchutil::P50(v), 501.0);   // rank 500 (0-based)
+  EXPECT_DOUBLE_EQ(benchutil::P99(v), 991.0);
+  EXPECT_DOUBLE_EQ(benchutil::P999(v), 1000.0);
+  EXPECT_LE(benchutil::P50(v), benchutil::P95(v));
+  EXPECT_LE(benchutil::P95(v), benchutil::P99(v));
+  EXPECT_LE(benchutil::P99(v), benchutil::P999(v));
+}
+
+// --- JSON output shape -------------------------------------------------
+
+TEST(BenchJson, TableWritesNumbersBareAndStringsQuoted) {
+  benchutil::Table table("load \"knee\"", {"rate_qps", "admission", "p99_ms"});
+  table.AddRow(400, "on", 12.75);
+  table.AddRow(800, "off", 3251.0);
+
+  const std::string path = ::testing::TempDir() + "/braid_bench_shape.json";
+  table.WriteJson(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  // Title quoted with the inner quotes escaped.
+  EXPECT_NE(json.find("\"title\": \"load \\\"knee\\\"\""), std::string::npos);
+  // Numeric cells bare, string cells quoted.
+  EXPECT_NE(json.find("\"rate_qps\": 400"), std::string::npos);
+  EXPECT_NE(json.find("\"admission\": \"on\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\": 12.75"), std::string::npos);
+  // Two row objects.
+  size_t rows = 0;
+  for (size_t pos = 0; (pos = json.find("\"admission\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(BenchJson, EmptyPathIsNoOp) {
+  benchutil::Table table("t", {"c"});
+  table.AddRow(1);
+  table.WriteJson("");  // must not crash or create a file
+}
+
+}  // namespace
+}  // namespace braid::testing

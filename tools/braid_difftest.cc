@@ -40,6 +40,8 @@ struct CliArgs {
   size_t sessions = 1;
   std::string prefetch = "async";  // off | sync | async
   bool faults = false;
+  bool open_loop = false;
+  double rate = 500;
   bool caching = true;
   bool catalog = true;
   bool intermediates = true;
@@ -64,6 +66,12 @@ void Usage() {
       "                      through the session scheduler (default 1)\n"
       "  --prefetch MODE     off | sync | async (default async)\n"
       "  --faults on|off     fault-injected remote link (default off)\n"
+      "  --open-loop         replay as open-loop Poisson arrivals under a\n"
+      "                      deliberately tight overload policy; refused\n"
+      "                      queries retry after the drain and every answer\n"
+      "                      is still bag-checked (shedding never changes\n"
+      "                      answers)\n"
+      "  --rate QPS          open-loop arrival rate (default 500)\n"
       "  --no-cache          disable caching on the system side\n"
       "  --no-catalog        linear subsumption candidate scan instead of\n"
       "                      the semantic catalog (answers must not change)\n"
@@ -140,6 +148,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (v == nullptr) return false;
       args->faults = std::strcmp(v, "on") == 0;
       args->single_config = true;
+    } else if (arg == "--open-loop") {
+      args->open_loop = true;
+      args->single_config = true;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rate = std::strtod(v, nullptr);
+      if (args->rate <= 0) return false;
+      args->single_config = true;
     } else if (arg == "--no-cache") {
       args->caching = false;
       args->single_config = true;
@@ -185,6 +202,8 @@ DiffOptions OptionsFor(const CliArgs& args, uint64_t seed) {
   opts.catalog = args.catalog;
   opts.intermediates = args.intermediates;
   opts.faults = args.faults;
+  opts.open_loop = args.open_loop;
+  opts.open_loop_rate = args.rate;
   if (args.faults) {
     opts.fault_plan.error_rate = 0.15;
     opts.fault_plan.delay_rate = 0.2;
@@ -199,7 +218,9 @@ int HandleFailure(const CliArgs& args, const DiffReport& report,
                   const DiffOptions& opts) {
   std::printf("FAIL %s\n", report.Summary().c_str());
   DiffOptions repro = opts;
-  if (args.minimize && opts.keep.empty() && !opts.faults) {
+  // Open-loop timing is wall-clock dependent; a minimized stream would
+  // not reproduce the same queue dynamics, so don't pretend it does.
+  if (args.minimize && opts.keep.empty() && !opts.faults && !opts.open_loop) {
     std::printf("minimizing...\n");
     repro.keep = MinimizeFailure(opts);
     std::printf("minimized to %zu quer%s\n", repro.keep.size(),

@@ -42,8 +42,9 @@ contract" for the rationale of each:
                    shipped in one PR), never a real source file.
 
   bench-artifact   Every BENCH_*.json name mentioned in a bench/bench_*.cc
-                   must appear in .github/workflows/ci.yml — the bench
-                   jobs write these files and an upload-artifact step must
+                   or a tools/*.cc must appear in .github/workflows/ci.yml
+                   — the bench jobs and bench-style tools (braid_loadgen)
+                   write these files and an upload-artifact step must
                    ship them, otherwise the output is silently dropped on
                    every CI run. (Literal names only: a path computed at
                    runtime is invisible to this check.)
@@ -262,29 +263,38 @@ def check_stray_artifacts(root):
 
 
 def check_bench_artifacts(root):
-    """Every BENCH_*.json mentioned in a bench/bench_*.cc must appear in
-    the CI workflow (an upload-artifact path); returns [(relpath, msg)]."""
-    bench_dir = os.path.join(root, "bench")
+    """Every BENCH_*.json mentioned in a bench/bench_*.cc or a tools/*.cc
+    must appear in the CI workflow (an upload-artifact path); returns
+    [(relpath, msg)]."""
     ci_path = os.path.join(root, CI_WORKFLOW)
-    if not os.path.isdir(bench_dir) or not os.path.exists(ci_path):
+    if not os.path.exists(ci_path):
         return []
     with open(ci_path, encoding="utf-8") as f:
         ci_text = f.read()
     findings = []
-    for name in sorted(os.listdir(bench_dir)):
-        if not (name.startswith("bench_") and name.endswith(".cc")):
+    scanned = (
+        ("bench", lambda n: n.startswith("bench_") and n.endswith(".cc")),
+        ("tools", lambda n: n.endswith(".cc")),
+    )
+    for subdir, wanted in scanned:
+        dir_path = os.path.join(root, subdir)
+        if not os.path.isdir(dir_path):
             continue
-        with open(os.path.join(bench_dir, name), encoding="utf-8") as f:
-            text = f.read()
-        for json_name in sorted(set(BENCH_JSON_RE.findall(text))):
-            if json_name not in ci_text:
-                findings.append(
-                    (os.path.join("bench", name),
-                     "writes %s but %s never mentions it; add an "
-                     "actions/upload-artifact step so the bench output is "
-                     "not silently dropped (or allowlist with a reason)"
-                     % (json_name, CI_WORKFLOW.replace(os.sep, "/")))
-                )
+        for name in sorted(os.listdir(dir_path)):
+            if not wanted(name):
+                continue
+            with open(os.path.join(dir_path, name), encoding="utf-8") as f:
+                text = f.read()
+            for json_name in sorted(set(BENCH_JSON_RE.findall(text))):
+                if json_name not in ci_text:
+                    findings.append(
+                        (os.path.join(subdir, name),
+                         "writes %s but %s never mentions it; add an "
+                         "actions/upload-artifact step so the bench output "
+                         "is not silently dropped (or allowlist with a "
+                         "reason)"
+                         % (json_name, CI_WORKFLOW.replace(os.sep, "/")))
+                    )
     return findings
 
 
@@ -407,20 +417,28 @@ def self_test():
         if STRAY_NAME_RE.search(name):
             failures.append("stray-artifact: %r falsely flagged" % name)
 
-    # bench-artifact: a dropped BENCH json must be flagged, an uploaded or
+    # bench-artifact: a dropped BENCH json must be flagged — whether the
+    # writer lives in bench/ or tools/ — while an uploaded or
     # runtime-computed one must not.
     with tempfile.TemporaryDirectory() as tmp:
         os.makedirs(os.path.join(tmp, "bench"))
+        os.makedirs(os.path.join(tmp, "tools"))
         os.makedirs(os.path.join(tmp, ".github", "workflows"))
         with open(os.path.join(tmp, "bench", "bench_x.cc"), "w") as f:
             f.write('const char* kJson = "BENCH_x.json";\n')
         with open(os.path.join(tmp, "bench", "bench_y.cc"), "w") as f:
             f.write('const char* kJson = "BENCH_y.json";\n'
                     'std::string sibling = base + "_trace.json";\n')
+        with open(os.path.join(tmp, "tools", "braid_toolgen.cc"), "w") as f:
+            f.write('const char* kJson = "BENCH_tool.json";\n')
+        with open(os.path.join(tmp, "tools", "braid_okgen.cc"), "w") as f:
+            f.write('const char* kJson = "BENCH_ok.json";\n')
         with open(os.path.join(tmp, CI_WORKFLOW), "w") as f:
             f.write("      - uses: actions/upload-artifact@v4\n"
                     "        with:\n"
-                    "          path: BENCH_y.json\n")
+                    "          path: |\n"
+                    "            BENCH_y.json\n"
+                    "            BENCH_ok.json\n")
         flagged = check_bench_artifacts(tmp)
         names = [rel for rel, _msg in flagged]
         if os.path.join("bench", "bench_x.cc") not in names:
@@ -428,6 +446,12 @@ def self_test():
                             "flagged (%r)" % flagged)
         if os.path.join("bench", "bench_y.cc") in names:
             failures.append("bench-artifact: uploaded BENCH_y.json falsely "
+                            "flagged (%r)" % flagged)
+        if os.path.join("tools", "braid_toolgen.cc") not in names:
+            failures.append("bench-artifact: dropped BENCH_tool.json from "
+                            "tools/ not flagged (%r)" % flagged)
+        if os.path.join("tools", "braid_okgen.cc") in names:
+            failures.append("bench-artifact: uploaded BENCH_ok.json falsely "
                             "flagged (%r)" % flagged)
 
     # End-to-end over a temp tree: one bad file, one stray artifact, plus
